@@ -1,0 +1,105 @@
+package altocumulus
+
+// The benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation, each regenerating the artifact at quick scale (use
+// `go run ./cmd/altobench -exp <id> -scale full` for full-fidelity runs;
+// EXPERIMENTS.md records the full-scale outputs).
+//
+// The reported metric is wall time per full experiment regeneration;
+// each benchmark also reports simulated-request throughput via
+// b.ReportMetric where meaningful.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(experiments.ScaleQuick, uint64(i)+1); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+// BenchmarkFig01 regenerates Fig. 1 (stack processing vs scheduling).
+func BenchmarkFig01(b *testing.B) { benchExperiment(b, "fig01") }
+
+// BenchmarkFig03 regenerates Fig. 3 (scheduling-overhead load sweep).
+func BenchmarkFig03(b *testing.B) { benchExperiment(b, "fig03") }
+
+// BenchmarkFig07 regenerates Fig. 7 (violation ratio vs queue length and
+// the E[T] threshold model).
+func BenchmarkFig07(b *testing.B) { benchExperiment(b, "fig07") }
+
+// BenchmarkFig09 regenerates Fig. 9 (NetRX imbalance snapshot).
+func BenchmarkFig09(b *testing.B) { benchExperiment(b, "fig09") }
+
+// BenchmarkFig10 regenerates Fig. 10 (tail vs throughput, all systems).
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFig11 regenerates Fig. 11 (Bulk and Period sensitivity).
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkFig12a regenerates Fig. 12(a) (group-size exploration).
+func BenchmarkFig12a(b *testing.B) { benchExperiment(b, "fig12a") }
+
+// BenchmarkFig12b regenerates Fig. 12(b,c) (migration effectiveness).
+func BenchmarkFig12b(b *testing.B) { benchExperiment(b, "fig12b") }
+
+// BenchmarkFig13a regenerates Fig. 13(a) (MICA scaling + accuracy).
+func BenchmarkFig13a(b *testing.B) { benchExperiment(b, "fig13a") }
+
+// BenchmarkFig13b regenerates Fig. 13(b) (case studies 1-2).
+func BenchmarkFig13b(b *testing.B) { benchExperiment(b, "fig13b") }
+
+// BenchmarkFig13c regenerates Fig. 13(c) (accuracy vs SLO target).
+func BenchmarkFig13c(b *testing.B) { benchExperiment(b, "fig13c") }
+
+// BenchmarkFig14 regenerates Fig. 14 (MICA adaptability, ISA vs MSR).
+func BenchmarkFig14(b *testing.B) { benchExperiment(b, "fig14") }
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: simulated
+// requests per wall second through a full 64-core ALTOCUMULUS server at
+// 80% load — the figure of merit for the DES substrate itself.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	svc := Exponential(time.Microsecond)
+	rate := dist.LoadForRate(0.8, 60, svc)
+	const nPerRun = 50000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := NewServer(4, 15)
+		cfg.Seed = uint64(i) + 1
+		if _, err := Run(cfg, PoissonWorkload(rate, svc, nPerRun)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)*nPerRun/elapsed, "simreq/s")
+	}
+}
+
+// BenchmarkEngineEvents measures the bare event loop: schedule+run cost
+// per event.
+func BenchmarkEngineEvents(b *testing.B) {
+	eng := sim.NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.After(sim.Nanosecond, func() {})
+		if i%4096 == 4095 {
+			eng.RunAll()
+		}
+	}
+	eng.RunAll()
+}

@@ -1,0 +1,39 @@
+// Command altotrace analyses a per-request CSV trace written by
+// `altosim -trace` (or trace.WriteCSV): per-operation latency
+// percentiles, migration and prediction counts, and the per-group
+// request distribution.
+//
+// Usage:
+//
+//	altosim -sched altocumulus -load 0.9 -trace run.csv
+//	altotrace run.csv
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: altotrace <trace.csv>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "altotrace:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	recs, err := trace.ReadCSV(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "altotrace:", err)
+		os.Exit(1)
+	}
+	if err := trace.Analyze(recs).Report(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "altotrace:", err)
+		os.Exit(1)
+	}
+}

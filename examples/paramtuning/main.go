@@ -1,0 +1,57 @@
+// paramtuning: sweep the ALTOCUMULUS runtime parameters — Period, Bulk
+// and Concurrency (§III-A / §VIII-C) — for a custom workload and report
+// the best setting by SLO violations, mirroring how an operator would
+// tune the system for their traffic ("Programmer guidelines", §VI).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	alto "repro"
+	"repro/internal/sim"
+)
+
+func main() {
+	svc := alto.Bimodal(500*time.Nanosecond, 3100*time.Nanosecond, 0.05) // mean ~630ns
+	rate := 0.95 * 60 / svc.Mean().Seconds()
+
+	type result struct {
+		period     time.Duration
+		bulk, conc int
+		viol       int
+		p99        alto.Time
+		migrated   uint64
+	}
+	var best *result
+
+	fmt.Println("Tuning Period x Bulk x Concurrency on 64 cores, bimodal ~630ns, load 0.95")
+	fmt.Printf("%-10s %-6s %-6s %12s %10s %10s\n", "period", "bulk", "conc", "violations", "p99", "migrated")
+	for _, period := range []time.Duration{100 * time.Nanosecond, 200 * time.Nanosecond, 400 * time.Nanosecond} {
+		for _, bulk := range []int{8, 16, 32} {
+			for _, conc := range []int{3, 8} {
+				cfg := alto.NewServer(4, 15)
+				cfg.Seed = 99
+				cfg.AC.Period = sim.Time(period.Nanoseconds()) * sim.Nanosecond
+				cfg.AC.Bulk = bulk
+				cfg.AC.Concurrency = conc
+				res, err := alto.Run(cfg, alto.PoissonWorkload(rate, svc, 150_000))
+				if err != nil {
+					log.Fatal(err)
+				}
+				r := result{period, bulk, conc, res.Summary.Violations,
+					res.Summary.P99, res.ACStats.MigratedReqs}
+				fmt.Printf("%-10v %-6d %-6d %12d %10v %10d\n",
+					r.period, r.bulk, r.conc, r.viol, r.p99, r.migrated)
+				if best == nil || r.viol < best.viol ||
+					(r.viol == best.viol && r.p99 < best.p99) {
+					rr := r
+					best = &rr
+				}
+			}
+		}
+	}
+	fmt.Printf("\nbest: period=%v bulk=%d concurrency=%d (%d violations, p99 %v)\n",
+		best.period, best.bulk, best.conc, best.viol, best.p99)
+}

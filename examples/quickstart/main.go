@@ -1,0 +1,39 @@
+// Quickstart: build an ALTOCUMULUS-scheduled 64-core server, offer a
+// Poisson stream of 1 µs RPCs at 80 % load, and print the latency
+// profile along with the runtime's migration activity.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	alto "repro"
+)
+
+func main() {
+	// 4 groups, each 1 manager core + 15 workers = 64 cores total.
+	cfg := alto.NewServer(4, 15)
+	cfg.Seed = 42
+
+	svc := alto.Exponential(time.Microsecond)
+	// 80% of the 60 workers' capacity.
+	rate := 0.8 * 60 / svc.Mean().Seconds()
+	wl := alto.PoissonWorkload(rate, svc, 200_000)
+
+	res, err := alto.Run(cfg, wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("ALTOCUMULUS quickstart — 64 cores, exp(1us) service, load 0.8")
+	fmt.Printf("  offered:   %.1f MRPS\n", rate/1e6)
+	fmt.Printf("  latency:   %s\n", res.Summary)
+	fmt.Printf("  SLO:       %v (10x mean service), violations %.4f%%\n",
+		res.SLO, res.Summary.VioRatio*100)
+	fmt.Printf("  runtime:   %d migrations moved %d requests; %d predicted violators\n",
+		res.ACStats.Migrations, res.ACStats.MigratedReqs, res.ACStats.PredictedReqs)
+	fmt.Printf("  patterns:  hill=%d valley=%d pairing=%d threshold=%d\n",
+		res.ACStats.HillEvents, res.ACStats.ValleyEvents,
+		res.ACStats.PairingEvents, res.ACStats.ThresholdEvts)
+}

@@ -1,0 +1,51 @@
+// tailatscale: the Fig. 10 scenario in miniature — a 16-core server
+// facing Shinjuku's high-dispersion bimodal workload (99.5% x 0.5 µs,
+// 0.5% x 500 µs) where the 99th-percentile SLO is 300 µs. Compares work
+// stealing (ZygOS), a hardware JBSQ without preemption (Nebula) and
+// ALTOCUMULUS across rising load, printing the tail-vs-throughput curve.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	alto "repro"
+)
+
+func main() {
+	svc := alto.Bimodal(500*time.Nanosecond, 500*time.Microsecond, 0.005)
+	slo := alto.Duration(300 * time.Microsecond)
+	capacity := 16 / svc.Mean().Seconds()
+
+	systems := []struct {
+		name string
+		cfg  alto.Config
+	}{
+		{"ZygOS", alto.NewBaseline(alto.ZygOS, 16)},
+		{"Nebula", alto.NewBaseline(alto.Nebula, 16)},
+		{"Altocumulus", alto.NewServer(1, 15)}, // 1 manager + 15 workers, as in Fig. 10
+	}
+
+	fmt.Println("16 cores, bimodal 0.5us/500us (0.5% long), SLO = 300us p99")
+	fmt.Printf("%-12s %8s %12s %10s\n", "system", "load", "p99", "viol%")
+	for _, s := range systems {
+		cfg := s.cfg
+		cfg.SLO = slo
+		cfg.Seed = 3
+		best := 0.0
+		for _, load := range []float64{0.3, 0.5, 0.7, 0.8, 0.9} {
+			wl := alto.PoissonWorkload(load*capacity, svc, 100_000)
+			res, err := alto.Run(cfg, wl)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-12s %8.2f %12v %9.2f%%\n",
+				s.name, load, res.Summary.P99, res.Summary.VioRatio*100)
+			if res.Summary.P99 <= slo && load > best {
+				best = load
+			}
+		}
+		fmt.Printf("%-12s throughput@SLO = %.2f MRPS\n\n", s.name, best*capacity/1e6)
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"repro/internal/rpcproto"
+	"repro/internal/sim"
+)
+
+// LoadMeter estimates the current system load (A, in Erlangs) online from
+// the arrival stream, the input the runtime feeds to the threshold model
+// every period (§III-A: the runtime "based on the current system load
+// (A), calculates the migration threshold"). Arrival rate and mean
+// service time are tracked as exponentially weighted moving averages over
+// measurement windows so the threshold adapts to non-stationary traffic.
+type LoadMeter struct {
+	Alpha float64 // EWMA weight for new windows
+
+	winStart   sim.Time
+	winCount   int
+	rate       float64 // req/s, smoothed
+	meanSvc    float64 // seconds, smoothed
+	svcWeight  float64
+	haveWindow bool
+}
+
+// NewLoadMeter returns a meter with a mild smoothing factor.
+func NewLoadMeter() *LoadMeter { return &LoadMeter{Alpha: 0.3} }
+
+// Arrival records one arriving request.
+func (m *LoadMeter) Arrival(r *rpcproto.Request) {
+	m.winCount++
+	// Service-time EWMA, per request (weight decays slowly so rare long
+	// requests register without dominating).
+	s := r.Service.Seconds()
+	if m.svcWeight == 0 {
+		m.meanSvc = s
+		m.svcWeight = 1
+	} else {
+		const a = 0.01
+		m.meanSvc = (1-a)*m.meanSvc + a*s
+	}
+}
+
+// Tick closes the current measurement window at now and folds its rate
+// into the EWMA. Called once per runtime period.
+func (m *LoadMeter) Tick(now sim.Time) {
+	dt := (now - m.winStart).Seconds()
+	if dt <= 0 {
+		return
+	}
+	instant := float64(m.winCount) / dt
+	if !m.haveWindow {
+		m.rate = instant
+		m.haveWindow = true
+	} else {
+		m.rate = (1-m.Alpha)*m.rate + m.Alpha*instant
+	}
+	m.winStart = now
+	m.winCount = 0
+}
+
+// Rate returns the smoothed arrival rate in requests/second.
+func (m *LoadMeter) Rate() float64 { return m.rate }
+
+// MeanService returns the smoothed mean service time in seconds.
+func (m *LoadMeter) MeanService() float64 { return m.meanSvc }
+
+// OfferedPerGroup returns the offered load per group in Erlangs:
+// (rate/groups) × E[S]. This is the A fed to Erlang-C with k =
+// workers-per-group.
+func (m *LoadMeter) OfferedPerGroup(groups int) float64 {
+	if groups <= 0 {
+		return 0
+	}
+	return m.rate / float64(groups) * m.meanSvc
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/fabric"
+	"repro/internal/nic"
+	"repro/internal/rpcproto"
+	"repro/internal/sim"
+)
+
+// TestNACKPathConservation drives the hardware messaging into its
+// rejection paths (1-entry receive FIFOs, tiny MR files) under heavy
+// skew and verifies that no request is ever lost or duplicated, and that
+// the NACK/abort counters actually fire.
+func TestNACKPathConservation(t *testing.T) {
+	p := DefaultParams(4, 2)
+	p.Period = 50 * sim.Nanosecond
+	p.Bulk = 8
+	p.Concurrency = 2
+	p.FIFOCapacity = 4
+	p.MRCapacity = 4
+	p.DisableGuard = true // force migrations even when unprofitable
+
+	eng := sim.NewEngine()
+	steer := nic.NewSteerer(nic.SteerConnection, 4, nil)
+	completed := map[uint64]int{}
+	nDone := 0
+	s, err := New(eng, p, fabricDefault(), steer, func(r *rpcproto.Request) {
+		completed[r.ID]++
+		nDone++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 15000
+	arr := sim.NewRNG(31)
+	svcRNG := sim.NewRNG(32)
+	var at sim.Time
+	for i := 0; i < n; i++ {
+		at += dist.Poisson{Rate: 7e6}.NextGap(arr)
+		r := &rpcproto.Request{
+			ID: uint64(i), Conn: uint32(i % 3), // 3 conns -> at most 3 of 8 queues
+			Arrival: at, Service: dist.Exponential{M: sim.Microsecond}.Sample(svcRNG),
+		}
+		tAt := at
+		eng.At(tAt, func() { s.Deliver(r) })
+	}
+	for nDone < n && eng.Now() < 100*sim.Millisecond {
+		eng.Run(eng.Now() + sim.Millisecond)
+	}
+	s.Stop()
+
+	if nDone != n {
+		t.Fatalf("completed %d of %d", nDone, n)
+	}
+	for id, c := range completed {
+		if c != 1 {
+			t.Fatalf("request %d completed %d times", id, c)
+		}
+	}
+	st := s.Stats
+	if st.Migrations == 0 {
+		t.Fatal("no migrations under forced skew")
+	}
+	if st.NackedBatches == 0 && st.MRFullAborts == 0 && st.FIFOFull == 0 {
+		t.Fatalf("tiny buffers never rejected anything: %+v", st)
+	}
+	t.Logf("stats: %+v", st)
+}
+
+// fabricDefault avoids importing fabric at every call site in tests.
+func fabricDefault() fabric.CostModel { return fabric.Default() }

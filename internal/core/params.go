@@ -1,0 +1,151 @@
+// Package core implements the paper's primary contribution: the
+// ALTOCUMULUS scheduler — a decentralized two-tier runtime (global
+// d-FCFS across manager-led groups, local c-FCFS within a group) that
+// proactively migrates predicted-SLO-violating RPCs between manager
+// tiles using the hardware messaging mechanism of internal/hwmsg over
+// the NoC of internal/topo (§III–§VI).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+// LocalDispatch selects how a manager hands requests to its workers.
+type LocalDispatch int
+
+const (
+	// DispatchHardware is the ACint configuration: a hardware-terminated
+	// integrated NIC pushes requests to workers at LLC speed without
+	// occupying the manager core.
+	DispatchHardware LocalDispatch = iota
+	// DispatchSoftware is the ACrss configuration: the manager core
+	// dispatches through the cache-coherence protocol (70 cycles per
+	// message), serializing on the manager — its throughput ceiling is
+	// ~28 MRPS at 2 GHz, as the paper notes.
+	DispatchSoftware
+)
+
+func (d LocalDispatch) String() string {
+	if d == DispatchSoftware {
+		return "software"
+	}
+	return "hardware"
+}
+
+// SelectPolicy chooses which queued requests a MIGRATE carries — one of
+// the "wide range of new scheduling policies" §XI says the software
+// runtime can host without hardware changes.
+type SelectPolicy int
+
+const (
+	// SelectTail migrates from the NetRX tail: the deepest-queued
+	// requests, i.e. the predicted violators (the paper's policy).
+	SelectTail SelectPolicy = iota
+	// SelectHead migrates from the head: the oldest requests, which are
+	// closest to their deadlines but also closest to being served —
+	// included as a counterpoint policy for ablation.
+	SelectHead
+)
+
+func (p SelectPolicy) String() string {
+	if p == SelectHead {
+		return "head"
+	}
+	return "tail"
+}
+
+// Params configures an ALTOCUMULUS scheduler. §III-A lists the system
+// parameters (Concurrency, Period, Bulk); the rest describe the machine
+// and enable the ablations DESIGN.md calls out.
+type Params struct {
+	Groups          int // number of manager cores (N)
+	WorkersPerGroup int // worker cores per group (k)
+
+	Period      sim.Time // interval between migration decisions (P)
+	Bulk        int      // max requests batched per migration
+	Concurrency int      // concurrent flows per migration
+
+	MRCapacity   int // migration-register slots per manager tile
+	FIFOCapacity int // send/receive FIFO descriptor entries (paper: 16)
+	WorkerDepth  int // max outstanding requests per worker (1 = dispatch to idle only)
+
+	SLOMultiplier float64 // L: SLO = L x mean service time
+
+	Iface  fabric.Interface // ISA vs MSR software/hardware interface
+	Local  LocalDispatch    // ACint vs ACrss local dispatch
+	Select SelectPolicy     // which queued requests MIGRATEs carry
+
+	// Ablation switches.
+	SoftwareMessaging bool // case study 1: no hardware mechanism; UPDATE/MIGRATE travel via shared caches
+	DisableMigration  bool // runtime ticks but never migrates (baseline replay)
+	DisablePatterns   bool // threshold-only prediction, no Hill/Valley/Pairing
+	DisableGuard      bool // drop Algorithm 1 line 8's q[j]-S < q[dst]+S check
+	AllowRemigration  bool // lift the migrate-at-most-once restriction
+	NaiveThreshold    bool // predict with T = k*L+1 instead of the Erlang-C model (§IV's naive baseline)
+}
+
+// DefaultParams returns the configuration the paper found robust for
+// synthetic traffic (§VIII-C): Period 200 ns, Bulk 16, Concurrency 8.
+func DefaultParams(groups, workersPerGroup int) Params {
+	return Params{
+		Groups:          groups,
+		WorkersPerGroup: workersPerGroup,
+		Period:          200 * sim.Nanosecond,
+		Bulk:            16,
+		Concurrency:     8,
+		MRCapacity:      64,
+		FIFOCapacity:    16,
+		WorkerDepth:     1,
+		SLOMultiplier:   10,
+		Iface:           fabric.InterfaceISA,
+		Local:           DispatchHardware,
+	}
+}
+
+// Validate reports configuration errors.
+func (p Params) Validate() error {
+	switch {
+	case p.Groups < 1:
+		return fmt.Errorf("core: Groups = %d, need >= 1", p.Groups)
+	case p.WorkersPerGroup < 1:
+		return fmt.Errorf("core: WorkersPerGroup = %d, need >= 1", p.WorkersPerGroup)
+	case p.Period <= 0:
+		return fmt.Errorf("core: Period = %v, need > 0", p.Period)
+	case p.Bulk < 1:
+		return fmt.Errorf("core: Bulk = %d, need >= 1", p.Bulk)
+	case p.Concurrency < 1:
+		return fmt.Errorf("core: Concurrency = %d, need >= 1", p.Concurrency)
+	case p.MRCapacity < 1 || p.FIFOCapacity < 1:
+		return fmt.Errorf("core: MR/FIFO capacities must be >= 1")
+	case p.WorkerDepth < 1:
+		return fmt.Errorf("core: WorkerDepth = %d, need >= 1", p.WorkerDepth)
+	case p.SLOMultiplier <= 0:
+		return fmt.Errorf("core: SLOMultiplier = %v, need > 0", p.SLOMultiplier)
+	}
+	return nil
+}
+
+// TotalCores returns the core count including managers.
+func (p Params) TotalCores() int { return p.Groups * (p.WorkersPerGroup + 1) }
+
+// Stats counts runtime and messaging activity for the effectiveness and
+// overhead analyses (Fig. 11, Fig. 12).
+type Stats struct {
+	Ticks         uint64 // runtime periods executed (across managers)
+	UpdatesSent   uint64 // UPDATE messages injected
+	Migrations    uint64 // MIGRATE messages injected
+	MigratedReqs  uint64 // requests that changed group
+	NackedBatches uint64 // MIGRATE rejected at destination
+	NackedReqs    uint64 // requests bounced back by NACK
+	MRFullAborts  uint64 // migrations aborted: MR staging full
+	FIFOFull      uint64 // migrations aborted: send FIFO full
+	GuardSkips    uint64 // destinations skipped by Algorithm 1 line 8
+	PredictedReqs uint64 // requests marked as predicted SLO violators
+	HillEvents    uint64
+	ValleyEvents  uint64
+	PairingEvents uint64
+	ThresholdEvts uint64 // threshold-exceeded trigger events
+}

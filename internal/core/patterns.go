@@ -1,0 +1,126 @@
+package core
+
+// Pattern is the queue-length-vector classification of §VI.
+type Pattern int
+
+const (
+	// PatternNone: no imbalance pattern detected.
+	PatternNone Pattern = iota
+	// PatternHill: one queue towers over the rest; its owner fans work
+	// out to the shortest queues.
+	PatternHill
+	// PatternValley: one queue is far below the rest; every other
+	// manager sends one MIGRATE toward it.
+	PatternValley
+	// PatternPairing: a gradual imbalance; the i-th longest queue pairs
+	// with the i-th shortest.
+	PatternPairing
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case PatternHill:
+		return "hill"
+	case PatternValley:
+		return "valley"
+	case PatternPairing:
+		return "pairing"
+	default:
+		return "none"
+	}
+}
+
+// Classify runs the §VI pattern classification for manager `self` over
+// the synchronized queue-length vector. It returns the detected pattern
+// and the destination queue ids this manager should send MIGRATEs to
+// (empty when the pattern assigns this manager no role). bulk is the
+// imbalance threshold; conc caps the fan-out.
+//
+// The function is pure so that all managers, seeing the same vector,
+// reach consistent decisions — the property §VI relies on ("each
+// manager's pattern classification gives the same pattern result").
+func Classify(view []int, self, bulk, conc int) (Pattern, []int) {
+	n := len(view)
+	if n < 2 || self < 0 || self >= n {
+		return PatternNone, nil
+	}
+	if conc > n-1 {
+		conc = n - 1
+	}
+	if conc < 1 {
+		conc = 1
+	}
+	order := rankDescending(view)
+	longest, second := order[0], order[1]
+	shortest, secondShortest := order[n-1], order[n-2]
+
+	switch {
+	case view[longest] >= view[second]+bulk:
+		// Hill: only the peak's owner acts.
+		if self != longest {
+			return PatternHill, nil
+		}
+		dests := make([]int, 0, conc)
+		for i := n - 1; i >= 0 && len(dests) < conc; i-- {
+			if d := order[i]; d != self {
+				dests = append(dests, d)
+			}
+		}
+		return PatternHill, dests
+	case view[shortest]+bulk <= view[secondShortest]:
+		// Valley: everyone except the dip's owner sends one MIGRATE
+		// toward it.
+		if self == shortest {
+			return PatternValley, nil
+		}
+		return PatternValley, []int{shortest}
+	case view[longest]-view[shortest] >= bulk:
+		// Pairing: top-i longest pairs with i-th shortest, i < conc.
+		for i := 0; i < conc && i < n/2; i++ {
+			if order[i] != self {
+				continue
+			}
+			d := order[n-1-i]
+			if d != self && view[self] > view[d] {
+				return PatternPairing, []int{d}
+			}
+			return PatternPairing, nil
+		}
+		return PatternPairing, nil
+	}
+	return PatternNone, nil
+}
+
+// rankDescending returns queue indices ordered by length descending,
+// ties broken by lower index for cross-manager determinism.
+func rankDescending(view []int) []int {
+	n := len(view)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if view[b] > view[a] || (view[b] == view[a] && b < a) {
+				order[j-1], order[j] = order[j], order[j-1]
+			} else {
+				break
+			}
+		}
+	}
+	return order
+}
+
+// ShortestOthers returns up to k queue ids with the smallest lengths,
+// excluding self — the destination set for threshold-triggered sheds.
+func ShortestOthers(view []int, self, k int) []int {
+	order := rankDescending(view)
+	out := make([]int, 0, k)
+	for i := len(order) - 1; i >= 0 && len(out) < k; i-- {
+		if d := order[i]; d != self {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/nic"
+	"repro/internal/rpcproto"
+	"repro/internal/sim"
+)
+
+// TestUpdatePropagation verifies that UPDATE messages synchronize the
+// queue-length views across managers within a few periods, with NoC
+// latency.
+func TestUpdatePropagation(t *testing.T) {
+	eng := sim.NewEngine()
+	p := DefaultParams(4, 2)
+	p.Period = 100 * sim.Nanosecond
+	p.DisableMigration = true // keep queues as loaded
+	steer := nic.NewSteerer(nic.SteerDirect, 4, nil)
+	s, err := New(eng, p, fabric.Default(), steer, func(*rpcproto.Request) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load group 2 with a burst of slow requests so its NetRX backlog
+	// persists across ticks.
+	eng.At(0, func() {
+		for i := 0; i < 50; i++ {
+			s.Deliver(&rpcproto.Request{ID: uint64(i), Conn: 2,
+				Arrival: eng.Now(), Service: 100 * sim.Microsecond})
+		}
+	})
+	eng.Run(2 * sim.Microsecond) // ~20 periods
+	s.Stop()
+
+	// Every manager's view of group 2 should be large (backlog minus the
+	// 2 dispatched), and views of idle groups should be ~0.
+	for g := 0; g < 4; g++ {
+		view := s.GroupView(g)
+		if view[2] < 40 {
+			t.Fatalf("manager %d sees group 2 backlog as %d", g, view[2])
+		}
+		if view[1] != 0 {
+			t.Fatalf("manager %d sees phantom load in group 1: %d", g, view[1])
+		}
+	}
+}
+
+// TestMSRPeriodStretch verifies that when the configured period is
+// shorter than the runtime's own execution cost (MSR interface), the
+// effective tick rate stretches rather than monopolising the manager.
+func TestMSRPeriodStretch(t *testing.T) {
+	tickCount := func(iface fabric.Interface) uint64 {
+		eng := sim.NewEngine()
+		p := DefaultParams(4, 2)
+		p.Period = 50 * sim.Nanosecond // far below the MSR runtime cost
+		p.Iface = iface
+		steer := nic.NewSteerer(nic.SteerDirect, 4, nil)
+		s, err := New(eng, p, fabric.Default(), steer, func(*rpcproto.Request) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.At(0, func() {
+			s.Deliver(&rpcproto.Request{ID: 1, Conn: 0, Service: sim.Microsecond})
+		})
+		eng.Run(20 * sim.Microsecond)
+		s.Stop()
+		return s.Stats.Ticks
+	}
+	isa := tickCount(fabric.InterfaceISA)
+	msr := tickCount(fabric.InterfaceMSR)
+	if msr >= isa {
+		t.Fatalf("MSR ticks (%d) should be fewer than ISA ticks (%d)", msr, isa)
+	}
+	// MSR runtime cost = (4+2)*50ns + 18ns = 318ns -> effective period
+	// 636ns vs ISA's 50ns: roughly a 12x tick-rate gap.
+	if isa < 5*msr {
+		t.Fatalf("stretch too small: isa=%d msr=%d", isa, msr)
+	}
+}
+
+// TestSelectHeadMigratesOldest verifies the SelectHead extension policy
+// pulls from the queue head.
+func TestSelectHeadMigratesOldest(t *testing.T) {
+	for _, sel := range []SelectPolicy{SelectTail, SelectHead} {
+		eng := sim.NewEngine()
+		p := DefaultParams(2, 1)
+		p.Period = 100 * sim.Nanosecond
+		p.Bulk = 4
+		p.Concurrency = 1
+		p.Select = sel
+		p.DisableGuard = true
+		steer := nic.NewSteerer(nic.SteerDirect, 2, nil)
+		var migrated []uint64
+		nDone := 0
+		s, err := New(eng, p, fabric.Default(), steer, func(r *rpcproto.Request) {
+			nDone++
+			if r.Migrated {
+				migrated = append(migrated, r.ID)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pile 20 slow requests onto group 0; group 1 idle.
+		const n = 20
+		eng.At(0, func() {
+			for i := 0; i < n; i++ {
+				s.Deliver(&rpcproto.Request{ID: uint64(i), Conn: 0,
+					Arrival: eng.Now(), Service: 10 * sim.Microsecond})
+			}
+		})
+		// Allow only the first migration window, then freeze migrations so
+		// the selected batch is unambiguous.
+		eng.Run(150 * sim.Nanosecond) // one period
+		s.P.DisableMigration = true
+		for nDone < n && eng.Now() < 10*sim.Millisecond {
+			eng.Run(eng.Now() + sim.Millisecond)
+		}
+		s.Stop()
+		if nDone != n {
+			t.Fatalf("%v: done %d", sel, nDone)
+		}
+		if len(migrated) == 0 {
+			t.Fatalf("%v: nothing migrated", sel)
+		}
+		// Head selection must migrate an early ID before tail selection
+		// would: the head batch contains the oldest queued request not
+		// yet dispatched (ids 2+ after the two immediate dispatches).
+		minID := migrated[0]
+		for _, id := range migrated {
+			if id < minID {
+				minID = id
+			}
+		}
+		if sel == SelectHead && minID > 5 {
+			t.Fatalf("head selection migrated only late ids (min %d)", minID)
+		}
+		if sel == SelectTail && minID < 12 {
+			t.Fatalf("tail selection migrated early ids (min %d)", minID)
+		}
+	}
+	if SelectTail.String() != "tail" || SelectHead.String() != "head" {
+		t.Fatal("stringer")
+	}
+}

@@ -1,0 +1,469 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/fabric"
+	"repro/internal/hwmsg"
+	"repro/internal/nic"
+	"repro/internal/queueing"
+	"repro/internal/rpcproto"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// group is one manager core plus its worker cores (Fig. 5/6: a manager
+// tile with MRs, PRs, FIFOs, migrator and controller, owning one NetRX
+// queue).
+type group struct {
+	id      int
+	tile    int // manager tile on the mesh
+	workers []*exec.Core
+	claimed []int // in-flight dispatches per worker
+	local   []exec.Deque
+	netrx   exec.Deque
+	view    []int // synchronized queue-length vector q (via UPDATE)
+
+	mr   *hwmsg.MRFile
+	send *hwmsg.FIFO
+	recv *hwmsg.FIFO
+	pr   hwmsg.ParamRegs
+
+	mgrFree sim.Time // manager-core busy-until (runtime ops + software dispatch)
+}
+
+// Scheduler is the ALTOCUMULUS runtime: Algorithm 1 running on every
+// manager core, on top of the hardware messaging mechanism.
+type Scheduler struct {
+	P     Params
+	Cost  fabric.CostModel
+	Model *queueing.ThresholdModel
+	Meter *LoadMeter
+
+	eng    *sim.Engine
+	noc    *topo.NoC
+	steer  *nic.Steerer
+	groups []*group
+	done   sched.Done
+	obs    sched.Observer
+
+	Stats   Stats
+	ticking bool
+	stopped bool
+}
+
+// New builds an ALTOCUMULUS scheduler. steer distributes arrivals across
+// the groups' NetRX queues (global d-FCFS); done fires at each request
+// completion.
+func New(eng *sim.Engine, p Params, cost fabric.CostModel, steer *nic.Steerer, done sched.Done) (*Scheduler, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if steer.N != p.Groups {
+		return nil, fmt.Errorf("core: steerer covers %d queues, want %d groups", steer.N, p.Groups)
+	}
+	mesh := topo.NewMesh(p.TotalCores())
+	s := &Scheduler{
+		P:     p,
+		Cost:  cost,
+		Model: queueing.NewThresholdModel(p.WorkersPerGroup, p.SLOMultiplier),
+		Meter: NewLoadMeter(),
+		eng:   eng,
+		noc:   topo.NewNoC(mesh),
+		steer: steer,
+		done:  done,
+		obs:   sched.NopObserver{},
+	}
+	tilesPerGroup := p.WorkersPerGroup + 1
+	for gid := 0; gid < p.Groups; gid++ {
+		g := &group{
+			id:      gid,
+			tile:    gid * tilesPerGroup, // manager occupies the group's first tile
+			workers: make([]*exec.Core, p.WorkersPerGroup),
+			claimed: make([]int, p.WorkersPerGroup),
+			local:   make([]exec.Deque, p.WorkersPerGroup),
+			view:    make([]int, p.Groups),
+			mr:      hwmsg.NewMRFile(p.MRCapacity),
+			send:    hwmsg.NewFIFO(p.FIFOCapacity),
+			recv:    hwmsg.NewFIFO(p.FIFOCapacity),
+		}
+		g.pr.Configure(p.Period, p.Bulk, p.Concurrency)
+		for w := 0; w < p.WorkersPerGroup; w++ {
+			tile := g.tile + 1 + w
+			g.workers[w] = exec.NewCore(eng, gid*p.WorkersPerGroup+w, tile)
+		}
+		s.groups = append(s.groups, g)
+	}
+	return s, nil
+}
+
+// SetObserver installs instrumentation.
+func (s *Scheduler) SetObserver(o sched.Observer) { s.obs = o }
+
+// Name implements sched.Scheduler.
+func (s *Scheduler) Name() string {
+	return fmt.Sprintf("altocumulus-%s-%s", s.P.Local, s.P.Iface)
+}
+
+// Deliver implements sched.Scheduler.
+func (s *Scheduler) Deliver(r *rpcproto.Request) {
+	s.startTicks()
+	g := s.groups[s.steer.Steer(r)]
+	r.GroupHint = g.id
+	s.Meter.Arrival(r)
+	s.obs.OnEnqueue(r, g.id, g.netrx.Len())
+	r.Enq = s.eng.Now()
+	g.netrx.PushTail(r)
+	s.dispatch(g)
+}
+
+// Stop halts the periodic runtime (used by harnesses once the workload
+// has drained, so the event queue can empty).
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// QueueLens implements sched.Scheduler: the per-group NetRX lengths.
+func (s *Scheduler) QueueLens() []int {
+	out := make([]int, len(s.groups))
+	for i, g := range s.groups {
+		out[i] = g.netrx.Len()
+	}
+	return out
+}
+
+// Cores returns every worker core (managers excluded: they do not serve
+// RPCs) for utilisation reporting.
+func (s *Scheduler) Cores() []*exec.Core {
+	out := make([]*exec.Core, 0, s.P.Groups*s.P.WorkersPerGroup)
+	for _, g := range s.groups {
+		out = append(out, g.workers...)
+	}
+	return out
+}
+
+// GroupView returns group gid's synchronized queue-length vector
+// (instrumentation for the Fig. 9 snapshot analysis).
+func (s *Scheduler) GroupView(gid int) []int {
+	out := make([]int, len(s.groups[gid].view))
+	copy(out, s.groups[gid].view)
+	return out
+}
+
+// dispatch hands NetRX heads to workers below their depth bound. ACint
+// pushes in hardware at LLC speed; ACrss serializes each handoff on the
+// manager core through the coherence protocol.
+func (s *Scheduler) dispatch(g *group) {
+	for g.netrx.Len() > 0 {
+		w := s.freeWorker(g)
+		if w < 0 {
+			return
+		}
+		r := g.netrx.PopHead()
+		g.claimed[w]++
+		var delay sim.Time
+		switch s.P.Local {
+		case DispatchSoftware:
+			now := s.eng.Now()
+			start := now
+			if g.mgrFree > start {
+				start = g.mgrFree
+			}
+			g.mgrFree = start + s.Cost.CoherenceMsg
+			delay = (start - now) + s.Cost.CoherenceMsg
+		default:
+			// ACint: the integrated hardware pushes descriptors at
+			// register speed (§X: ALTOCUMULUS inherits nanoPU's direct
+			// register messaging for message transfer).
+			delay = s.Cost.RegisterXfer
+		}
+		s.eng.After(delay, func() {
+			g.claimed[w]--
+			g.local[w].PushTail(r)
+			s.tryStart(g, w)
+		})
+	}
+}
+
+// freeWorker returns the least-loaded worker with outstanding count
+// (running + local queue + in-flight dispatches) below WorkerDepth.
+func (s *Scheduler) freeWorker(g *group) int {
+	best, bestN := -1, s.P.WorkerDepth
+	for w := range g.workers {
+		n := g.claimed[w] + g.local[w].Len()
+		if g.workers[w].Busy() {
+			n++
+		}
+		if n < bestN {
+			best, bestN = w, n
+		}
+	}
+	return best
+}
+
+func (s *Scheduler) tryStart(g *group, w int) {
+	if g.workers[w].Busy() || g.local[w].Len() == 0 {
+		return
+	}
+	r := g.local[w].PopHead()
+	g.workers[w].Start(r, 0, func(r *rpcproto.Request) {
+		s.done(r)
+		s.tryStart(g, w)
+		s.dispatch(g)
+	}, nil)
+}
+
+// msgSend computes the injection-complete and arrival delays of one
+// runtime message. With the hardware mechanism, messages ride the NoC at
+// 3 ns/hop with link serialization; under the SoftwareMessaging ablation
+// (case study 1's runtime-only configuration) every message is a
+// shared-cache exchange — two to three cache-line transfers — and also
+// occupies the sending manager core.
+func (s *Scheduler) msgSend(g *group, dstTile, size int) (injectDone, arrive sim.Time) {
+	if !s.P.SoftwareMessaging {
+		return s.noc.Send(s.eng.Now(), g.tile, dstTile, size)
+	}
+	now := s.eng.Now()
+	if g.mgrFree < now {
+		g.mgrFree = now
+	}
+	g.mgrFree += s.Cost.CacheMiss
+	d := 3 * s.Cost.CacheMiss
+	return (g.mgrFree - now), (g.mgrFree - now) + d
+}
+
+// startTicks begins the periodic runtime on every manager core on first
+// delivery.
+func (s *Scheduler) startTicks() {
+	if s.ticking || s.stopped {
+		return
+	}
+	s.ticking = true
+	for _, g := range s.groups {
+		g := g
+		s.eng.After(s.P.Period, func() { s.tick(g) })
+	}
+}
+
+// tick is one iteration of Algorithm 1 on manager g.
+func (s *Scheduler) tick(g *group) {
+	if s.stopped {
+		return
+	}
+	s.Stats.Ticks++
+
+	// Close the measurement window once per period (first manager only).
+	if g.id == 0 {
+		s.Meter.Tick(s.eng.Now())
+	}
+
+	// Charge the runtime's software/hardware interface cost on the
+	// manager core: one register read per remote queue length, a status
+	// read, a config write, plus the threshold computation.
+	ops := s.P.Groups + 2
+	runtimeCost := sim.Time(ops)*s.Cost.InterfaceOp(s.P.Iface) + s.Cost.PredictCost()
+	now := s.eng.Now()
+	if g.mgrFree < now {
+		g.mgrFree = now
+	}
+	g.mgrFree += runtimeCost
+
+	// Schedule the next iteration. A software runtime cannot iterate
+	// faster than its own execution; when the configured period is
+	// shorter than the runtime cost (e.g. MSR ops at a 100 ns period) the
+	// effective period stretches, capping the runtime's manager-core duty
+	// cycle at 50% so request dispatch is never starved.
+	next := g.pr.Period
+	if min := 2 * runtimeCost; next < min {
+		next = min
+	}
+	s.eng.After(next, func() { s.tick(g) })
+
+	// Refresh own view entry and broadcast UPDATE to the other managers.
+	qlen := g.netrx.Len()
+	g.view[g.id] = qlen
+	for _, h := range s.groups {
+		if h.id == g.id {
+			continue
+		}
+		h := h
+		_, arrive := s.msgSend(g, h.tile, hwmsg.UpdateWireSize)
+		s.Stats.UpdatesSent++
+		s.eng.At(now+arrive, func() { h.view[g.id] = qlen })
+	}
+
+	// Threshold from the analytical model under the measured load (or
+	// the naive k*L+1 bound under the NaiveThreshold ablation).
+	t := s.Model.Threshold(s.Meter.OfferedPerGroup(s.P.Groups))
+	if s.P.NaiveThreshold {
+		t = s.Model.UpperBound()
+	}
+	g.pr.Threshold = t
+
+	// Mark predicted SLO violators: every request queued beyond T.
+	if qlen > t {
+		for i := t; i < qlen; i++ {
+			r := g.netrx.At(i)
+			if !r.Predicted {
+				r.Predicted = true
+				s.Stats.PredictedReqs++
+			}
+		}
+	}
+
+	if s.P.DisableMigration || s.P.Groups < 2 {
+		return
+	}
+	dests := s.decide(g, t, qlen)
+	for _, d := range dests {
+		s.sendMigrate(g, s.groups[d], g.pr.BatchSize())
+	}
+}
+
+// decide implements predict(): returns the migration destination queue
+// ids per the threshold condition and the Hill/Valley/Pairing pattern
+// classification of §VI.
+func (s *Scheduler) decide(g *group, t, qlen int) []int {
+	view := g.view
+	view[g.id] = qlen
+	conc := g.pr.Concurrency
+	if conc > len(s.groups)-1 {
+		conc = len(s.groups) - 1
+	}
+
+	// A pattern that assigns this manager a role takes precedence over
+	// the bare threshold trigger (predict() returns on either condition).
+	if !s.P.DisablePatterns {
+		pattern, dests := Classify(view, g.id, g.pr.Bulk, conc)
+		if len(dests) > 0 {
+			switch pattern {
+			case PatternHill:
+				s.Stats.HillEvents++
+			case PatternValley:
+				s.Stats.ValleyEvents++
+			case PatternPairing:
+				s.Stats.PairingEvents++
+			}
+			return dests
+		}
+	}
+
+	// Threshold condition: local queue beyond T sheds to the shortest
+	// queues.
+	if qlen > t {
+		s.Stats.ThresholdEvts++
+		return ShortestOthers(view, g.id, conc)
+	}
+	return nil
+}
+
+// sendMigrate builds and injects one MIGRATE of up to batch requests from
+// g's NetRX tail toward dst (§V-A message walk-through).
+func (s *Scheduler) sendMigrate(g, dst *group, batch int) {
+	if dst.id == g.id {
+		return
+	}
+	// Algorithm 1 line 8: forbid migrations that would leave the
+	// destination no better off.
+	if !s.P.DisableGuard {
+		if g.netrx.Len()-batch < g.view[dst.id]+batch {
+			s.Stats.GuardSkips++
+			return
+		}
+	}
+	// Collect migratable requests. The paper's policy takes them from
+	// the tail (deepest-queued: the predicted violators); SelectHead is
+	// the ablation counterpoint. The migrate-once restriction stops
+	// collection at the first already-migrated candidate.
+	reqs := make([]*rpcproto.Request, 0, batch)
+	for len(reqs) < batch {
+		var r *rpcproto.Request
+		if s.P.Select == SelectHead {
+			r = g.netrx.PeekHead()
+		} else {
+			r = g.netrx.PeekTail()
+		}
+		if r == nil || (r.Migrated && !s.P.AllowRemigration) {
+			break
+		}
+		if s.P.Select == SelectHead {
+			reqs = append(reqs, g.netrx.PopHead())
+		} else {
+			reqs = append(reqs, g.netrx.PopTail())
+		}
+	}
+	if len(reqs) == 0 {
+		return
+	}
+	putBack := func() {
+		// Return the requests to the tail; exact original positions are
+		// not recoverable for head-selected batches, and the hardware
+		// would re-enqueue at the tail regardless.
+		for i := len(reqs) - 1; i >= 0; i-- {
+			g.netrx.PushTail(reqs[i])
+		}
+	}
+	descs := make([]rpcproto.Descriptor, len(reqs))
+	for i, r := range reqs {
+		descs[i] = rpcproto.DescriptorFor(r)
+	}
+	if err := g.mr.Stage(descs); err != nil {
+		s.Stats.MRFullAborts++
+		putBack()
+		return
+	}
+	m := &hwmsg.Migrate{SrcMid: g.id, DstMid: dst.id, Descs: descs, Reqs: reqs}
+	if err := g.send.Push(m); err != nil {
+		s.Stats.FIFOFull++
+		g.mr.Invalidate(len(descs))
+		putBack()
+		return
+	}
+	s.Stats.Migrations++
+	now := s.eng.Now()
+	injectDone, arrive := s.msgSend(g, dst.tile, m.WireSize())
+	// The send-FIFO entry frees once the migrator has injected the batch
+	// into the NoC.
+	s.eng.At(now+injectDone, func() { g.send.Pop() })
+	s.eng.At(now+arrive, func() { s.receiveMigrate(g, dst, m) })
+}
+
+// receiveMigrate is the destination controller's path: validate, admit
+// into the receive FIFO or NACK, drain into the NetRX tail, ACK.
+func (s *Scheduler) receiveMigrate(src, dst *group, m *hwmsg.Migrate) {
+	now := s.eng.Now()
+	if err := dst.recv.Push(m); err != nil {
+		// Destination full: NACK. The source does not replay; the
+		// requests return to the source NetRX tail when the NACK lands
+		// (they logically never left the source MRs).
+		s.Stats.NackedBatches++
+		s.Stats.NackedReqs += uint64(len(m.Reqs))
+		_, backAt := s.msgSend(dst, src.tile, hwmsg.AckWireSize)
+		s.eng.At(now+backAt, func() {
+			src.mr.Invalidate(len(m.Descs))
+			for _, r := range m.Reqs {
+				src.netrx.PushTail(r)
+			}
+			s.dispatch(src)
+		})
+		return
+	}
+	// Migrator drains the receive FIFO into the NetRX: one register move
+	// per descriptor.
+	drain := sim.Time(len(m.Descs)) * sim.Nanosecond
+	s.eng.After(drain, func() {
+		dst.recv.Pop()
+		for _, r := range m.Reqs {
+			r.Migrated = true
+			r.Enq = s.eng.Now()
+			dst.netrx.PushTail(r)
+		}
+		s.Stats.MigratedReqs += uint64(len(m.Reqs))
+		s.dispatch(dst)
+	})
+	// ACK back to the source, which then invalidates its MR entries.
+	_, ackAt := s.msgSend(dst, src.tile, hwmsg.AckWireSize)
+	s.eng.At(now+ackAt, func() { src.mr.Invalidate(len(m.Descs)) })
+}
+
+var _ sched.Scheduler = (*Scheduler)(nil)

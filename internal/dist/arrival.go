@@ -1,0 +1,163 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// ArrivalProcess generates request inter-arrival gaps. Rate changes (for
+// modulated processes) are internal; callers just pull the next gap.
+type ArrivalProcess interface {
+	// NextGap returns the time until the next arrival.
+	NextGap(r *sim.RNG) sim.Time
+	// MeanRate returns the long-run arrival rate in requests/second.
+	MeanRate() float64
+	// Name identifies the process in reports.
+	Name() string
+}
+
+// Poisson is a homogeneous Poisson arrival process with the given rate in
+// requests/second — the synthetic load generator of §VII.
+type Poisson struct{ Rate float64 }
+
+func (p Poisson) NextGap(r *sim.RNG) sim.Time {
+	if p.Rate <= 0 {
+		return sim.Second // effectively idle
+	}
+	return sim.FromSeconds(r.Exp(1 / p.Rate))
+}
+func (p Poisson) MeanRate() float64 { return p.Rate }
+func (p Poisson) Name() string      { return fmt.Sprintf("poisson(%.3gMRPS)", p.Rate/1e6) }
+
+// MMPP is a Markov-modulated Poisson process that stands in for the
+// "real-world traffic pattern" of the paper (a regression model trained on
+// public-cloud arrivals [9], which captures burstiness and temporal
+// correlation that plain Poisson lacks). The process cycles through
+// phases; each phase p has rate BaseRate*Mult[p] and an exponentially
+// distributed dwell time with mean Dwell. Phase transitions follow a
+// cyclic random walk (stay/advance/jump), giving both short bursts and
+// slow diurnal-like drift.
+type MMPP struct {
+	BaseRate float64   // requests/second at multiplier 1.0
+	Mult     []float64 // per-phase rate multipliers
+	Dwell    sim.Time  // mean phase dwell time
+	PJump    float64   // probability a transition jumps to a random phase
+	phase    int
+	left     sim.Time // time left in current phase
+}
+
+// NewCloudMMPP returns an MMPP with multipliers resembling measured cloud
+// traffic: a heavy normal phase, a quiet phase and occasional 2-3x bursts.
+// meanRate is the long-run average rate in requests/second.
+func NewCloudMMPP(meanRate float64) *MMPP {
+	mult := []float64{0.55, 0.85, 1.0, 1.25, 2.2, 3.0}
+	var avg float64
+	for _, m := range mult {
+		avg += m
+	}
+	avg /= float64(len(mult))
+	return &MMPP{
+		BaseRate: meanRate / avg,
+		Mult:     mult,
+		Dwell:    200 * sim.Microsecond,
+		PJump:    0.25,
+	}
+}
+
+func (m *MMPP) rate() float64 { return m.BaseRate * m.Mult[m.phase] }
+
+func (m *MMPP) NextGap(r *sim.RNG) sim.Time {
+	var total sim.Time
+	for {
+		if m.left <= 0 {
+			m.advance(r)
+		}
+		rate := m.rate()
+		if rate <= 0 {
+			total += m.left
+			m.left = 0
+			continue
+		}
+		gap := sim.FromSeconds(r.Exp(1 / rate))
+		if gap <= m.left {
+			m.left -= gap
+			return total + gap
+		}
+		// Phase expires before the tentative arrival: consume the phase
+		// and redraw in the next phase (memorylessness makes this exact).
+		total += m.left
+		m.left = 0
+	}
+}
+
+func (m *MMPP) advance(r *sim.RNG) {
+	if r.Bernoulli(m.PJump) {
+		m.phase = r.Intn(len(m.Mult))
+	} else {
+		m.phase = (m.phase + 1) % len(m.Mult)
+	}
+	m.left = sim.Time(r.Exp(float64(m.Dwell)))
+	if m.left <= 0 {
+		m.left = sim.Nanosecond
+	}
+}
+
+func (m *MMPP) MeanRate() float64 {
+	var avg float64
+	for _, mm := range m.Mult {
+		avg += mm
+	}
+	return m.BaseRate * avg / float64(len(m.Mult))
+}
+
+func (m *MMPP) Name() string {
+	return fmt.Sprintf("mmpp(%.3gMRPS,%dphases)", m.MeanRate()/1e6, len(m.Mult))
+}
+
+// BurstinessIndex estimates the index of dispersion of counts (variance
+// over mean of per-window arrival counts) by simulation. Poisson ≈ 1;
+// bursty processes > 1. Used by tests to verify the MMPP really is
+// burstier than Poisson.
+func BurstinessIndex(a ArrivalProcess, r *sim.RNG, window sim.Time, windows int) float64 {
+	counts := make([]float64, windows)
+	var t sim.Time
+	w := 0
+	for w < windows {
+		gap := a.NextGap(r)
+		t += gap
+		for t >= window {
+			t -= window
+			w++
+			if w >= windows {
+				break
+			}
+		}
+		if w < windows {
+			counts[w]++
+		}
+	}
+	var sum, sumsq float64
+	for _, c := range counts {
+		sum += c
+		sumsq += c * c
+	}
+	mean := sum / float64(windows)
+	if mean == 0 {
+		return 0
+	}
+	variance := sumsq/float64(windows) - mean*mean
+	return variance / mean
+}
+
+// LoadForRate converts an offered load (utilisation fraction against k
+// cores of a service distribution) into an arrival rate in req/s:
+// rate = load * k / E[S].
+func LoadForRate(load float64, k int, svc ServiceDist) float64 {
+	meanSec := svc.Mean().Seconds()
+	if meanSec <= 0 {
+		return math.Inf(1)
+	}
+	return load * float64(k) / meanSec
+}

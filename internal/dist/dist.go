@@ -1,0 +1,158 @@
+// Package dist provides the request service-time distributions and arrival
+// processes used throughout the evaluation.
+//
+// Service-time distributions follow §IV/§VII of the paper: Fixed, Uniform
+// and Bi-modal (the three used in Fig. 7), the extreme Shinjuku bimodal
+// (99.5 % × 0.5 µs, 0.5 % × 500 µs) used in Fig. 10, the GET/SET+SCAN mix
+// of Fig. 14, and Exponential for the queueing-theory experiments.
+//
+// Arrival processes: Poisson (§VII "Load generator") and a
+// Markov-modulated Poisson process standing in for the public-cloud
+// regression model of Bergsma et al. [9] — see DESIGN.md for the
+// substitution rationale.
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// ServiceDist draws per-request service times.
+type ServiceDist interface {
+	// Sample returns the on-CPU service time of one request.
+	Sample(r *sim.RNG) sim.Time
+	// Mean returns the distribution's analytical mean.
+	Mean() sim.Time
+	// Name identifies the distribution in reports.
+	Name() string
+}
+
+// Fixed is a deterministic service time (the "Fixed" pattern of Fig. 7 and
+// the 850 ns eRPC workload of Fig. 13a).
+type Fixed struct{ V sim.Time }
+
+func (f Fixed) Sample(*sim.RNG) sim.Time { return f.V }
+func (f Fixed) Mean() sim.Time           { return f.V }
+func (f Fixed) Name() string             { return fmt.Sprintf("fixed(%v)", f.V) }
+
+// Uniform draws uniformly in [Lo, Hi].
+type Uniform struct{ Lo, Hi sim.Time }
+
+func (u Uniform) Sample(r *sim.RNG) sim.Time {
+	if u.Hi <= u.Lo {
+		return u.Lo
+	}
+	return u.Lo + sim.Time(r.Float64()*float64(u.Hi-u.Lo))
+}
+func (u Uniform) Mean() sim.Time { return (u.Lo + u.Hi) / 2 }
+func (u Uniform) Name() string   { return fmt.Sprintf("uniform(%v,%v)", u.Lo, u.Hi) }
+
+// Exponential has the given mean (M/M/k analyses, Fig. 3).
+type Exponential struct{ M sim.Time }
+
+func (e Exponential) Sample(r *sim.RNG) sim.Time {
+	return sim.Time(r.Exp(float64(e.M)))
+}
+func (e Exponential) Mean() sim.Time { return e.M }
+func (e Exponential) Name() string   { return fmt.Sprintf("exp(%v)", e.M) }
+
+// Bimodal draws Short with probability 1-PLong and Long with PLong.
+// Fig. 10 uses Short=0.5 µs, Long=500 µs, PLong=0.005 (Shinjuku's
+// high-dispersion mix); Fig. 7(c) uses a milder mix.
+type Bimodal struct {
+	Short, Long sim.Time
+	PLong       float64
+}
+
+func (b Bimodal) Sample(r *sim.RNG) sim.Time {
+	if r.Bernoulli(b.PLong) {
+		return b.Long
+	}
+	return b.Short
+}
+
+func (b Bimodal) Mean() sim.Time {
+	return sim.Time(float64(b.Short)*(1-b.PLong) + float64(b.Long)*b.PLong)
+}
+func (b Bimodal) Name() string {
+	return fmt.Sprintf("bimodal(%v/%v,p=%g)", b.Short, b.Long, b.PLong)
+}
+
+// Mix composes weighted component distributions; weights need not be
+// normalised. It models e.g. Fig. 14's 99.5 % GET/SET + 0.5 % SCAN blend
+// where each component itself has spread.
+type Mix struct {
+	Components []ServiceDist
+	Weights    []float64
+	label      string
+	cum        []float64
+	total      float64
+}
+
+// NewMix builds a mixture. It panics if the lengths differ or no
+// components are given — a mixture is always constructed from literals in
+// experiment definitions, so misuse is a programming error.
+func NewMix(label string, comps []ServiceDist, weights []float64) *Mix {
+	if len(comps) == 0 || len(comps) != len(weights) {
+		panic("dist: NewMix requires matching non-empty components and weights")
+	}
+	m := &Mix{Components: comps, Weights: weights, label: label}
+	var c float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("dist: negative mixture weight")
+		}
+		c += w
+		m.cum = append(m.cum, c)
+	}
+	if c == 0 {
+		panic("dist: zero total mixture weight")
+	}
+	m.total = c
+	return m
+}
+
+func (m *Mix) Sample(r *sim.RNG) sim.Time {
+	u := r.Float64() * m.total
+	for i, c := range m.cum {
+		if u < c {
+			return m.Components[i].Sample(r)
+		}
+	}
+	return m.Components[len(m.Components)-1].Sample(r)
+}
+
+func (m *Mix) Mean() sim.Time {
+	var sum float64
+	for i, c := range m.Components {
+		sum += float64(c.Mean()) * m.Weights[i] / m.total
+	}
+	return sim.Time(sum)
+}
+
+func (m *Mix) Name() string { return m.label }
+
+// SCV returns the squared coefficient of variation (variance/mean²) of a
+// distribution, estimated by sampling. Used by tests and by the threshold
+// calibration to characterise dispersion.
+func SCV(d ServiceDist, r *sim.RNG, n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := float64(d.Sample(r))
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(n)
+	if mean == 0 {
+		return 0
+	}
+	variance := sumsq/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return variance / (mean * mean)
+}

@@ -1,0 +1,213 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func us(v float64) sim.Time { return sim.FromNanos(v * 1000) }
+
+func sampleMean(d ServiceDist, seed uint64, n int) float64 {
+	r := sim.NewRNG(seed)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(d.Sample(r))
+	}
+	return sum / float64(n)
+}
+
+func TestFixed(t *testing.T) {
+	d := Fixed{V: 850 * sim.Nanosecond}
+	r := sim.NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if d.Sample(r) != 850*sim.Nanosecond {
+			t.Fatal("fixed varied")
+		}
+	}
+	if d.Mean() != 850*sim.Nanosecond {
+		t.Fatal("fixed mean")
+	}
+	if d.Name() == "" {
+		t.Fatal("name empty")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	d := Uniform{Lo: us(0.5), Hi: us(1.5)}
+	r := sim.NewRNG(2)
+	for i := 0; i < 10000; i++ {
+		v := d.Sample(r)
+		if v < d.Lo || v > d.Hi {
+			t.Fatalf("uniform out of range: %v", v)
+		}
+	}
+	got := sampleMean(d, 3, 100000)
+	want := float64(d.Mean())
+	if math.Abs(got-want)/want > 0.01 {
+		t.Fatalf("uniform mean = %v, want %v", got, want)
+	}
+	// Degenerate range returns Lo.
+	dz := Uniform{Lo: us(1), Hi: us(1)}
+	if dz.Sample(r) != us(1) {
+		t.Fatal("degenerate uniform")
+	}
+}
+
+func TestExponential(t *testing.T) {
+	d := Exponential{M: us(1)}
+	got := sampleMean(d, 4, 200000)
+	want := float64(us(1))
+	if math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("exp mean = %v, want %v", got, want)
+	}
+	r := sim.NewRNG(9)
+	scv := SCV(d, r, 200000)
+	if math.Abs(scv-1) > 0.1 {
+		t.Fatalf("exp SCV = %v, want ~1", scv)
+	}
+}
+
+func TestBimodalShinjuku(t *testing.T) {
+	// The Fig. 10 mix: 99.5% 0.5us, 0.5% 500us.
+	d := Bimodal{Short: us(0.5), Long: us(500), PLong: 0.005}
+	r := sim.NewRNG(5)
+	longs := 0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := d.Sample(r)
+		if v != us(0.5) && v != us(500) {
+			t.Fatalf("unexpected value %v", v)
+		}
+		if v == us(500) {
+			longs++
+		}
+	}
+	rate := float64(longs) / n
+	if math.Abs(rate-0.005) > 0.001 {
+		t.Fatalf("long rate = %v", rate)
+	}
+	// Analytical mean: 0.995*0.5 + 0.005*500 = 2.9975 us.
+	want := 0.995*0.5 + 0.005*500
+	if math.Abs(d.Mean().Microseconds()-want) > 0.001 {
+		t.Fatalf("bimodal mean = %v, want %vus", d.Mean(), want)
+	}
+	// This distribution is extremely dispersed.
+	if scv := SCV(d, sim.NewRNG(6), 200000); scv < 20 {
+		t.Fatalf("bimodal SCV = %v, want high dispersion", scv)
+	}
+}
+
+func TestMix(t *testing.T) {
+	m := NewMix("getset+scan",
+		[]ServiceDist{Fixed{V: 50 * sim.Nanosecond}, Fixed{V: us(50)}},
+		[]float64{99.5, 0.5})
+	want := 0.995*50 + 0.005*50000 // ns
+	if got := m.Mean().Nanoseconds(); math.Abs(got-want) > 0.01 {
+		t.Fatalf("mix mean = %v ns, want %v", got, want)
+	}
+	got := sampleMean(m, 7, 300000)
+	if math.Abs(got/1000-want)/want > 0.05 {
+		t.Fatalf("mix sampled mean = %v ps", got)
+	}
+	if m.Name() != "getset+scan" {
+		t.Fatal("mix name")
+	}
+}
+
+func TestMixPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty", func() { NewMix("x", nil, nil) })
+	mustPanic("mismatch", func() {
+		NewMix("x", []ServiceDist{Fixed{V: 1}}, []float64{1, 2})
+	})
+	mustPanic("negative", func() {
+		NewMix("x", []ServiceDist{Fixed{V: 1}}, []float64{-1})
+	})
+	mustPanic("zero", func() {
+		NewMix("x", []ServiceDist{Fixed{V: 1}}, []float64{0})
+	})
+}
+
+func TestPoissonRate(t *testing.T) {
+	p := Poisson{Rate: 1e6} // 1 MRPS
+	r := sim.NewRNG(8)
+	var total sim.Time
+	const n = 200000
+	for i := 0; i < n; i++ {
+		total += p.NextGap(r)
+	}
+	gotRate := float64(n) / total.Seconds()
+	if math.Abs(gotRate-1e6)/1e6 > 0.02 {
+		t.Fatalf("poisson rate = %v", gotRate)
+	}
+	if p.MeanRate() != 1e6 {
+		t.Fatal("MeanRate")
+	}
+	idle := Poisson{Rate: 0}
+	if idle.NextGap(r) != sim.Second {
+		t.Fatal("zero-rate gap")
+	}
+}
+
+func TestMMPPMeanRate(t *testing.T) {
+	m := NewCloudMMPP(1e6)
+	r := sim.NewRNG(10)
+	var total sim.Time
+	const n = 400000
+	for i := 0; i < n; i++ {
+		total += m.NextGap(r)
+	}
+	gotRate := float64(n) / total.Seconds()
+	if math.Abs(gotRate-1e6)/1e6 > 0.10 {
+		t.Fatalf("mmpp long-run rate = %v, want ~1e6", gotRate)
+	}
+	if math.Abs(m.MeanRate()-1e6)/1e6 > 1e-9 {
+		t.Fatalf("MeanRate = %v", m.MeanRate())
+	}
+	if m.Name() == "" {
+		t.Fatal("name")
+	}
+}
+
+func TestMMPPBurstierThanPoisson(t *testing.T) {
+	// The whole point of the real-world surrogate: dispersion index of the
+	// MMPP must clearly exceed Poisson's ~1.
+	window := 50 * sim.Microsecond
+	poi := BurstinessIndex(Poisson{Rate: 2e6}, sim.NewRNG(11), window, 2000)
+	mmpp := BurstinessIndex(NewCloudMMPP(2e6), sim.NewRNG(12), window, 2000)
+	if poi > 1.5 {
+		t.Fatalf("poisson dispersion = %v, want ~1", poi)
+	}
+	if mmpp < 2 {
+		t.Fatalf("mmpp dispersion = %v, want >> 1", mmpp)
+	}
+}
+
+func TestLoadForRate(t *testing.T) {
+	// load 0.8 on 16 cores with 1us service = 0.8*16/1e-6 = 12.8 MRPS.
+	got := LoadForRate(0.8, 16, Fixed{V: us(1)})
+	if math.Abs(got-12.8e6)/12.8e6 > 1e-9 {
+		t.Fatalf("LoadForRate = %v", got)
+	}
+	if !math.IsInf(LoadForRate(0.5, 4, Fixed{V: 0}), 1) {
+		t.Fatal("zero service mean should give +Inf rate")
+	}
+}
+
+func TestSCVDegenerate(t *testing.T) {
+	if SCV(Fixed{V: us(1)}, sim.NewRNG(1), 1) != 0 {
+		t.Fatal("n<=1 SCV")
+	}
+	if got := SCV(Fixed{V: us(1)}, sim.NewRNG(1), 1000); got > 1e-9 {
+		t.Fatalf("fixed SCV = %v", got)
+	}
+}

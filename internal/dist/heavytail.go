@@ -1,0 +1,135 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Lognormal is a log-normally distributed service time parameterised by
+// its own mean and sigma (the shape of the underlying normal). RPC
+// service times in production systems are commonly log-normal-ish:
+// right-skewed with occasional multi-x outliers.
+type Lognormal struct {
+	M     sim.Time // distribution mean
+	Sigma float64  // underlying normal's sigma (shape); 0.5-1.5 typical
+}
+
+// mu derives the underlying normal's mean so that E[X] = M:
+// E[X] = exp(mu + sigma^2/2).
+func (l Lognormal) mu() float64 {
+	return math.Log(float64(l.M)) - l.Sigma*l.Sigma/2
+}
+
+func (l Lognormal) Sample(r *sim.RNG) sim.Time {
+	v := r.Lognorm(l.mu(), l.Sigma)
+	if v < 1 {
+		v = 1
+	}
+	return sim.Time(v)
+}
+
+func (l Lognormal) Mean() sim.Time { return l.M }
+
+func (l Lognormal) Name() string {
+	return fmt.Sprintf("lognormal(%v,s=%.2f)", l.M, l.Sigma)
+}
+
+// Pareto is a bounded Pareto service time with tail index Alpha and
+// minimum Lo, truncated at Hi — the classic heavy-tail model for
+// workloads where a tiny fraction of requests dominates total work.
+type Pareto struct {
+	Lo, Hi sim.Time
+	Alpha  float64 // tail index; 1 < Alpha < 2 is heavy-tailed
+}
+
+func (p Pareto) Sample(r *sim.RNG) sim.Time {
+	lo, hi := float64(p.Lo), float64(p.Hi)
+	if hi <= lo {
+		return p.Lo
+	}
+	a := p.Alpha
+	if a <= 0 {
+		a = 1.5
+	}
+	// Inverse-CDF sampling of the bounded Pareto.
+	u := r.Float64()
+	la, ha := math.Pow(lo, a), math.Pow(hi, a)
+	x := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/a)
+	if x < lo {
+		x = lo
+	}
+	if x > hi {
+		x = hi
+	}
+	return sim.Time(x)
+}
+
+func (p Pareto) Mean() sim.Time {
+	lo, hi := float64(p.Lo), float64(p.Hi)
+	if hi <= lo {
+		return p.Lo
+	}
+	a := p.Alpha
+	if a <= 0 {
+		a = 1.5
+	}
+	if a == 1 {
+		return sim.Time(lo * hi / (hi - lo) * math.Log(hi/lo))
+	}
+	// Bounded Pareto mean:
+	// E[X] = a*lo^a/(a-1) * (lo^(1-a) - hi^(1-a)) / (1 - (lo/hi)^a)
+	la, ha := math.Pow(lo, a), math.Pow(hi, a)
+	num := a * la / (a - 1) * (math.Pow(lo, 1-a) - math.Pow(hi, 1-a))
+	den := 1 - la/ha
+	return sim.Time(num / den)
+}
+
+func (p Pareto) Name() string {
+	return fmt.Sprintf("pareto(%v..%v,a=%.2f)", p.Lo, p.Hi, p.Alpha)
+}
+
+// Zipf draws integer ranks in [0, N) with popularity ~ 1/(rank+1)^S —
+// the standard key-popularity model for KV workloads. It is not a
+// ServiceDist; MICA-style applications use it to pick keys.
+type Zipf struct {
+	N int
+	S float64
+
+	cum []float64
+}
+
+// NewZipf precomputes the sampling table. N must be positive; S of 0.99
+// is the YCSB default.
+func NewZipf(n int, s float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dist: Zipf over %d items", n)
+	}
+	z := &Zipf{N: n, S: s, cum: make([]float64, n)}
+	var total float64
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		z.cum[i] = total
+	}
+	for i := range z.cum {
+		z.cum[i] /= total
+	}
+	return z, nil
+}
+
+// Rank draws one rank (0 = most popular).
+func (z *Zipf) Rank(r *sim.RNG) int {
+	u := r.Float64()
+	// Binary search the cumulative table.
+	lo, hi := 0, z.N-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,116 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestLognormalMean(t *testing.T) {
+	d := Lognormal{M: us(1), Sigma: 1.0}
+	got := sampleMean(d, 21, 400000)
+	want := float64(us(1))
+	if math.Abs(got-want)/want > 0.03 {
+		t.Fatalf("lognormal mean = %v, want %v", got, want)
+	}
+	if d.Mean() != us(1) {
+		t.Fatal("analytical mean")
+	}
+	if d.Name() == "" {
+		t.Fatal("name")
+	}
+	// Right-skew: median well below mean for sigma=1.
+	r := sim.NewRNG(22)
+	below := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if d.Sample(r) < us(1) {
+			below++
+		}
+	}
+	if frac := float64(below) / n; frac < 0.6 {
+		t.Fatalf("lognormal not right-skewed: %v below mean", frac)
+	}
+}
+
+func TestLognormalPositive(t *testing.T) {
+	d := Lognormal{M: 10 * sim.Nanosecond, Sigma: 2.0}
+	r := sim.NewRNG(23)
+	for i := 0; i < 10000; i++ {
+		if d.Sample(r) < 1 {
+			t.Fatal("non-positive sample")
+		}
+	}
+}
+
+func TestParetoBoundsAndMean(t *testing.T) {
+	d := Pareto{Lo: us(0.5), Hi: us(500), Alpha: 1.3}
+	r := sim.NewRNG(24)
+	for i := 0; i < 50000; i++ {
+		v := d.Sample(r)
+		if v < d.Lo || v > d.Hi {
+			t.Fatalf("sample out of bounds: %v", v)
+		}
+	}
+	got := sampleMean(d, 25, 400000)
+	want := float64(d.Mean())
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("pareto mean = %v, want %v", got, want)
+	}
+	// Heavy tail: SCV well above exponential's 1.
+	if scv := SCV(d, sim.NewRNG(26), 400000); scv < 2 {
+		t.Fatalf("pareto SCV = %v", scv)
+	}
+}
+
+func TestParetoDegenerate(t *testing.T) {
+	d := Pareto{Lo: us(1), Hi: us(1), Alpha: 1.5}
+	r := sim.NewRNG(1)
+	if d.Sample(r) != us(1) || d.Mean() != us(1) {
+		t.Fatal("degenerate pareto")
+	}
+	dz := Pareto{Lo: us(1), Hi: us(10)} // Alpha zero -> defaulted
+	if v := dz.Sample(r); v < dz.Lo || v > dz.Hi {
+		t.Fatalf("defaulted alpha sample: %v", v)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z, err := NewZipf(1000, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sim.NewRNG(27)
+	counts := make([]int, 1000)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		rank := z.Rank(r)
+		if rank < 0 || rank >= 1000 {
+			t.Fatalf("rank out of range: %d", rank)
+		}
+		counts[rank]++
+	}
+	// Rank 0 must dominate rank 99 roughly per the power law (~100x for
+	// s=0.99, allow wide tolerance).
+	if counts[0] < 20*counts[99] {
+		t.Fatalf("zipf skew too weak: %d vs %d", counts[0], counts[99])
+	}
+	// Monotone-ish head.
+	if counts[0] < counts[1] || counts[1] < counts[10] {
+		t.Fatalf("zipf head not decreasing: %d %d %d", counts[0], counts[1], counts[10])
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	if _, err := NewZipf(0, 1); err == nil {
+		t.Fatal("zero N should fail")
+	}
+	z, err := NewZipf(1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Rank(sim.NewRNG(1)) != 0 {
+		t.Fatal("single-item zipf")
+	}
+}

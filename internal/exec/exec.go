@@ -1,0 +1,161 @@
+// Package exec models the CPU worker cores that execute RPC handlers, and
+// the request queues schedulers manage. A Core runs one request at a time,
+// run-to-completion by default, with optional preemption (quantum +
+// preemption cost) for schedulers that support it (Shinjuku, nanoPU).
+package exec
+
+import (
+	"repro/internal/rpcproto"
+	"repro/internal/sim"
+)
+
+// Core is one simulated worker core.
+type Core struct {
+	ID   int
+	Tile int // position on the NoC mesh (for distance-based costs)
+
+	// Quantum enables preemptive scheduling when > 0: a request runs for
+	// at most Quantum before being handed back to the scheduler.
+	Quantum sim.Time
+	// PreemptCost is charged (on this core) at every preemption.
+	PreemptCost sim.Time
+
+	eng      *sim.Engine
+	busy     bool
+	busyTime sim.Time // accumulated busy time, for utilisation reporting
+	cur      *rpcproto.Request
+}
+
+// NewCore returns an idle, run-to-completion core bound to the engine.
+func NewCore(eng *sim.Engine, id, tile int) *Core {
+	return &Core{ID: id, Tile: tile, eng: eng}
+}
+
+// Busy reports whether the core is currently executing a request.
+func (c *Core) Busy() bool { return c.busy }
+
+// Current returns the request being executed, or nil.
+func (c *Core) Current() *rpcproto.Request { return c.cur }
+
+// BusyTime returns the accumulated execution time (including overheads
+// charged through Start), for utilisation accounting.
+func (c *Core) BusyTime() sim.Time { return c.busyTime }
+
+// Start begins (or resumes) executing r after the given pickup overhead
+// (the scheduling cost of handing this request to this core). When the
+// request completes, done(r) runs with r.Finish set; if the core's
+// quantum expires first, preempted(r) runs instead with r.Remaining
+// updated and the preemption cost charged. Either way the core is idle
+// again when the callback fires, so callbacks typically dispatch the next
+// request. Start panics if the core is already busy — double-dispatch is
+// a scheduler bug, not a runtime condition.
+func (c *Core) Start(r *rpcproto.Request, overhead sim.Time, done, preempted func(*rpcproto.Request)) {
+	if c.busy {
+		panic("exec: Start on busy core")
+	}
+	if r.Remaining == 0 {
+		if r.OnExecute != nil {
+			r.OnExecute(r)
+		}
+		r.Remaining = r.Service
+	}
+	c.busy = true
+	c.cur = r
+	r.Start = c.eng.Now()
+
+	slice := r.Remaining
+	preempt := false
+	if c.Quantum > 0 && slice > c.Quantum {
+		slice = c.Quantum
+		preempt = true
+	}
+	total := overhead + slice
+	if preempt {
+		total += c.PreemptCost
+	}
+	c.busyTime += total
+	c.eng.After(total, func() {
+		c.busy = false
+		c.cur = nil
+		if preempt {
+			r.Remaining -= slice
+			preempted(r)
+			return
+		}
+		r.Remaining = 0
+		r.Finish = c.eng.Now()
+		done(r)
+	})
+}
+
+// Deque is a slice-backed double-ended request queue. Schedulers enqueue
+// at the tail; workers consume from the head; ALTOCUMULUS migrates from
+// the tail (§VI: "dequeue the tail of NetRX").
+type Deque struct {
+	buf  []*rpcproto.Request
+	head int
+}
+
+// Len returns the number of queued requests.
+func (q *Deque) Len() int { return len(q.buf) - q.head }
+
+// PushTail appends r at the tail.
+func (q *Deque) PushTail(r *rpcproto.Request) {
+	q.buf = append(q.buf, r)
+}
+
+// PopHead removes and returns the head request, or nil if empty.
+func (q *Deque) PopHead() *rpcproto.Request {
+	if q.Len() == 0 {
+		return nil
+	}
+	r := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	// Compact once the dead prefix dominates, to bound memory.
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = nil
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return r
+}
+
+// PopTail removes and returns the tail request, or nil if empty.
+func (q *Deque) PopTail() *rpcproto.Request {
+	if q.Len() == 0 {
+		return nil
+	}
+	r := q.buf[len(q.buf)-1]
+	q.buf[len(q.buf)-1] = nil
+	q.buf = q.buf[:len(q.buf)-1]
+	return r
+}
+
+// PeekTail returns the tail request without removing it, or nil.
+func (q *Deque) PeekTail() *rpcproto.Request {
+	if q.Len() == 0 {
+		return nil
+	}
+	return q.buf[len(q.buf)-1]
+}
+
+// PeekHead returns the head request without removing it, or nil.
+func (q *Deque) PeekHead() *rpcproto.Request {
+	if q.Len() == 0 {
+		return nil
+	}
+	return q.buf[q.head]
+}
+
+// At returns the i-th request from the head (0-based) without removal.
+// It panics when out of range.
+func (q *Deque) At(i int) *rpcproto.Request {
+	if i < 0 || i >= q.Len() {
+		panic("exec: Deque.At out of range")
+	}
+	return q.buf[q.head+i]
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ablate",
+		Title: "Design-choice ablations of the ALTOCUMULUS runtime (extension)",
+		Paper: "DESIGN.md §6",
+		Run:   runAblate,
+	})
+}
+
+// runAblate disables one design element of the runtime at a time and
+// measures the damage on the Fig. 11 workload (256 cores, RSS-skewed
+// load 0.95): the Hill/Valley/Pairing classifier, the Algorithm 1 line-8
+// guard, the migrate-once restriction, the Erlang-C threshold (replaced
+// by the naive k*L+1 bound), and the hardware messaging mechanism
+// (replaced by shared-cache messaging).
+func runAblate(scale Scale, seed uint64) ([]report.Table, error) {
+	n := scale.n(400000)
+	svc, rate := fig11Workload(n)
+	slo := sim.Time(10 * float64(svc.Mean()))
+
+	t := report.Table{
+		ID:    "ablate",
+		Title: "runtime ablations (16x16 cores, connection-skewed load 0.95, SLO 6.3us)",
+		Cols:  []string{"variant", "violations", "p99(us)", "migrated", "nacked", "guard-skips"},
+	}
+
+	variants := []struct {
+		name string
+		mod  func(*core.Params)
+	}{
+		{"full system", func(*core.Params) {}},
+		{"no migration", func(p *core.Params) { p.DisableMigration = true }},
+		{"no patterns (threshold only)", func(p *core.Params) { p.DisablePatterns = true }},
+		{"no guard (line 8 dropped)", func(p *core.Params) { p.DisableGuard = true }},
+		{"re-migration allowed", func(p *core.Params) { p.AllowRemigration = true }},
+		{"naive threshold (k*L+1)", func(p *core.Params) { p.NaiveThreshold = true }},
+		{"software messaging", func(p *core.Params) { p.SoftwareMessaging = true }},
+		{"tiny FIFOs (4 entries)", func(p *core.Params) { p.FIFOCapacity = 4; p.MRCapacity = 8 }},
+		{"head selection (oldest first)", func(p *core.Params) { p.Select = core.SelectHead }},
+	}
+
+	for _, v := range variants {
+		p := core.DefaultParams(16, 15)
+		v.mod(&p)
+		res, err := fig11Run(p, svc, rate, n, seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", v.name, err)
+		}
+		t.AddRow(v.name, res.Lat.CountAbove(slo), usStr(res.Summary.P99),
+			fmt.Sprint(res.ACStats.MigratedReqs),
+			fmt.Sprint(res.ACStats.NackedReqs),
+			fmt.Sprint(res.ACStats.GuardSkips))
+	}
+	t.Notes = append(t.Notes,
+		"each row disables exactly one mechanism; violations relative to the full system quantify its contribution")
+	return []report.Table{t}, nil
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/nic"
+	"repro/internal/report"
+	"repro/internal/rpcproto"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "efficiency",
+		Title: "CPU utilization sustainable under the SLO (extension)",
+		Paper: "§I / §X motivation",
+		Run:   runEfficiency,
+	})
+}
+
+// runEfficiency quantifies the paper's efficiency motivation: systems
+// that guarantee microsecond-scale SLOs usually do so by running cores
+// far below saturation (§I quotes 36-64% of cycles wasted on 8-12 core
+// CPUs). For each scheduler the experiment finds the highest load whose
+// p99 meets a 10x SLO on a 64-core server and reports the worker
+// utilization actually achieved there — "useful work per core at the
+// SLO", the metric a capacity planner cares about.
+func runEfficiency(scale Scale, seed uint64) ([]report.Table, error) {
+	const cores = 64
+	svc := dist.Exponential{M: sim.Microsecond}
+	slo := 10 * sim.Microsecond
+	n := scale.n(200000)
+	loads := []float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95}
+	capacity := float64(cores) / svc.Mean().Seconds()
+
+	t := report.Table{
+		ID:    "efficiency",
+		Title: "worker utilization at the highest SLO-compliant load (64 cores, exp(1us), SLO 10us)",
+		Cols:  []string{"system", "tput@SLO(MRPS)", "util@SLO", "wasted-cycles"},
+	}
+
+	type sys struct {
+		name string
+		cfg  server.Config
+	}
+	systems := []sys{
+		{"RSS", server.Config{Kind: server.SchedRSS, Cores: cores,
+			Stack: rpcproto.StackNanoRPC, Steer: nic.SteerConnection, Seed: seed, SLO: slo}},
+		{"RSS++", server.Config{Kind: server.SchedRSSPlus, Cores: cores,
+			Stack: rpcproto.StackNanoRPC, Steer: nic.SteerConnection, Seed: seed, SLO: slo}},
+		{"ZygOS", server.Config{Kind: server.SchedZygOS, Cores: cores,
+			Stack: rpcproto.StackNanoRPC, Steer: nic.SteerConnection, Seed: seed, SLO: slo}},
+		{"Nebula", server.Config{Kind: server.SchedNebula, Cores: cores,
+			Stack: rpcproto.StackNanoRPC, Seed: seed, SLO: slo}},
+		{"Altocumulus", server.Config{Kind: server.SchedAltocumulus,
+			AC: core.DefaultParams(4, 15), Stack: rpcproto.StackNanoRPC,
+			Steer: nic.SteerConnection, Seed: seed, SLO: slo}},
+	}
+	for _, s := range systems {
+		bestTput, bestUtil := 0.0, 0.0
+		for _, load := range loads {
+			res, err := server.Run(s.cfg, server.Workload{
+				Arrivals: dist.Poisson{Rate: load * capacity},
+				Service:  svc, N: n, Warmup: n / 10,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", s.name, err)
+			}
+			if res.Summary.P99 <= slo && res.OfferedRPS > bestTput {
+				bestTput = res.OfferedRPS
+				bestUtil = res.WorkerUtilization
+			}
+		}
+		t.AddRow(s.name, mrps(bestTput),
+			fmt.Sprintf("%.1f%%", bestUtil*100),
+			fmt.Sprintf("%.1f%%", (1-bestUtil)*100))
+	}
+	t.Notes = append(t.Notes,
+		"the paper's motivation: prior systems waste 36-64% of cycles to protect the tail; better scheduling converts headroom into served load",
+		"AC utilization is measured over its 60 worker cores (managers excluded)")
+	return []report.Table{t}, nil
+}

@@ -1,0 +1,138 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§II-C, §IV, §VI, §VIII, §IX). Each experiment is a named
+// Runner producing report tables; cmd/altobench executes them by id and
+// bench_test.go wraps them as benchmarks. The Scale knob trades fidelity
+// for wall time: ScaleQuick runs in seconds per experiment, ScaleFull
+// uses request counts close to the paper's.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/report"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+// Scale selects run sizes.
+type Scale int
+
+const (
+	// ScaleQuick shrinks request counts ~20x for CI and benchmarks.
+	ScaleQuick Scale = iota
+	// ScaleFull approximates the paper's request counts.
+	ScaleFull
+)
+
+func (s Scale) String() string {
+	if s == ScaleFull {
+		return "full"
+	}
+	return "quick"
+}
+
+// n scales a full-size request count.
+func (s Scale) n(full int) int {
+	if s == ScaleFull {
+		return full
+	}
+	n := full / 20
+	if n < 2000 {
+		n = 2000
+	}
+	return n
+}
+
+// nForDuration sizes a request count so a run covers at least the given
+// simulated duration at the offered rate — regimes with long-tailed
+// service (50us SCANs) or slow arrival modulation need wall-clock-long
+// runs to reach steady state, not fixed request counts.
+func (s Scale) nForDuration(rate float64, quick, full sim.Time) int {
+	d := quick
+	if s == ScaleFull {
+		d = full
+	}
+	n := int(rate * d.Seconds())
+	if n < 20000 {
+		n = 20000
+	}
+	return n
+}
+
+// Runner executes one experiment.
+type Runner func(scale Scale, seed uint64) ([]report.Table, error)
+
+// Experiment couples a runner with its provenance.
+type Experiment struct {
+	ID    string
+	Title string
+	Paper string // which figure/table of the paper it regenerates
+	Run   Runner
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
+	}
+	return e, nil
+}
+
+// IDs lists the registered experiment ids in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns all experiments sorted by id.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, id := range IDs() {
+		out = append(out, registry[id])
+	}
+	return out
+}
+
+// sweep runs one configuration across ascending load fractions and
+// returns a latency-throughput curve. mkConfig receives the load
+// fraction so schedulers can be rebuilt per point; mkWorkload builds the
+// offered load for the given fraction.
+func sweep(loads []float64,
+	mkConfig func(load float64) server.Config,
+	mkWorkload func(load float64) server.Workload) ([]server.LoadPoint, error) {
+	points := make([]server.LoadPoint, 0, len(loads))
+	for _, l := range loads {
+		res, err := server.Run(mkConfig(l), mkWorkload(l))
+		if err != nil {
+			return nil, fmt.Errorf("sweep at load %.2f: %w", l, err)
+		}
+		points = append(points, server.LoadPoint{
+			OfferedRPS: res.OfferedRPS,
+			P99:        res.Summary.P99,
+			VioRatio:   res.Summary.VioRatio,
+			DoneRPS:    res.DoneRPS,
+		})
+	}
+	return points, nil
+}
+
+// mrps formats requests/second as millions.
+func mrps(rps float64) string { return fmt.Sprintf("%.2f", rps/1e6) }
+
+// usStr formats a sim.Time in microseconds.
+func usStr(t sim.Time) string { return fmt.Sprintf("%.2f", t.Microseconds()) }

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"repro/internal/dist"
+	"repro/internal/nic"
+	"repro/internal/report"
+	"repro/internal/rpcproto"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig01",
+		Title: "On-CPU latency split: RPC stack processing vs scheduling",
+		Paper: "Fig. 1",
+		Run:   runFig01,
+	})
+}
+
+// runFig01 reproduces the paper's motivating measurement: for a 300 B RPC
+// on a 16-core server at moderate load, how much on-CPU time goes to
+// stack processing vs to scheduling. As stacks get faster (TCP/IP ->
+// eRPC -> nanoRPC), processing collapses and scheduling becomes the
+// bottleneck — the paper's thesis.
+func runFig01(scale Scale, seed uint64) ([]report.Table, error) {
+	t := report.Table{
+		ID:    "fig01",
+		Title: "on-CPU latency for a 300B RPC (16 cores, work-stealing scheduler, load 0.6)",
+		Cols:  []string{"stack", "processing(us)", "scheduling(us)", "total(us)"},
+	}
+	const cores = 16
+	svc := dist.Fixed{V: 500 * sim.Nanosecond} // application handler time
+	n := scale.n(100000)
+
+	for _, stack := range []rpcproto.StackKind{rpcproto.StackTCPIP, rpcproto.StackERPC, rpcproto.StackNanoRPC} {
+		model := rpcproto.NewStack(stack)
+		processing := model.ProcessingTime(300)
+		// Offered load counts the stack work the cores must absorb for
+		// software stacks (everything except nanoRPC, which terminates
+		// the stack in NIC hardware in this comparison).
+		effSvc := svc.V
+		if stack != rpcproto.StackNanoRPC {
+			effSvc += processing
+		}
+		rate := 0.6 * float64(cores) / effSvc.Seconds()
+		kind := server.SchedZygOS
+		res, err := server.Run(server.Config{
+			Kind: kind, Cores: cores, Stack: stack,
+			Steer: nic.SteerConnection, Seed: seed,
+		}, server.Workload{
+			Arrivals: dist.Poisson{Rate: rate}, Service: svc,
+			N: n, Warmup: n / 10,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Scheduling time = everything that is not the application
+		// handler or stack processing: queueing, steering, stealing,
+		// NIC/PCIe transfer.
+		mean := res.Summary.Mean
+		scheduling := mean - svc.V - processing
+		if scheduling < 0 {
+			scheduling = 0
+		}
+		t.AddRow(stack.String(),
+			usStr(processing), usStr(scheduling), usStr(mean-svc.V))
+	}
+	t.Notes = append(t.Notes,
+		"paper anchors: TCP/IP ~15-25us total; eRPC <1us processing; nanoRPC ~40ns processing with scheduling dominating",
+		"scheduling column = mean on-CPU latency minus handler and stack processing time")
+	return []report.Table{t}, nil
+}

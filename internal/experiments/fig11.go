@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/nic"
+	"repro/internal/report"
+	"repro/internal/rpcproto"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig11",
+		Title: "Migration Bulk and Period sensitivity on a 256-core system",
+		Paper: "Fig. 11(a,b)",
+		Run:   runFig11,
+	})
+}
+
+// fig11Workload is the §VIII-C setup: 256 cores as 16 groups of 16, mean
+// service ~630 ns (a short/long blend), high offered load with RSS
+// connection imbalance.
+func fig11Workload(n int) (dist.ServiceDist, float64) {
+	svc := dist.Bimodal{Short: 500 * sim.Nanosecond, Long: 3100 * sim.Nanosecond, PLong: 0.05}
+	// 16 groups x 15 workers = 240 worker cores at load 0.95.
+	rate := dist.LoadForRate(0.95, 240, svc)
+	_ = n
+	return svc, rate
+}
+
+func fig11Run(p core.Params, svc dist.ServiceDist, rate float64, n int, seed uint64) (*server.Result, error) {
+	return server.Run(server.Config{
+		Kind: server.SchedAltocumulus, AC: p, Stack: rpcproto.StackNanoRPC,
+		Steer: nic.SteerConnection, Seed: seed,
+	}, server.Workload{
+		Arrivals: dist.Poisson{Rate: rate}, Service: svc, N: n, Warmup: n / 20, Conns: 256,
+	})
+}
+
+func runFig11(scale Scale, seed uint64) ([]report.Table, error) {
+	n := scale.n(400000)
+	svc, rate := fig11Workload(n)
+	slo := sim.Time(10 * float64(svc.Mean()))
+
+	bulkT := report.Table{
+		ID:    "fig11",
+		Title: "SLO violations and p99 vs Bulk (Period 200ns, 16x16 cores, load 0.95)",
+		Cols:  []string{"bulk", "violations", "p99(us)", "migrated-reqs"},
+	}
+	for _, bulk := range []int{8, 16, 24, 32, 40} {
+		p := core.DefaultParams(16, 15)
+		p.Bulk = bulk
+		p.Period = 200 * sim.Nanosecond
+		p.Concurrency = 8
+		res, err := fig11Run(p, svc, rate, n, seed)
+		if err != nil {
+			return nil, err
+		}
+		bulkT.AddRow(bulk, res.Lat.CountAbove(slo), usStr(res.Summary.P99),
+			fmt.Sprint(res.ACStats.MigratedReqs))
+	}
+	bulkT.Notes = append(bulkT.Notes,
+		"paper: Bulk=16 eliminates all SLO violations; p99 tracks the violation count")
+
+	periodT := report.Table{
+		ID:    "fig11",
+		Title: "SLO violations and p99 vs migration Period (Bulk 16)",
+		Cols:  []string{"period(ns)", "violations", "p99(us)", "migrated-reqs"},
+	}
+	// Baseline without migration first.
+	{
+		p := core.DefaultParams(16, 15)
+		p.DisableMigration = true
+		res, err := fig11Run(p, svc, rate, n, seed)
+		if err != nil {
+			return nil, err
+		}
+		periodT.AddRow("no-migration", res.Lat.CountAbove(slo), usStr(res.Summary.P99), "0")
+	}
+	for _, period := range []sim.Time{10, 40, 100, 200, 400, 1000} {
+		p := core.DefaultParams(16, 15)
+		p.Period = period * sim.Nanosecond
+		res, err := fig11Run(p, svc, rate, n, seed)
+		if err != nil {
+			return nil, err
+		}
+		periodT.AddRow(fmt.Sprint(int64(period)), res.Lat.CountAbove(slo),
+			usStr(res.Summary.P99), fmt.Sprint(res.ACStats.MigratedReqs))
+	}
+	periodT.Notes = append(periodT.Notes,
+		"paper: periods 10-400ns perform similarly; 1000ns is too lazy and strands deep-queued requests")
+	return []report.Table{bulkT, periodT}, nil
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/fabric"
+	"repro/internal/nic"
+	"repro/internal/report"
+	"repro/internal/rpcproto"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig14",
+		Title: "MICA adaptability under mixed GET/SET + SCAN real-world traffic",
+		Paper: "Fig. 14",
+		Run:   runFig14,
+	})
+}
+
+// fig14MMPP is a mildly bursty arrival process (multipliers 0.7-1.5x) —
+// strong enough to build transient central-queue backlogs that expose
+// JBSQ's commitment problem, weak enough that bursts stay near capacity.
+func fig14MMPP(rate float64) *dist.MMPP {
+	mult := []float64{0.7, 0.9, 1.0, 1.1, 1.25, 1.5}
+	var avg float64
+	for _, m := range mult {
+		avg += m
+	}
+	avg /= float64(len(mult))
+	return &dist.MMPP{BaseRate: rate / avg, Mult: mult, Dwell: 50 * sim.Microsecond, PJump: 0.3}
+}
+
+// runFig14 reproduces the end-to-end adaptability experiment: a 64-core
+// MICA server on the nanoRPC stack serving ~50ns GET/SETs mixed with
+// ~50us SCANs under bursty arrivals. Nebula's SLO-blind JBSQ eagerly
+// commits shorts behind in-flight SCANs whenever a backlog forms; the
+// ALTOCUMULUS runtime keeps backlog at the managers (dispatch to idle
+// workers only) and proactively migrates predicted violators across
+// groups. AC-ISA vs AC-MSR isolates the custom-instruction interface
+// against ~100-cycle rdmsr/wrmsr syscalls, which stretch the runtime's
+// effective period.
+//
+// Deviation from the paper: the stated 0.5% SCAN share is infeasible at
+// the reported throughputs (it alone exceeds 64 cores of work), so the
+// SCAN fraction is 0.1%, keeping SCANs ~50% of total work. The AC
+// configurations use hardware-assisted local dispatch: a 70-cycle
+// coherence hop per dispatch cannot sustain nanosecond-scale rates.
+func runFig14(scale Scale, seed uint64) ([]report.Table, error) {
+	const cores = 64
+	const groups = 4
+	slo := 1 * sim.Microsecond // the paper reports throughput at p99 < 1us
+	loads := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	if scale == ScaleQuick {
+		loads = []float64{0.2, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	}
+
+	mkApp := func(parts int) *server.MICAApp {
+		app, err := newMICA(parts, 0) // real op-cost model, no fixed override
+		if err != nil {
+			panic(err) // static sizing; failure is a programming error
+		}
+		app.ScanFrac = 0.001
+		return app
+	}
+	meanSvc := mkApp(groups).MeanService()
+
+	type sys struct {
+		name  string
+		parts int
+		cfg   server.Config
+	}
+	mkAC := func(iface fabric.Interface) server.Config {
+		// Nanosecond-scale RPC rates need migration bandwidth: a faster
+		// period and larger batches (S = Bulk/Concurrency = 16
+		// descriptors per MIGRATE toward each of the 3 peer groups).
+		p := core.DefaultParams(groups, 15)
+		p.Period = 100 * sim.Nanosecond
+		p.Bulk = 48
+		p.Concurrency = 3
+		p.MRCapacity = 128
+		p.FIFOCapacity = 48
+		p.Iface = iface
+		return server.Config{Kind: server.SchedAltocumulus, AC: p,
+			Stack: rpcproto.StackNanoRPC, Steer: nic.SteerDirect, Seed: seed, SLO: slo}
+	}
+	systems := []sys{
+		{"Nebula", cores, server.Config{Kind: server.SchedNebula, Cores: cores,
+			Stack: rpcproto.StackNanoRPC, Seed: seed, SLO: slo}},
+		{"AC-ISA", groups, mkAC(fabric.InterfaceISA)},
+		{"AC-MSR", groups, mkAC(fabric.InterfaceMSR)},
+	}
+
+	curve := report.Table{
+		ID:    "fig14",
+		Title: "p99 (us) and violation ratio vs offered load (64 cores, MICA GET/SET+SCAN, nanoRPC)",
+		Cols:  []string{"system", "MRPS", "p99(us)", "viol-ratio"},
+	}
+	summary := report.Table{
+		ID:    "fig14",
+		Title: "throughput at p99 < 1us",
+		Cols:  []string{"system", "tput@SLO(MRPS)", "vs Nebula"},
+	}
+	tputs := map[string]float64{}
+	for _, s := range systems {
+		workers := cores
+		if s.cfg.Kind == server.SchedAltocumulus {
+			workers = groups * 15
+		}
+		capacity := float64(workers) / meanSvc.Seconds()
+		pts, err := sweep(loads,
+			func(float64) server.Config { return s.cfg },
+			func(load float64) server.Workload {
+				// Duration-sized runs: the 50us SCAN population needs
+				// hundreds of microseconds to reach steady state.
+				rate := load * capacity
+				n := scale.nForDuration(rate, 600*sim.Microsecond, 3*sim.Millisecond)
+				return server.Workload{
+					Arrivals: fig14MMPP(rate),
+					App:      mkApp(s.parts), N: n, Warmup: n / 4,
+				}
+			})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.name, err)
+		}
+		for _, p := range pts {
+			curve.AddRow(s.name, mrps(p.OfferedRPS), usStr(p.P99), fmt.Sprintf("%.4f", p.VioRatio))
+		}
+		tputs[s.name] = server.ThroughputAtSLO(pts, slo)
+	}
+	for _, s := range systems {
+		ratio := "n/a"
+		if nb := tputs["Nebula"]; nb > 0 {
+			ratio = fmt.Sprintf("%.2fx", tputs[s.name]/nb)
+		}
+		summary.AddRow(s.name, mrps(tputs[s.name]), ratio)
+	}
+	summary.Notes = append(summary.Notes,
+		"paper: Nebula's p99 fluctuates to 15us past 250 MRPS (up to 47% violations); AC-ISA reaches ~2.5x Nebula's throughput@SLO",
+		"paper: AC-MSR delivers ~91% of AC-ISA's maximum throughput (syscall-class register access stretches the runtime period)")
+	return []report.Table{curve, summary}, nil
+}

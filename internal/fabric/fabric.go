@@ -1,0 +1,141 @@
+// Package fabric centralises the latency cost model of the simulated
+// server: interconnect transfers (PCIe, QPI, coherence), memory hierarchy
+// accesses (LLC, DRAM) and the software/hardware interface cost of the
+// ALTOCUMULUS runtime (custom `altom_*` instructions vs. x86 MSR
+// syscalls, Table III / §VI). Every constant is taken from the paper or
+// the sources it cites, and every field is overridable so experiments can
+// run ablations.
+package fabric
+
+import "repro/internal/sim"
+
+// Interface selects how the software runtime talks to the scheduling
+// hardware (§VI "Software-Hardware Interface").
+type Interface int
+
+const (
+	// InterfaceISA uses the custom altom_* instructions: direct
+	// register-level micro-ops, ~2 cycles each.
+	InterfaceISA Interface = iota
+	// InterfaceMSR uses rdmsr/wrmsr syscalls, ~100 cycles each on
+	// Sandybridge-EP per the paper.
+	InterfaceMSR
+)
+
+func (i Interface) String() string {
+	if i == InterfaceMSR {
+		return "MSR"
+	}
+	return "ISA"
+}
+
+// Attach selects how the NIC reaches the cores.
+type Attach int
+
+const (
+	// AttachPCIe is a commodity NIC behind the PCIe bus (200-800 ns per
+	// transfer depending on size, Neugebauer et al. [46]).
+	AttachPCIe Attach = iota
+	// AttachIntegrated is a hardware-terminated on-die NIC (Nebula /
+	// nanoPU style): transfers at LLC or register-file speed.
+	AttachIntegrated
+)
+
+func (a Attach) String() string {
+	if a == AttachIntegrated {
+		return "integrated"
+	}
+	return "pcie"
+}
+
+// CostModel holds every latency constant of the simulation. The zero
+// value is not useful; use Default().
+type CostModel struct {
+	ClockHz float64 // core clock (paper evaluates 2 GHz)
+
+	// Memory hierarchy.
+	L1Access   sim.Time // L1 hit
+	LLCAccess  sim.Time // shared LLC access (Nebula-speed NIC transfers)
+	DRAMAccess sim.Time // main memory access
+	CacheMiss  sim.Time // one remote cache miss (inter-core line transfer)
+
+	// Interconnects.
+	QPILatency   sim.Time // cross-socket point-to-point (paper: 150 ns)
+	PCIeBase     sim.Time // PCIe minimum transfer latency (paper: 200 ns)
+	PCIeMax      sim.Time // PCIe large-transfer latency (paper: 800 ns)
+	PCIeMaxBytes int      // size at which PCIe latency saturates
+
+	// NIC front-end: Ethernet MAC + serial I/O + transport interpretation
+	// (paper/nanoPU: ~30 ns total).
+	NICFrontEnd sim.Time
+
+	// Scheduling operation costs.
+	CoherenceMsg  sim.Time // dispatcher->worker handoff via coherence (70 cyc @ 2 GHz = 35 ns)
+	StealAttempt  sim.Time // one work-steal probe+fetch (2-3 cache misses: 200-400 ns; we use 300 ns)
+	PreemptCost   sim.Time // software preemption (interrupt + context, ~1 us, Shinjuku)
+	RegisterXfer  sim.Time // register-file NIC-to-core push (nanoPU-style, ~5 ns)
+	ISAOpCycles   int      // cycles per altom_* op
+	MSROpCycles   int      // cycles per rdmsr/wrmsr op
+	PredictCycles int      // threshold computation: 2 mul (7cyc) + 2 add (1cyc) + 3 cmp (2cyc) ≈ 18 ns @2GHz
+}
+
+// Default returns the paper's cost model.
+func Default() CostModel {
+	return CostModel{
+		ClockHz:       2e9,
+		L1Access:      2 * sim.Nanosecond,
+		LLCAccess:     30 * sim.Nanosecond,
+		DRAMAccess:    90 * sim.Nanosecond,
+		CacheMiss:     45 * sim.Nanosecond,
+		QPILatency:    150 * sim.Nanosecond,
+		PCIeBase:      200 * sim.Nanosecond,
+		PCIeMax:       800 * sim.Nanosecond,
+		PCIeMaxBytes:  4096,
+		NICFrontEnd:   30 * sim.Nanosecond,
+		CoherenceMsg:  sim.Cycles(70, 2e9),
+		StealAttempt:  300 * sim.Nanosecond,
+		PreemptCost:   1 * sim.Microsecond,
+		RegisterXfer:  5 * sim.Nanosecond,
+		ISAOpCycles:   2,
+		MSROpCycles:   100,
+		PredictCycles: 36, // ≈18 ns at 2 GHz, the paper's worst-case prediction latency
+	}
+}
+
+// PCIeTransfer returns the PCIe latency for a transfer of size bytes,
+// interpolating linearly between PCIeBase and PCIeMax as the paper's
+// cited measurements do (200-800 ns depending on data size).
+func (c CostModel) PCIeTransfer(size int) sim.Time {
+	if size <= 0 {
+		return c.PCIeBase
+	}
+	if size >= c.PCIeMaxBytes {
+		return c.PCIeMax
+	}
+	span := float64(c.PCIeMax - c.PCIeBase)
+	return c.PCIeBase + sim.Time(span*float64(size)/float64(c.PCIeMaxBytes))
+}
+
+// NICTransfer returns the NIC-to-core transfer latency for the given
+// attach model and transfer size.
+func (c CostModel) NICTransfer(a Attach, size int) sim.Time {
+	if a == AttachIntegrated {
+		return c.LLCAccess
+	}
+	return c.PCIeTransfer(size)
+}
+
+// InterfaceOp returns the cost of one software/hardware interface
+// operation (a register read or write of the scheduling hardware).
+func (c CostModel) InterfaceOp(i Interface) sim.Time {
+	if i == InterfaceMSR {
+		return sim.Cycles(c.MSROpCycles, c.ClockHz)
+	}
+	return sim.Cycles(c.ISAOpCycles, c.ClockHz)
+}
+
+// PredictCost returns the per-period cost of running the SLO-violation
+// prediction (threshold computation + comparisons, §VIII-E).
+func (c CostModel) PredictCost() sim.Time {
+	return sim.Cycles(c.PredictCycles, c.ClockHz)
+}

@@ -1,0 +1,88 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestDefaultConstantsMatchPaper(t *testing.T) {
+	c := Default()
+	if c.QPILatency != 150*sim.Nanosecond {
+		t.Fatalf("QPI = %v, paper says 150ns", c.QPILatency)
+	}
+	if c.PCIeBase != 200*sim.Nanosecond || c.PCIeMax != 800*sim.Nanosecond {
+		t.Fatalf("PCIe range = %v-%v, paper says 200-800ns", c.PCIeBase, c.PCIeMax)
+	}
+	if c.NICFrontEnd != 30*sim.Nanosecond {
+		t.Fatalf("NIC front end = %v, paper says ~30ns", c.NICFrontEnd)
+	}
+	if c.CoherenceMsg != 35*sim.Nanosecond {
+		t.Fatalf("coherence msg = %v, paper says 70cyc@2GHz = 35ns", c.CoherenceMsg)
+	}
+}
+
+func TestPCIeTransferInterpolation(t *testing.T) {
+	c := Default()
+	if got := c.PCIeTransfer(0); got != c.PCIeBase {
+		t.Fatalf("size 0: %v", got)
+	}
+	if got := c.PCIeTransfer(1 << 20); got != c.PCIeMax {
+		t.Fatalf("huge: %v", got)
+	}
+	mid := c.PCIeTransfer(c.PCIeMaxBytes / 2)
+	if mid <= c.PCIeBase || mid >= c.PCIeMax {
+		t.Fatalf("mid-size transfer %v not between base and max", mid)
+	}
+	// Monotonic in size.
+	prev := sim.Time(0)
+	for s := 0; s <= c.PCIeMaxBytes; s += 256 {
+		v := c.PCIeTransfer(s)
+		if v < prev {
+			t.Fatalf("PCIe latency not monotonic at %d", s)
+		}
+		prev = v
+	}
+}
+
+func TestNICTransfer(t *testing.T) {
+	c := Default()
+	if got := c.NICTransfer(AttachIntegrated, 64); got != c.LLCAccess {
+		t.Fatalf("integrated transfer = %v", got)
+	}
+	if got := c.NICTransfer(AttachPCIe, 64); got < c.PCIeBase {
+		t.Fatalf("pcie transfer = %v", got)
+	}
+}
+
+func TestInterfaceOpCosts(t *testing.T) {
+	c := Default()
+	isa := c.InterfaceOp(InterfaceISA)
+	msr := c.InterfaceOp(InterfaceMSR)
+	if isa != sim.Cycles(2, 2e9) {
+		t.Fatalf("ISA op = %v", isa)
+	}
+	if msr != sim.Cycles(100, 2e9) {
+		t.Fatalf("MSR op = %v, paper says ~100 cycles", msr)
+	}
+	if msr <= isa*10 {
+		t.Fatalf("MSR should be much slower than ISA: %v vs %v", msr, isa)
+	}
+}
+
+func TestPredictCost(t *testing.T) {
+	c := Default()
+	// Paper: worst-case prediction latency ~18ns at 2 GHz.
+	if got := c.PredictCost(); got != 18*sim.Nanosecond {
+		t.Fatalf("predict cost = %v, want 18ns", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if InterfaceISA.String() != "ISA" || InterfaceMSR.String() != "MSR" {
+		t.Fatal("Interface stringer")
+	}
+	if AttachPCIe.String() != "pcie" || AttachIntegrated.String() != "integrated" {
+		t.Fatal("Attach stringer")
+	}
+}

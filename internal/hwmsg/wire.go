@@ -1,0 +1,127 @@
+package hwmsg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/rpcproto"
+)
+
+// Wire encoding of the runtime messages: what actually crosses the NoC
+// on the ALTOCUMULUS virtual network. The simulator mostly passes
+// structured messages in memory for speed, but the codec pins down the
+// exact bit-level footprint the latency model charges for, and the tests
+// prove the footprint arithmetic (WireSize et al.) against real bytes.
+//
+// MIGRATE layout:
+//
+//	0      msg type (1B)
+//	1:3    req_num (2B)
+//	3:5    src_mid (2B)
+//	5:7    dst_mid (2B)
+//	7:15   tail pointer *MR[Tail] (8B)
+//	15     reserved
+//	16:    req_num x 14B descriptors
+//
+// UPDATE layout: type(1) src_mid(2) q(4) pad(1) = 8B.
+// ACK/NACK layout: type(1) src_mid(2) pad(1) = 4B.
+
+var (
+	// ErrWireShort indicates a truncated message.
+	ErrWireShort = errors.New("hwmsg: short message")
+	// ErrWireType indicates an unexpected message type byte.
+	ErrWireType = errors.New("hwmsg: unexpected message type")
+)
+
+// EncodeMigrate serialises a MIGRATE message (header + descriptors).
+func EncodeMigrate(m *Migrate, tailPtr uint64) []byte {
+	buf := make([]byte, MigrateHeaderSize+len(m.Descs)*rpcproto.DescriptorSize)
+	buf[0] = byte(MsgMigrate)
+	binary.LittleEndian.PutUint16(buf[1:3], uint16(len(m.Descs)))
+	binary.LittleEndian.PutUint16(buf[3:5], uint16(m.SrcMid))
+	binary.LittleEndian.PutUint16(buf[5:7], uint16(m.DstMid))
+	binary.LittleEndian.PutUint64(buf[7:15], tailPtr)
+	off := MigrateHeaderSize
+	for _, d := range m.Descs {
+		enc := rpcproto.EncodeDescriptor(d)
+		copy(buf[off:], enc[:])
+		off += rpcproto.DescriptorSize
+	}
+	return buf
+}
+
+// DecodeMigrate parses a MIGRATE message. The Reqs field is not part of
+// the wire image (the simulator attaches it separately).
+func DecodeMigrate(buf []byte) (m *Migrate, tailPtr uint64, err error) {
+	if len(buf) < MigrateHeaderSize {
+		return nil, 0, ErrWireShort
+	}
+	if MsgType(buf[0]) != MsgMigrate {
+		return nil, 0, fmt.Errorf("%w: %d", ErrWireType, buf[0])
+	}
+	n := int(binary.LittleEndian.Uint16(buf[1:3]))
+	if len(buf) < MigrateHeaderSize+n*rpcproto.DescriptorSize {
+		return nil, 0, ErrWireShort
+	}
+	m = &Migrate{
+		SrcMid: int(binary.LittleEndian.Uint16(buf[3:5])),
+		DstMid: int(binary.LittleEndian.Uint16(buf[5:7])),
+		Descs:  make([]rpcproto.Descriptor, n),
+	}
+	tailPtr = binary.LittleEndian.Uint64(buf[7:15])
+	off := MigrateHeaderSize
+	for i := 0; i < n; i++ {
+		var raw [rpcproto.DescriptorSize]byte
+		copy(raw[:], buf[off:off+rpcproto.DescriptorSize])
+		m.Descs[i] = rpcproto.DecodeDescriptor(raw)
+		off += rpcproto.DescriptorSize
+	}
+	return m, tailPtr, nil
+}
+
+// EncodeUpdate serialises an UPDATE message.
+func EncodeUpdate(u Update) []byte {
+	buf := make([]byte, UpdateWireSize)
+	buf[0] = byte(MsgUpdate)
+	binary.LittleEndian.PutUint16(buf[1:3], uint16(u.SrcMid))
+	binary.LittleEndian.PutUint32(buf[3:7], uint32(u.QLen))
+	return buf
+}
+
+// DecodeUpdate parses an UPDATE message.
+func DecodeUpdate(buf []byte) (Update, error) {
+	if len(buf) < UpdateWireSize {
+		return Update{}, ErrWireShort
+	}
+	if MsgType(buf[0]) != MsgUpdate {
+		return Update{}, fmt.Errorf("%w: %d", ErrWireType, buf[0])
+	}
+	return Update{
+		SrcMid: int(binary.LittleEndian.Uint16(buf[1:3])),
+		QLen:   int(binary.LittleEndian.Uint32(buf[3:7])),
+	}, nil
+}
+
+// EncodeAck serialises an ACK or NACK.
+func EncodeAck(t MsgType, srcMid int) ([]byte, error) {
+	if t != MsgAck && t != MsgNack {
+		return nil, fmt.Errorf("%w: %v is not ACK/NACK", ErrWireType, t)
+	}
+	buf := make([]byte, AckWireSize)
+	buf[0] = byte(t)
+	binary.LittleEndian.PutUint16(buf[1:3], uint16(srcMid))
+	return buf, nil
+}
+
+// DecodeAck parses an ACK/NACK, returning its type and source manager.
+func DecodeAck(buf []byte) (MsgType, int, error) {
+	if len(buf) < AckWireSize {
+		return 0, 0, ErrWireShort
+	}
+	t := MsgType(buf[0])
+	if t != MsgAck && t != MsgNack {
+		return 0, 0, fmt.Errorf("%w: %d", ErrWireType, buf[0])
+	}
+	return t, int(binary.LittleEndian.Uint16(buf[1:3])), nil
+}

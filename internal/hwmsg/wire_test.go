@@ -1,0 +1,124 @@
+package hwmsg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rpcproto"
+)
+
+func TestMigrateWireRoundTrip(t *testing.T) {
+	in := &Migrate{SrcMid: 3, DstMid: 9, Descs: descs(5)}
+	buf := EncodeMigrate(in, 0xfeedface)
+	if len(buf) != in.WireSize() {
+		t.Fatalf("encoded %d bytes, WireSize says %d", len(buf), in.WireSize())
+	}
+	out, tail, err := DecodeMigrate(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail != 0xfeedface || out.SrcMid != 3 || out.DstMid != 9 {
+		t.Fatalf("header: %+v tail=%x", out, tail)
+	}
+	if len(out.Descs) != 5 {
+		t.Fatalf("descs = %d", len(out.Descs))
+	}
+	for i := range out.Descs {
+		if out.Descs[i] != in.Descs[i] {
+			t.Fatalf("desc %d mismatch", i)
+		}
+	}
+}
+
+func TestMigrateWireProperty(t *testing.T) {
+	f := func(src, dst uint16, tail uint64, ptrs []uint64) bool {
+		if len(ptrs) > 64 {
+			ptrs = ptrs[:64]
+		}
+		in := &Migrate{SrcMid: int(src), DstMid: int(dst)}
+		for _, p := range ptrs {
+			in.Descs = append(in.Descs, rpcproto.Descriptor{Ptr: p})
+		}
+		buf := EncodeMigrate(in, tail)
+		out, gotTail, err := DecodeMigrate(buf)
+		if err != nil || gotTail != tail {
+			return false
+		}
+		if out.SrcMid != int(src) || out.DstMid != int(dst) || len(out.Descs) != len(in.Descs) {
+			return false
+		}
+		for i := range out.Descs {
+			if out.Descs[i] != in.Descs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMigrateWireErrors(t *testing.T) {
+	if _, _, err := DecodeMigrate([]byte{1, 2}); err != ErrWireShort {
+		t.Fatalf("short: %v", err)
+	}
+	m := &Migrate{Descs: descs(3)}
+	buf := EncodeMigrate(m, 0)
+	buf[0] = byte(MsgUpdate)
+	if _, _, err := DecodeMigrate(buf); err == nil {
+		t.Fatal("wrong type accepted")
+	}
+	buf[0] = byte(MsgMigrate)
+	if _, _, err := DecodeMigrate(buf[:len(buf)-1]); err != ErrWireShort {
+		t.Fatalf("truncated descs: %v", err)
+	}
+}
+
+func TestUpdateWireRoundTrip(t *testing.T) {
+	buf := EncodeUpdate(Update{SrcMid: 12, QLen: 4096})
+	if len(buf) != UpdateWireSize {
+		t.Fatalf("size %d", len(buf))
+	}
+	u, err := DecodeUpdate(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.SrcMid != 12 || u.QLen != 4096 {
+		t.Fatalf("update: %+v", u)
+	}
+	if _, err := DecodeUpdate(buf[:3]); err != ErrWireShort {
+		t.Fatal("short update")
+	}
+	buf[0] = byte(MsgAck)
+	if _, err := DecodeUpdate(buf); err == nil {
+		t.Fatal("wrong type accepted")
+	}
+}
+
+func TestAckWire(t *testing.T) {
+	for _, typ := range []MsgType{MsgAck, MsgNack} {
+		buf, err := EncodeAck(typ, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(buf) != AckWireSize {
+			t.Fatalf("size %d", len(buf))
+		}
+		got, src, err := DecodeAck(buf)
+		if err != nil || got != typ || src != 7 {
+			t.Fatalf("ack round trip: %v %d %v", got, src, err)
+		}
+	}
+	if _, err := EncodeAck(MsgMigrate, 0); err == nil {
+		t.Fatal("encode non-ack type accepted")
+	}
+	if _, _, err := DecodeAck([]byte{0}); err != ErrWireShort {
+		t.Fatal("short ack")
+	}
+	bad, _ := EncodeAck(MsgAck, 1)
+	bad[0] = byte(MsgMigrate)
+	if _, _, err := DecodeAck(bad); err == nil {
+		t.Fatal("wrong ack type accepted")
+	}
+}

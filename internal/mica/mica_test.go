@@ -1,0 +1,258 @@
+package mica
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fabric"
+	"repro/internal/rpcproto"
+	"repro/internal/sim"
+)
+
+func smallStore(t *testing.T, partitions int) *Store {
+	t.Helper()
+	s, err := NewStore(Config{
+		Partitions:       partitions,
+		BucketsPerPart:   64,
+		EntriesPerBucket: 8,
+		LogBytesPerPart:  1 << 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSetGetRoundTrip(t *testing.T) {
+	s := smallStore(t, 4)
+	for i := 0; i < 100; i++ {
+		k := []byte(fmt.Sprintf("key-%04d", i))
+		v := []byte(fmt.Sprintf("value-%04d", i))
+		if err := s.Set(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		k := []byte(fmt.Sprintf("key-%04d", i))
+		v, ok := s.Get(k)
+		if !ok {
+			t.Fatalf("miss for %s", k)
+		}
+		if string(v) != fmt.Sprintf("value-%04d", i) {
+			t.Fatalf("wrong value: %s", v)
+		}
+	}
+	st := s.Stats()
+	if st.Sets != 100 || st.GetHits != 100 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestGetMiss(t *testing.T) {
+	s := smallStore(t, 1)
+	if _, ok := s.Get([]byte("nope")); ok {
+		t.Fatal("phantom hit")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	s := smallStore(t, 1)
+	k := []byte("k")
+	s.Set(k, []byte("v1"))
+	s.Set(k, []byte("v2"))
+	v, ok := s.Get(k)
+	if !ok || string(v) != "v2" {
+		t.Fatalf("got %q ok=%v", v, ok)
+	}
+}
+
+func TestPartitionStability(t *testing.T) {
+	s := smallStore(t, 8)
+	k := []byte("some-key")
+	p := s.Partition(k)
+	for i := 0; i < 10; i++ {
+		if s.Partition(k) != p {
+			t.Fatal("partition not stable")
+		}
+	}
+	if s.Partitions() != 8 {
+		t.Fatal("partitions")
+	}
+	// Keys spread across partitions.
+	counts := make([]int, 8)
+	for i := 0; i < 8000; i++ {
+		counts[s.Partition([]byte(fmt.Sprintf("key-%d", i)))]++
+	}
+	for i, c := range counts {
+		if c < 500 || c > 1500 {
+			t.Fatalf("partition %d has %d of 8000", i, c)
+		}
+	}
+}
+
+func TestLogWraparoundIsLossyNotCorrupt(t *testing.T) {
+	// Fill a 64KB log several times over; old keys may miss but must
+	// never return wrong bytes.
+	s := smallStore(t, 1)
+	val := make([]byte, 512)
+	const n = 1000 // ~520KB total, 8x the log
+	for i := 0; i < n; i++ {
+		for j := range val {
+			val[j] = byte(i)
+		}
+		if err := s.Set([]byte(fmt.Sprintf("key-%05d", i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits := 0
+	for i := 0; i < n; i++ {
+		v, ok := s.Get([]byte(fmt.Sprintf("key-%05d", i)))
+		if !ok {
+			continue
+		}
+		hits++
+		for _, b := range v {
+			if b != byte(i) {
+				t.Fatalf("corrupt value for key %d", i)
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no hits at all after wraparound")
+	}
+	if hits == n {
+		t.Fatal("lossy store retained everything despite 8x overflow")
+	}
+	// Recent keys must survive.
+	if _, ok := s.Get([]byte(fmt.Sprintf("key-%05d", n-1))); !ok {
+		t.Fatal("most recent key evicted")
+	}
+}
+
+func TestIndexEviction(t *testing.T) {
+	// Tiny index (1 bucket x 2 entries) forces evictions.
+	s, err := NewStore(Config{Partitions: 1, BucketsPerPart: 1, EntriesPerBucket: 2, LogBytesPerPart: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s.Set([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	if s.Stats().IndexEvictions == 0 {
+		t.Fatal("expected index evictions")
+	}
+	// The newest key is always retrievable.
+	if _, ok := s.Get([]byte("k9")); !ok {
+		t.Fatal("newest key lost")
+	}
+}
+
+func TestScan(t *testing.T) {
+	s := smallStore(t, 2)
+	for i := 0; i < 50; i++ {
+		s.Set([]byte(fmt.Sprintf("key-%02d", i)), []byte("value"))
+	}
+	seen := 0
+	n := s.Scan(0, 1000, func(k, v []byte) {
+		seen++
+		if string(v) != "value" {
+			t.Fatalf("scan got %q", v)
+		}
+	})
+	if n != seen || n == 0 {
+		t.Fatalf("scan visited %d (cb %d)", n, seen)
+	}
+	// Bounded scan.
+	if got := s.Scan(0, 3, nil); got > 3 {
+		t.Fatalf("bounded scan visited %d", got)
+	}
+}
+
+func TestOversizeEntryRejected(t *testing.T) {
+	s, _ := NewStore(Config{Partitions: 1, BucketsPerPart: 4, EntriesPerBucket: 2, LogBytesPerPart: 2048})
+	if err := s.Set([]byte("k"), make([]byte, 4096)); err == nil {
+		t.Fatal("oversize set should fail")
+	}
+}
+
+func TestNewStoreValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Partitions: 1},
+		{Partitions: 1, BucketsPerPart: 4, EntriesPerBucket: 1, LogBytesPerPart: 10},
+	}
+	for i, cfg := range bad {
+		if _, err := NewStore(cfg); err == nil {
+			t.Fatalf("config %d should fail", i)
+		}
+	}
+}
+
+func TestGetAfterSetProperty(t *testing.T) {
+	// Property: immediately after Set(k,v), Get(k) returns v (the newest
+	// write wins; no interleaving writers in EREW).
+	s := smallStore(t, 4)
+	f := func(key, val []byte) bool {
+		if len(key) == 0 || len(key) > 64 || len(val) > 1024 {
+			return true // outside supported shape
+		}
+		if err := s.Set(key, val); err != nil {
+			return false
+		}
+		got, ok := s.Get(key)
+		if !ok {
+			return false
+		}
+		return string(got) == string(val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpCost(t *testing.T) {
+	oc := DefaultOpCost(fabric.Default())
+	get := oc.Time(rpcproto.OpGet, 512, false)
+	set := oc.Time(rpcproto.OpSet, 512, false)
+	scan := oc.Time(rpcproto.OpScan, 0, false)
+	// Paper anchors: ~50ns GET/SET, ~50us SCAN.
+	if get < 40*sim.Nanosecond || get > 70*sim.Nanosecond {
+		t.Fatalf("GET = %v", get)
+	}
+	if set >= get {
+		t.Fatalf("SET (%v) should be cheaper than GET (%v)", set, get)
+	}
+	if scan < 40*sim.Microsecond || scan > 60*sim.Microsecond {
+		t.Fatalf("SCAN = %v", scan)
+	}
+	// Migrated EREW requests pay a remote access.
+	if oc.Time(rpcproto.OpGet, 512, true) <= get {
+		t.Fatal("remote penalty missing")
+	}
+	if oc.Time(rpcproto.OpEcho, 0, false) != oc.GetBase {
+		t.Fatal("echo fallback")
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	s, _ := NewStore(DefaultConfig(4))
+	val := make([]byte, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Set([]byte(fmt.Sprintf("key-%07d", i%100000)), val)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	s, _ := NewStore(DefaultConfig(4))
+	val := make([]byte, 512)
+	for i := 0; i < 100000; i++ {
+		s.Set([]byte(fmt.Sprintf("key-%07d", i)), val)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Get([]byte(fmt.Sprintf("key-%07d", i%100000)))
+	}
+}

@@ -1,0 +1,100 @@
+package nic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/rpcproto"
+	"repro/internal/sim"
+)
+
+func TestSteerConnectionStable(t *testing.T) {
+	s := NewSteerer(SteerConnection, 8, nil)
+	r := &rpcproto.Request{Conn: 1234}
+	q := s.Steer(r)
+	for i := 0; i < 100; i++ {
+		if s.Steer(r) != q {
+			t.Fatal("connection steering not stable")
+		}
+	}
+	if q < 0 || q >= 8 {
+		t.Fatalf("queue out of range: %d", q)
+	}
+}
+
+func TestSteerConnectionSpreads(t *testing.T) {
+	s := NewSteerer(SteerConnection, 8, nil)
+	counts := make([]int, 8)
+	for c := uint32(0); c < 8000; c++ {
+		counts[s.Steer(&rpcproto.Request{Conn: c})]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-1000) > 200 {
+			t.Fatalf("queue %d got %d of 8000", i, c)
+		}
+	}
+}
+
+func TestSteerRoundRobin(t *testing.T) {
+	s := NewSteerer(SteerRoundRobin, 4, nil)
+	for i := 0; i < 12; i++ {
+		if got := s.Steer(&rpcproto.Request{}); got != i%4 {
+			t.Fatalf("rr step %d = %d", i, got)
+		}
+	}
+}
+
+func TestSteerRandom(t *testing.T) {
+	s := NewSteerer(SteerRandom, 4, sim.NewRNG(1))
+	counts := make([]int, 4)
+	for i := 0; i < 8000; i++ {
+		counts[s.Steer(&rpcproto.Request{})]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-2000) > 300 {
+			t.Fatalf("queue %d got %d", i, c)
+		}
+	}
+}
+
+func TestSteererPanicsOnZeroQueues(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSteerer(SteerRandom, 0, nil)
+}
+
+func TestPolicyStringer(t *testing.T) {
+	if SteerConnection.String() != "connection" ||
+		SteerRandom.String() != "random" ||
+		SteerRoundRobin.String() != "round-robin" {
+		t.Fatal("stringer")
+	}
+}
+
+func TestRXModelPCIeVsIntegrated(t *testing.T) {
+	cost := fabric.Default()
+	pcie := RXModel{Cost: cost, Attach: fabric.AttachPCIe,
+		Stack: rpcproto.NewStack(rpcproto.StackERPC)}
+	integ := RXModel{Cost: cost, Attach: fabric.AttachIntegrated, HWTerminated: true,
+		Stack: rpcproto.NewStack(rpcproto.StackNanoRPC)}
+
+	// PCIe path: 30ns front end + >=200ns PCIe.
+	if d := pcie.Delay(300); d < 230*sim.Nanosecond {
+		t.Fatalf("pcie delay = %v", d)
+	}
+	// Integrated path: 30ns + 30ns LLC + ~40ns hw stack ~ 100ns.
+	if d := integ.Delay(300); d < 90*sim.Nanosecond || d > 120*sim.Nanosecond {
+		t.Fatalf("integrated delay = %v", d)
+	}
+	// Software stack charges the core; hardware stack does not.
+	if pcie.CoreStackCost(300) < 800*sim.Nanosecond {
+		t.Fatalf("software core stack cost = %v", pcie.CoreStackCost(300))
+	}
+	if integ.CoreStackCost(300) != 0 {
+		t.Fatal("hw-terminated stack should not charge the core")
+	}
+}

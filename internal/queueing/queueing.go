@@ -1,0 +1,135 @@
+// Package queueing implements the analytical models behind ALTOCUMULUS'
+// proactive SLO-violation prediction (§IV of the paper): the Erlang-C
+// formula, M/M/k queue metrics, and the E[T̂] threshold model
+//
+//	E[N̂q] = C_k(A) · A/(k−A)            (Eqn. 1)
+//	E[T̂]  = a · E[c·N̂q + d] + b         (Eqn. 2)
+//
+// where A is the offered load in Erlangs (λ/µ), k the number of worker
+// cores and (a, b, c, d) constants fitted per service-time distribution.
+package queueing
+
+import (
+	"errors"
+	"math"
+)
+
+// ErlangC returns C_k(A), the probability that an arriving request has to
+// queue in an M/M/k system with offered load A Erlangs and k servers.
+// Computed via the numerically stable recurrence on the Erlang-B blocking
+// probability: B(0)=1, B(j) = A·B(j−1)/(j + A·B(j−1)),
+// C = k·B(k) / (k − A(1−B(k))).
+//
+// Requires 0 <= A < k; returns 1 for A >= k (saturated: everyone queues).
+func ErlangC(k int, a float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if a <= 0 {
+		return 0
+	}
+	if a >= float64(k) {
+		return 1
+	}
+	b := 1.0
+	for j := 1; j <= k; j++ {
+		b = a * b / (float64(j) + a*b)
+	}
+	c := float64(k) * b / (float64(k) - a*(1-b))
+	if c < 0 {
+		return 0
+	}
+	if c > 1 {
+		return 1
+	}
+	return c
+}
+
+// ErlangB returns the Erlang-B blocking probability for k servers and
+// offered load A (no queueing, pure loss system). Exposed for tests and
+// as a building block.
+func ErlangB(k int, a float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if a <= 0 {
+		return 0
+	}
+	b := 1.0
+	for j := 1; j <= k; j++ {
+		b = a * b / (float64(j) + a*b)
+	}
+	return b
+}
+
+// ExpectedQueueLength returns E[N̂q] per Eqn. 1 of the paper:
+// C_k(A)·A/(k−A). For A >= k it returns +Inf (the queue diverges).
+func ExpectedQueueLength(k int, a float64) float64 {
+	if a >= float64(k) {
+		return math.Inf(1)
+	}
+	if a <= 0 {
+		return 0
+	}
+	return ErlangC(k, a) * a / (float64(k) - a)
+}
+
+// MMk summarises an M/M/k queue at arrival rate lambda and per-server
+// service rate mu (both in events/second).
+type MMk struct {
+	K      int
+	Lambda float64
+	Mu     float64
+}
+
+// Offered returns the offered load A = λ/µ in Erlangs.
+func (q MMk) Offered() float64 { return q.Lambda / q.Mu }
+
+// Utilization returns ρ = A/k.
+func (q MMk) Utilization() float64 { return q.Offered() / float64(q.K) }
+
+// PWait returns the probability of queueing, C_k(A).
+func (q MMk) PWait() float64 { return ErlangC(q.K, q.Offered()) }
+
+// MeanQueueLength returns E[Nq].
+func (q MMk) MeanQueueLength() float64 { return ExpectedQueueLength(q.K, q.Offered()) }
+
+// MeanWait returns the expected queueing delay E[W] in seconds
+// (Little's law: E[Nq]/λ).
+func (q MMk) MeanWait() float64 {
+	if q.Lambda <= 0 {
+		return 0
+	}
+	return q.MeanQueueLength() / q.Lambda
+}
+
+// MeanSojourn returns E[W] + 1/µ in seconds.
+func (q MMk) MeanSojourn() float64 { return q.MeanWait() + 1/q.Mu }
+
+// WaitPercentile returns the p-th percentile (0<p<1) of the queueing delay
+// for M/M/k: W > 0 with probability C, and conditionally exponential with
+// rate kµ−λ. Returns 0 if the percentile falls in the no-wait mass.
+func (q MMk) WaitPercentile(p float64) float64 {
+	c := q.PWait()
+	if p <= 1-c {
+		return 0
+	}
+	rate := float64(q.K)*q.Mu - q.Lambda
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	// P(W > t) = C·exp(−rate·t) = 1−p  ⇒  t = ln(C/(1−p))/rate.
+	return math.Log(c/(1-p)) / rate
+}
+
+// MG1MeanWait returns the Pollaczek–Khinchine mean waiting time for an
+// M/G/1 queue: E[W] = λ·E[S²] / (2(1−ρ)). es and es2 are the first and
+// second moments of the service time in seconds. Used to sanity-check the
+// simulator against theory for single-server runs.
+func MG1MeanWait(lambda, es, es2 float64) (float64, error) {
+	rho := lambda * es
+	if rho >= 1 {
+		return 0, errors.New("queueing: M/G/1 unstable (rho >= 1)")
+	}
+	return lambda * es2 / (2 * (1 - rho)), nil
+}

@@ -1,0 +1,217 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestErlangCKnownValues(t *testing.T) {
+	// Classic textbook value: k=10, A=7 -> C ~ 0.2217.
+	if got := ErlangC(10, 7); math.Abs(got-0.2217) > 0.002 {
+		t.Fatalf("ErlangC(10,7) = %v", got)
+	}
+	// Single server: C_1(A) = A (M/M/1: P(wait) = rho).
+	if got := ErlangC(1, 0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("ErlangC(1,0.5) = %v", got)
+	}
+}
+
+func TestErlangCEdgeCases(t *testing.T) {
+	if ErlangC(10, 0) != 0 {
+		t.Fatal("zero load should never wait")
+	}
+	if ErlangC(10, 10) != 1 {
+		t.Fatal("saturated system should always wait")
+	}
+	if ErlangC(10, 15) != 1 {
+		t.Fatal("overloaded system should always wait")
+	}
+	if ErlangC(0, 1) != 1 {
+		t.Fatal("no servers")
+	}
+	if ErlangC(10, -1) != 0 {
+		t.Fatal("negative load")
+	}
+}
+
+func TestErlangBKnownValues(t *testing.T) {
+	// Textbook: B(2, 1) = (1/2)/(1+1+1/2) = 0.2.
+	if got := ErlangB(2, 1); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("ErlangB(2,1) = %v", got)
+	}
+	if ErlangB(0, 1) != 1 || ErlangB(5, 0) != 0 {
+		t.Fatal("ErlangB edge cases")
+	}
+}
+
+func TestErlangCMonotonicInLoad(t *testing.T) {
+	f := func(kRaw uint8, a1, a2 float64) bool {
+		k := int(kRaw%64) + 1
+		a1 = math.Abs(math.Mod(a1, float64(k)))
+		a2 = math.Abs(math.Mod(a2, float64(k)))
+		if a1 > a2 {
+			a1, a2 = a2, a1
+		}
+		return ErlangC(k, a1) <= ErlangC(k, a2)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErlangCDecreasingInServers(t *testing.T) {
+	// More servers at the same offered load -> lower wait probability.
+	for k := 2; k <= 128; k *= 2 {
+		if ErlangC(k, 1.5) < ErlangC(2*k, 1.5) {
+			t.Fatalf("ErlangC not decreasing in k at k=%d", k)
+		}
+	}
+}
+
+func TestExpectedQueueLength(t *testing.T) {
+	// M/M/1 E[Nq] = rho^2/(1-rho). For rho=0.9: 8.1.
+	if got := ExpectedQueueLength(1, 0.9); math.Abs(got-8.1) > 1e-9 {
+		t.Fatalf("E[Nq] M/M/1 = %v", got)
+	}
+	if !math.IsInf(ExpectedQueueLength(4, 4), 1) {
+		t.Fatal("saturated E[Nq] should be +Inf")
+	}
+	if ExpectedQueueLength(4, 0) != 0 {
+		t.Fatal("idle E[Nq] should be 0")
+	}
+	// Paper §V-B: mean E[Nq] ~ 11 for a 16-ish-core group near load 1.
+	// Verify the order of magnitude for k=16 at A=15.5 (rho ~ 0.97).
+	got := ExpectedQueueLength(16, 15.5)
+	if got < 5 || got > 40 {
+		t.Fatalf("E[Nq](16, 15.5) = %v, want O(10)", got)
+	}
+}
+
+func TestMMkMetrics(t *testing.T) {
+	q := MMk{K: 4, Lambda: 3e6, Mu: 1e6} // A=3, rho=0.75
+	if math.Abs(q.Offered()-3) > 1e-12 {
+		t.Fatal("offered")
+	}
+	if math.Abs(q.Utilization()-0.75) > 1e-12 {
+		t.Fatal("utilization")
+	}
+	// Little's law consistency: E[W] = E[Nq]/lambda.
+	if math.Abs(q.MeanWait()-q.MeanQueueLength()/q.Lambda) > 1e-18 {
+		t.Fatal("Little's law violated")
+	}
+	if q.MeanSojourn() <= q.MeanWait() {
+		t.Fatal("sojourn must exceed wait")
+	}
+	// Percentile sanity: p50 below p99; zero-wait mass handled.
+	p50, p99 := q.WaitPercentile(0.5), q.WaitPercentile(0.99)
+	if p50 > p99 {
+		t.Fatalf("wait percentiles inverted: %v > %v", p50, p99)
+	}
+	lowLoad := MMk{K: 64, Lambda: 1e6, Mu: 1e6}
+	if lowLoad.WaitPercentile(0.5) != 0 {
+		t.Fatal("p50 wait at tiny load should be 0")
+	}
+}
+
+func TestWaitPercentileSaturated(t *testing.T) {
+	q := MMk{K: 2, Lambda: 2e6, Mu: 1e6}
+	if !math.IsInf(q.WaitPercentile(0.99), 1) {
+		t.Fatal("saturated percentile should be +Inf")
+	}
+}
+
+func TestMG1MeanWait(t *testing.T) {
+	// M/M/1 via P-K: E[S^2]=2/mu^2 -> E[W] = rho/(mu(1-rho)).
+	mu := 1e6
+	lambda := 0.8e6
+	es := 1 / mu
+	es2 := 2 / (mu * mu)
+	got, err := MG1MeanWait(lambda, es, es2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.8 / (mu * (1 - 0.8))
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("P-K = %v, want %v", got, want)
+	}
+	if _, err := MG1MeanWait(2e6, es, es2); err == nil {
+		t.Fatal("unstable queue should error")
+	}
+}
+
+func TestThresholdModelDefaults(t *testing.T) {
+	m := NewThresholdModel(64, 10)
+	if m.UpperBound() != 641 {
+		t.Fatalf("UpperBound = %d, want 641 (k*L+1)", m.UpperBound())
+	}
+	// At saturation the threshold caps at the upper bound.
+	if got := m.Threshold(64); got != 641 {
+		t.Fatalf("saturated threshold = %d", got)
+	}
+	// At trivial load the threshold floors at 1.
+	if got := m.Threshold(0.001); got != 1 {
+		t.Fatalf("idle threshold = %d", got)
+	}
+	// Threshold is nondecreasing with load.
+	prev := 0
+	for _, a := range []float64{10, 30, 50, 60, 62, 63, 63.5, 63.9} {
+		th := m.Threshold(a)
+		if th < prev {
+			t.Fatalf("threshold decreased at A=%v: %d < %d", a, th, prev)
+		}
+		prev = th
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	m := NewThresholdModel(64, 10)
+	// Synthetic ground truth: T = 2.0*E[Nq] + 30.
+	var pts []CalibrationPoint
+	for _, load := range []float64{0.95, 0.96, 0.97, 0.98, 0.99} {
+		a := load * 64
+		pts = append(pts, CalibrationPoint{
+			Offered:   a,
+			ObservedT: 2.0*(m.C*ExpectedQueueLength(64, a)+m.D) + 30,
+		})
+	}
+	if err := m.Calibrate(pts); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.A-2.0) > 1e-6 || math.Abs(m.B-30) > 1e-4 {
+		t.Fatalf("calibrated A=%v B=%v", m.A, m.B)
+	}
+	// Round trip: model should now reproduce the synthetic T.
+	a := 0.97 * 64
+	want := int(math.Round(2.0*(m.C*ExpectedQueueLength(64, a)+m.D) + 30))
+	if got := m.Threshold(a); got != want {
+		t.Fatalf("threshold after calibration = %d, want %d", got, want)
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	m := NewThresholdModel(16, 10)
+	if err := m.Calibrate(nil); err == nil {
+		t.Fatal("empty calibration should fail")
+	}
+	// Saturated points are skipped; only one usable point -> error.
+	pts := []CalibrationPoint{
+		{Offered: 16, ObservedT: 100}, // skipped (Inf E[Nq])
+		{Offered: 15, ObservedT: 80},
+	}
+	if err := m.Calibrate(pts); err == nil {
+		t.Fatal("single usable point should fail")
+	}
+}
+
+func TestPredictViolation(t *testing.T) {
+	m := NewThresholdModel(64, 10)
+	a := 0.99 * 64
+	th := m.Threshold(a)
+	if m.PredictViolation(th, a) {
+		t.Fatal("at threshold should not predict violation")
+	}
+	if !m.PredictViolation(th+1, a) {
+		t.Fatal("above threshold should predict violation")
+	}
+}

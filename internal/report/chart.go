@@ -1,0 +1,142 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve of (x, y) points.
+type Series struct {
+	Name   string
+	Points [][2]float64
+}
+
+// Chart renders one or more series as an ASCII scatter/line chart, the
+// terminal-friendly stand-in for the paper's latency-throughput figures.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogY   bool
+	Width  int // plot columns (default 64)
+	Height int // plot rows (default 16)
+	Series []Series
+}
+
+// markers assigns one rune per series.
+var markers = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart.
+func (c *Chart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			x, y := p[0], p[1]
+			if c.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+			any = true
+		}
+	}
+	if !any {
+		return fmt.Errorf("report: chart %q has no drawable points", c.Title)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		for _, p := range s.Points {
+			x, y := p[0], p[1]
+			if c.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			col := int((x - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+			grid[row][col] = m
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yTop, yBot := maxY, minY
+	if c.LogY {
+		yTop, yBot = math.Pow(10, maxY), math.Pow(10, minY)
+	}
+	for i, row := range grid {
+		prefix := "        |"
+		switch i {
+		case 0:
+			prefix = fmt.Sprintf("%8.3g|", yTop)
+		case height - 1:
+			prefix = fmt.Sprintf("%8.3g|", yBot)
+		}
+		fmt.Fprintf(&b, "%s%s\n", prefix, string(row))
+	}
+	fmt.Fprintf(&b, "        +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "        %-.3g%s%.3g\n", minX,
+		strings.Repeat(" ", maxInt(1, width-14)), maxX)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "        x: %s", c.XLabel)
+		if c.YLabel != "" {
+			fmt.Fprintf(&b, "   y: %s", c.YLabel)
+			if c.LogY {
+				b.WriteString(" (log)")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	// Legend, sorted by series order.
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "        %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// SortSeriesPoints orders every series by x, which line-style consumers
+// expect.
+func (c *Chart) SortSeriesPoints() {
+	for i := range c.Series {
+		pts := c.Series[i].Points
+		sort.Slice(pts, func(a, b int) bool { return pts[a][0] < pts[b][0] })
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,73 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func demoChart() *Chart {
+	return &Chart{
+		Title: "p99 vs load", XLabel: "MRPS", YLabel: "us",
+		Series: []Series{
+			{Name: "nebula", Points: [][2]float64{{1, 5}, {2, 8}, {3, 200}}},
+			{Name: "altocumulus", Points: [][2]float64{{1, 2}, {2, 3}, {3, 9}}},
+		},
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	var buf bytes.Buffer
+	c := demoChart()
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"p99 vs load", "nebula", "altocumulus", "x: MRPS", "y: us", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 18 {
+		t.Fatalf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestChartLogY(t *testing.T) {
+	c := demoChart()
+	c.LogY = true
+	c.Series[0].Points = append(c.Series[0].Points, [2]float64{4, 0}) // dropped in log mode
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(log)") {
+		t.Fatal("log marker missing")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err == nil {
+		t.Fatal("empty chart should error")
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "pt", Points: [][2]float64{{5, 7}}}}}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortSeriesPoints(t *testing.T) {
+	c := &Chart{Series: []Series{{Points: [][2]float64{{3, 1}, {1, 2}, {2, 3}}}}}
+	c.SortSeriesPoints()
+	pts := c.Series[0].Points
+	if pts[0][0] != 1 || pts[1][0] != 2 || pts[2][0] != 3 {
+		t.Fatalf("not sorted: %v", pts)
+	}
+}

@@ -1,0 +1,68 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := Table{
+		ID:    "fig00",
+		Title: "demo",
+		Cols:  []string{"name", "value"},
+		Notes: []string{"a note"},
+	}
+	tb.AddRow("alpha", 3.14159)
+	tb.AddRow("a-much-longer-name", 42)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig00", "demo", "alpha", "3.142", "42", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Header separator present and columns aligned: the header line and
+	// the long row start at the same offset for column 2.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few lines: %q", out)
+	}
+	if !strings.HasPrefix(lines[2], "----") {
+		t.Fatalf("separator missing: %q", lines[2])
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		3.14159: "3.142",
+		42.5:    "42.5",
+		12345.6: "12346",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Fatalf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRenderAll(t *testing.T) {
+	tables := []Table{
+		{ID: "a", Title: "one", Cols: []string{"x"}},
+		{ID: "b", Title: "two", Cols: []string{"y"}},
+	}
+	tables[0].AddRow(1)
+	tables[1].AddRow(2)
+	var buf bytes.Buffer
+	if err := RenderAll(&buf, tables); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "one") || !strings.Contains(out, "two") {
+		t.Fatalf("missing tables:\n%s", out)
+	}
+}

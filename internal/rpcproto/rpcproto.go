@@ -1,0 +1,184 @@
+// Package rpcproto defines the RPC data plane of the simulated server:
+// the request object tracked through its lifetime, the 14-byte descriptor
+// the ALTOCUMULUS hardware moves between manager tiles (§V-B: an 8 B
+// pointer to the in-LLC message plus a 48-bit network address), a real
+// binary wire format with marshal/unmarshal, and the RPC stack models
+// whose processing latencies reproduce Fig. 1.
+package rpcproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Op is the application-level operation carried by an RPC.
+type Op uint8
+
+const (
+	OpEcho Op = iota // synthetic workloads
+	OpGet            // MICA GET
+	OpSet            // MICA SET
+	OpScan           // MICA SCAN (long request)
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "GET"
+	case OpSet:
+		return "SET"
+	case OpScan:
+		return "SCAN"
+	default:
+		return "ECHO"
+	}
+}
+
+// Request is one RPC tracked through the simulated server. Scheduling
+// state lives here so schedulers avoid per-request maps on the hot path.
+type Request struct {
+	ID      uint64
+	Conn    uint32 // network connection (flow) id; RSS hashes this
+	Tenant  uint8  // application/tenant id for multi-tenant isolation studies
+	Op      Op
+	Size    int      // request message size in bytes (payload + header)
+	Arrival sim.Time // when the NIC received it (latency measurement start)
+	Service sim.Time // on-CPU service time of the handler
+
+	// Scheduling state.
+	Enq       sim.Time // when it entered its current queue
+	Start     sim.Time // when a core started (or resumed) it
+	Finish    sim.Time // completion time; 0 until done
+	Remaining sim.Time // remaining service (preemption support)
+	Migrated  bool     // has been migrated once already (§V-B restriction 4)
+	Predicted bool     // was predicted to violate SLO (selected for migration)
+	GroupHint int      // group/queue the request was initially steered to
+
+	// Payload carries the application bytes (e.g. a MICA key/value);
+	// synthetic workloads leave it nil.
+	Payload []byte
+
+	// OnExecute, when non-nil, runs once when a core first begins this
+	// request (before the execution duration is read). Applications use
+	// it to perform their real work and finalise Service — e.g. MICA
+	// executes the GET/SET here and adds the EREW remote-access penalty
+	// if the request was migrated.
+	OnExecute func(r *Request)
+}
+
+// Latency returns the server-side latency (NIC arrival to completion).
+// It panics if the request has not finished: reading the latency of an
+// unfinished request is always a harness bug.
+func (r *Request) Latency() sim.Time {
+	if r.Finish == 0 {
+		panic(fmt.Sprintf("rpcproto: request %d not finished", r.ID))
+	}
+	return r.Finish - r.Arrival
+}
+
+// Descriptor is the 14-byte migration unit: what the MRs store and the
+// MIGRATE messages carry. The full message body never moves (it stays in
+// the LLC / network buffer); only this descriptor does.
+type Descriptor struct {
+	Ptr  uint64  // 8 B pointer to the in-memory message
+	Addr [6]byte // 48-bit connection/network address
+}
+
+// DescriptorSize is the wire footprint of one descriptor (§V-B: 14 B).
+const DescriptorSize = 14
+
+// EncodeDescriptor serialises d into a 14-byte wire image.
+func EncodeDescriptor(d Descriptor) [DescriptorSize]byte {
+	var out [DescriptorSize]byte
+	binary.LittleEndian.PutUint64(out[0:8], d.Ptr)
+	copy(out[8:14], d.Addr[:])
+	return out
+}
+
+// DecodeDescriptor parses a 14-byte wire image.
+func DecodeDescriptor(b [DescriptorSize]byte) Descriptor {
+	var d Descriptor
+	d.Ptr = binary.LittleEndian.Uint64(b[0:8])
+	copy(d.Addr[:], b[8:14])
+	return d
+}
+
+// DescriptorFor builds the descriptor of a request: the pointer is the
+// request ID (a stable surrogate for the buffer address) and the address
+// encodes the connection id and opcode.
+func DescriptorFor(r *Request) Descriptor {
+	var d Descriptor
+	d.Ptr = r.ID
+	binary.LittleEndian.PutUint32(d.Addr[0:4], r.Conn)
+	d.Addr[4] = byte(r.Op)
+	return d
+}
+
+// Wire format ------------------------------------------------------------
+
+// header layout (16 bytes):
+//
+//	0:8   request id
+//	8:12  connection id
+//	12    op
+//	13    version
+//	14:16 payload length
+const (
+	headerSize  = 16
+	wireVersion = 1
+	maxPayload  = 64 << 10 // 64 KiB, far above the paper's <2 KB RPCs
+)
+
+var (
+	// ErrShortBuffer indicates a truncated wire message.
+	ErrShortBuffer = errors.New("rpcproto: short buffer")
+	// ErrBadVersion indicates an unsupported wire version.
+	ErrBadVersion = errors.New("rpcproto: unsupported wire version")
+	// ErrPayloadTooLarge indicates a payload over the 64 KiB cap.
+	ErrPayloadTooLarge = errors.New("rpcproto: payload too large")
+)
+
+// Marshal encodes a request into its network representation. This is the
+// real serialisation work an RPC stack performs; the simulator charges
+// its modelled duration separately via StackModel.
+func Marshal(r *Request) ([]byte, error) {
+	if len(r.Payload) > maxPayload {
+		return nil, ErrPayloadTooLarge
+	}
+	buf := make([]byte, headerSize+len(r.Payload))
+	binary.LittleEndian.PutUint64(buf[0:8], r.ID)
+	binary.LittleEndian.PutUint32(buf[8:12], r.Conn)
+	buf[12] = byte(r.Op)
+	buf[13] = wireVersion
+	binary.LittleEndian.PutUint16(buf[14:16], uint16(len(r.Payload)))
+	copy(buf[headerSize:], r.Payload)
+	return buf, nil
+}
+
+// Unmarshal decodes a network message into a fresh Request (scheduling
+// state zeroed). The Size field records the wire footprint.
+func Unmarshal(buf []byte) (*Request, error) {
+	if len(buf) < headerSize {
+		return nil, ErrShortBuffer
+	}
+	if buf[13] != wireVersion {
+		return nil, ErrBadVersion
+	}
+	plen := int(binary.LittleEndian.Uint16(buf[14:16]))
+	if len(buf) < headerSize+plen {
+		return nil, ErrShortBuffer
+	}
+	r := &Request{
+		ID:   binary.LittleEndian.Uint64(buf[0:8]),
+		Conn: binary.LittleEndian.Uint32(buf[8:12]),
+		Op:   Op(buf[12]),
+		Size: headerSize + plen,
+	}
+	if plen > 0 {
+		r.Payload = append([]byte(nil), buf[headerSize:headerSize+plen]...)
+	}
+	return r, nil
+}

@@ -1,0 +1,183 @@
+package rpcproto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	in := &Request{
+		ID:      12345678901234,
+		Conn:    42,
+		Op:      OpSet,
+		Payload: []byte("key=value"),
+	}
+	buf, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.Conn != in.Conn || out.Op != in.Op {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	if !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("payload mismatch: %q", out.Payload)
+	}
+	if out.Size != len(buf) {
+		t.Fatalf("size = %d, want %d", out.Size, len(buf))
+	}
+}
+
+func TestMarshalUnmarshalProperty(t *testing.T) {
+	f := func(id uint64, conn uint32, op uint8, payload []byte) bool {
+		if len(payload) > maxPayload {
+			payload = payload[:maxPayload]
+		}
+		in := &Request{ID: id, Conn: conn, Op: Op(op % 4), Payload: payload}
+		buf, err := Marshal(in)
+		if err != nil {
+			return false
+		}
+		out, err := Unmarshal(buf)
+		if err != nil {
+			return false
+		}
+		return out.ID == in.ID && out.Conn == in.Conn && out.Op == in.Op &&
+			bytes.Equal(out.Payload, in.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte{1, 2, 3}); err != ErrShortBuffer {
+		t.Fatalf("short header: %v", err)
+	}
+	// Valid header claiming more payload than present.
+	r := &Request{ID: 1, Payload: []byte("abcdef")}
+	buf, _ := Marshal(r)
+	if _, err := Unmarshal(buf[:len(buf)-2]); err != ErrShortBuffer {
+		t.Fatalf("truncated payload: %v", err)
+	}
+	// Corrupt version byte.
+	buf2, _ := Marshal(r)
+	buf2[13] = 99
+	if _, err := Unmarshal(buf2); err != ErrBadVersion {
+		t.Fatalf("bad version: %v", err)
+	}
+	// Oversized payload rejected at marshal time.
+	big := &Request{Payload: make([]byte, maxPayload+1)}
+	if _, err := Marshal(big); err != ErrPayloadTooLarge {
+		t.Fatalf("oversize: %v", err)
+	}
+}
+
+func TestDescriptorRoundTrip(t *testing.T) {
+	d := Descriptor{Ptr: 0xdeadbeefcafe, Addr: [6]byte{1, 2, 3, 4, 5, 6}}
+	got := DecodeDescriptor(EncodeDescriptor(d))
+	if got != d {
+		t.Fatalf("descriptor round trip: %+v != %+v", got, d)
+	}
+}
+
+func TestDescriptorSizeIs14Bytes(t *testing.T) {
+	// §V-B: 8B pointer + 48-bit address = 14 B per descriptor.
+	if DescriptorSize != 14 {
+		t.Fatalf("DescriptorSize = %d", DescriptorSize)
+	}
+	enc := EncodeDescriptor(Descriptor{})
+	if len(enc) != 14 {
+		t.Fatalf("encoded size = %d", len(enc))
+	}
+}
+
+func TestDescriptorFor(t *testing.T) {
+	r := &Request{ID: 77, Conn: 9, Op: OpGet}
+	d := DescriptorFor(r)
+	if d.Ptr != 77 {
+		t.Fatalf("ptr = %d", d.Ptr)
+	}
+	if d.Addr[0] != 9 || d.Addr[4] != byte(OpGet) {
+		t.Fatalf("addr = %v", d.Addr)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	r := &Request{Arrival: 100 * sim.Nanosecond, Finish: 350 * sim.Nanosecond}
+	if got := r.Latency(); got != 250*sim.Nanosecond {
+		t.Fatalf("latency = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unfinished latency should panic")
+		}
+	}()
+	(&Request{}).Latency()
+}
+
+func TestStackProcessingTimes(t *testing.T) {
+	// Fig. 1 anchor points for a 300 B message.
+	tcp := NewStack(StackTCPIP).ProcessingTime(300)
+	erpc := NewStack(StackERPC).ProcessingTime(300)
+	nano := NewStack(StackNanoRPC).ProcessingTime(300)
+	if tcp < 10*sim.Microsecond || tcp > 20*sim.Microsecond {
+		t.Fatalf("TCP/IP 300B = %v, want ~15us", tcp)
+	}
+	if erpc < 800*sim.Nanosecond || erpc > 900*sim.Nanosecond {
+		t.Fatalf("eRPC 300B = %v, want ~850ns", erpc)
+	}
+	if nano < 35*sim.Nanosecond || nano > 45*sim.Nanosecond {
+		t.Fatalf("nanoRPC 300B = %v, want ~40ns", nano)
+	}
+	// The paper's ordering: each successive stack is dramatically faster.
+	if !(tcp > 10*erpc && erpc > 10*nano) {
+		t.Fatalf("stack ordering broken: %v, %v, %v", tcp, erpc, nano)
+	}
+}
+
+func TestStackNegativeSize(t *testing.T) {
+	m := NewStack(StackERPC)
+	if m.ProcessingTime(-5) != m.Fixed {
+		t.Fatal("negative size should clamp to fixed cost")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if StackTCPIP.String() != "TCP/IP" || StackERPC.String() != "eRPC" || StackNanoRPC.String() != "nanoRPC" {
+		t.Fatal("stack stringer")
+	}
+	ops := map[Op]string{OpEcho: "ECHO", OpGet: "GET", OpSet: "SET", OpScan: "SCAN"}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Fatalf("op %d stringer = %q", op, op.String())
+		}
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	r := &Request{ID: 1, Conn: 2, Op: OpGet, Payload: make([]byte, 284)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	r := &Request{ID: 1, Conn: 2, Op: OpGet, Payload: make([]byte, 284)}
+	buf, _ := Marshal(r)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package rpcproto
+
+import "repro/internal/sim"
+
+// StackKind selects the RPC/network stack whose per-message processing
+// cost is charged on the CPU. The three stacks are the ones Fig. 1
+// compares; their on-CPU processing times come from the paper and the
+// systems it cites (TCP/IP sockets ~15 µs, eRPC 850 ns, nanoRPC 40 ns).
+type StackKind int
+
+const (
+	StackTCPIP StackKind = iota
+	StackERPC
+	StackNanoRPC
+)
+
+func (k StackKind) String() string {
+	switch k {
+	case StackERPC:
+		return "eRPC"
+	case StackNanoRPC:
+		return "nanoRPC"
+	default:
+		return "TCP/IP"
+	}
+}
+
+// StackModel charges the RPC-stack processing cost of a message:
+// header parsing, requested-function identification, payload
+// (de)serialisation, transport handling (§II-B). Fixed is the per-message
+// floor; PerByte scales with message size (dominant for TCP's copies).
+type StackModel struct {
+	Kind    StackKind
+	Fixed   sim.Time
+	PerByte sim.Time
+}
+
+// NewStack returns the processing model for the given stack kind, tuned
+// so a 300 B message (Fig. 1's workload) costs approximately the paper's
+// reported processing time.
+func NewStack(k StackKind) StackModel {
+	switch k {
+	case StackERPC:
+		// eRPC: 850 ns round-trip-class processing for small RPCs.
+		return StackModel{Kind: k, Fixed: 790 * sim.Nanosecond, PerByte: 200 * sim.Picosecond}
+	case StackNanoRPC:
+		// nanoPU's nanoRPC: ~40 ns wire-to-wire on-CPU.
+		return StackModel{Kind: k, Fixed: 34 * sim.Nanosecond, PerByte: 20 * sim.Picosecond}
+	default:
+		// Kernel TCP/IP sockets: ~15 µs of protocol + syscall + copies.
+		return StackModel{Kind: k, Fixed: 14 * sim.Microsecond, PerByte: 3333 * sim.Picosecond}
+	}
+}
+
+// ProcessingTime returns the on-CPU stack processing time for a message
+// of the given size.
+func (m StackModel) ProcessingTime(size int) sim.Time {
+	if size < 0 {
+		size = 0
+	}
+	return m.Fixed + sim.Time(size)*m.PerByte
+}

@@ -1,0 +1,125 @@
+package sched
+
+import (
+	"repro/internal/exec"
+	"repro/internal/rpcproto"
+	"repro/internal/sim"
+)
+
+// Central is a centralized software dispatcher modelling Shinjuku
+// (§II-D, Fig. 4(a)): one dedicated core runs the dispatch loop over a
+// single FCFS queue and hands requests to worker cores through the cache
+// coherence protocol. Dispatch operations serialize on the dispatcher
+// (DispatchCost each — Shinjuku's dispatcher tops out around 5 M
+// requests/s), and workers preempt long requests at a quantum,
+// re-enqueueing the remainder centrally, which removes head-of-line
+// blocking at the cost of preemption overhead.
+type Central struct {
+	DispatchCost sim.Time // dispatcher occupancy per dispatched request
+	HandoffCost  sim.Time // dispatcher->worker transfer (coherence, 70 cyc)
+
+	eng      *sim.Engine
+	workers  []*exec.Core
+	claimed  []bool // dispatch in flight toward this worker
+	queue    exec.Deque
+	done     Done
+	obs      Observer
+	dispFree sim.Time // dispatcher busy-until
+
+	preempted uint64
+}
+
+// NewCentral builds a Shinjuku-style scheduler with n worker cores (the
+// dispatcher core is additional and implicit, matching the paper's
+// accounting that one core is sacrificed). quantum > 0 enables
+// preemption.
+func NewCentral(eng *sim.Engine, n int, dispatch, handoff, quantum, preemptCost sim.Time, done Done) *Central {
+	s := &Central{
+		DispatchCost: overheadOrZero(dispatch),
+		HandoffCost:  overheadOrZero(handoff),
+		eng:          eng,
+		workers:      make([]*exec.Core, n),
+		claimed:      make([]bool, n),
+		done:         done,
+		obs:          NopObserver{},
+	}
+	for i := range s.workers {
+		s.workers[i] = exec.NewCore(eng, i, i)
+		s.workers[i].Quantum = quantum
+		s.workers[i].PreemptCost = preemptCost
+	}
+	return s
+}
+
+// SetObserver installs instrumentation.
+func (s *Central) SetObserver(o Observer) { s.obs = o }
+
+// Name implements Scheduler.
+func (s *Central) Name() string { return "shinjuku-central" }
+
+// Deliver implements Scheduler.
+func (s *Central) Deliver(r *rpcproto.Request) {
+	s.obs.OnEnqueue(r, 0, s.queue.Len())
+	r.Enq = s.eng.Now()
+	s.queue.PushTail(r)
+	s.pump()
+}
+
+// pump dispatches the queue head to an idle worker, serializing on the
+// dispatcher core.
+func (s *Central) pump() {
+	for s.queue.Len() > 0 {
+		w := s.idleWorker()
+		if w < 0 {
+			return
+		}
+		r := s.queue.PopHead()
+		now := s.eng.Now()
+		start := now
+		if s.dispFree > start {
+			start = s.dispFree
+		}
+		s.dispFree = start + s.DispatchCost
+		wait := (start - now) + s.DispatchCost
+		worker := s.workers[w]
+		s.claimed[w] = true
+		s.eng.After(wait, func() {
+			s.claimed[worker.ID] = false
+			worker.Start(r, s.HandoffCost, s.onDone, s.onPreempt)
+		})
+	}
+}
+
+func (s *Central) onDone(r *rpcproto.Request) {
+	s.done(r)
+	s.pump()
+}
+
+func (s *Central) onPreempt(r *rpcproto.Request) {
+	s.preempted++
+	// The remainder returns to the tail of the central queue (processor
+	// sharing across long requests, Shinjuku-style).
+	s.queue.PushTail(r)
+	s.pump()
+}
+
+func (s *Central) idleWorker() int {
+	for i, w := range s.workers {
+		if !w.Busy() && !s.claimed[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// QueueLens implements Scheduler.
+func (s *Central) QueueLens() []int { return []int{s.queue.Len()} }
+
+// Cores exposes the worker array for utilisation reporting (the
+// dispatcher core is additional and always busy polling).
+func (s *Central) Cores() []*exec.Core { return s.workers }
+
+// Preemptions returns the number of quantum expiries observed.
+func (s *Central) Preemptions() uint64 { return s.preempted }
+
+var _ Scheduler = (*Central)(nil)

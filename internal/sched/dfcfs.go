@@ -1,0 +1,85 @@
+package sched
+
+import (
+	"repro/internal/exec"
+	"repro/internal/nic"
+	"repro/internal/rpcproto"
+	"repro/internal/sim"
+)
+
+// DFCFS is distributed FCFS: the NIC steers each request to one per-core
+// queue and each core drains only its own queue, run-to-completion. With
+// connection steering this is IX / plain RSS (§II-D, Fig. 4(b) without
+// stealing). It scales perfectly but ignores load, so bursts and long
+// requests produce head-of-line blocking and unpredictable tails.
+type DFCFS struct {
+	Label      string
+	PickupCost sim.Time // cost of a core fetching from its private queue
+
+	eng     *sim.Engine
+	cores   []*exec.Core
+	queues  []exec.Deque
+	steerer *nic.Steerer
+	done    Done
+	obs     Observer
+}
+
+// NewDFCFS builds a d-FCFS scheduler over n cores.
+func NewDFCFS(eng *sim.Engine, n int, steerer *nic.Steerer, pickup sim.Time, done Done) *DFCFS {
+	s := &DFCFS{
+		Label:      "d-FCFS",
+		PickupCost: overheadOrZero(pickup),
+		eng:        eng,
+		cores:      make([]*exec.Core, n),
+		queues:     make([]exec.Deque, n),
+		steerer:    steerer,
+		done:       done,
+		obs:        NopObserver{},
+	}
+	for i := range s.cores {
+		s.cores[i] = exec.NewCore(eng, i, i)
+	}
+	return s
+}
+
+// SetObserver installs instrumentation.
+func (s *DFCFS) SetObserver(o Observer) { s.obs = o }
+
+// Name implements Scheduler.
+func (s *DFCFS) Name() string { return s.Label }
+
+// Deliver implements Scheduler.
+func (s *DFCFS) Deliver(r *rpcproto.Request) {
+	q := s.steerer.Steer(r)
+	r.GroupHint = q
+	s.obs.OnEnqueue(r, q, s.queues[q].Len())
+	r.Enq = s.eng.Now()
+	s.queues[q].PushTail(r)
+	s.tryStart(q)
+}
+
+func (s *DFCFS) tryStart(i int) {
+	if s.cores[i].Busy() || s.queues[i].Len() == 0 {
+		return
+	}
+	r := s.queues[i].PopHead()
+	s.cores[i].Start(r, s.PickupCost, func(r *rpcproto.Request) {
+		s.done(r)
+		s.tryStart(i)
+	}, nil)
+}
+
+// QueueLens implements Scheduler.
+func (s *DFCFS) QueueLens() []int {
+	out := make([]int, len(s.queues))
+	for i := range s.queues {
+		out[i] = s.queues[i].Len()
+	}
+	return out
+}
+
+// Cores exposes the core array for utilisation reporting.
+func (s *DFCFS) Cores() []*exec.Core { return s.cores }
+
+var _ Scheduler = (*DFCFS)(nil)
+var _ starter = (*DFCFS)(nil)

@@ -1,0 +1,185 @@
+package sched
+
+import (
+	"repro/internal/exec"
+	"repro/internal/rpcproto"
+	"repro/internal/sim"
+)
+
+// RSSPlus is d-FCFS with periodic indirection-table rebalancing,
+// modelling RSS++ (Barbette et al. [7], cited in §IX-E): the NIC hashes
+// flows into buckets, buckets map to cores through an indirection table,
+// and every rebalance interval (the paper quotes 20 µs) the table is
+// rewritten to move buckets from the most- to the least-loaded cores.
+// Between rebalances it is exactly RSS — load-blind and imbalance-prone;
+// the rebalancer bounds how long a skewed mapping persists.
+type RSSPlus struct {
+	PickupCost sim.Time
+	Interval   sim.Time // table rebalance period
+
+	eng     *sim.Engine
+	cores   []*exec.Core
+	queues  []exec.Deque
+	table   []int // bucket -> core
+	buckets int
+	load    []int // per-bucket requests since last rebalance
+	done    Done
+	obs     Observer
+	stopped bool
+
+	Rebalances uint64
+	MovedBkts  uint64
+}
+
+// NewRSSPlus builds the scheduler over n cores with buckets hash buckets
+// (RSS NICs typically expose 128 or 512).
+func NewRSSPlus(eng *sim.Engine, n, buckets int, pickup, interval sim.Time, done Done) *RSSPlus {
+	if buckets < n {
+		buckets = 4 * n
+	}
+	s := &RSSPlus{
+		PickupCost: overheadOrZero(pickup),
+		Interval:   interval,
+		eng:        eng,
+		cores:      make([]*exec.Core, n),
+		queues:     make([]exec.Deque, n),
+		table:      make([]int, buckets),
+		buckets:    buckets,
+		load:       make([]int, buckets),
+		done:       done,
+		obs:        NopObserver{},
+	}
+	for i := range s.cores {
+		s.cores[i] = exec.NewCore(eng, i, i)
+	}
+	for b := range s.table {
+		s.table[b] = b % n
+	}
+	if interval > 0 {
+		eng.After(interval, s.rebalance)
+	}
+	return s
+}
+
+// SetObserver installs instrumentation.
+func (s *RSSPlus) SetObserver(o Observer) { s.obs = o }
+
+// Name implements Scheduler.
+func (s *RSSPlus) Name() string { return "rss++" }
+
+// Stop halts the periodic rebalancer so the event queue can drain.
+func (s *RSSPlus) Stop() { s.stopped = true }
+
+// Deliver implements Scheduler.
+func (s *RSSPlus) Deliver(r *rpcproto.Request) {
+	b := int(hashConn(r.Conn)) % s.buckets
+	s.load[b]++
+	q := s.table[b]
+	r.GroupHint = q
+	s.obs.OnEnqueue(r, q, s.queues[q].Len())
+	r.Enq = s.eng.Now()
+	s.queues[q].PushTail(r)
+	s.tryStart(q)
+}
+
+func (s *RSSPlus) tryStart(i int) {
+	if s.cores[i].Busy() || s.queues[i].Len() == 0 {
+		return
+	}
+	r := s.queues[i].PopHead()
+	s.cores[i].Start(r, s.PickupCost, func(r *rpcproto.Request) {
+		s.done(r)
+		s.tryStart(i)
+	}, nil)
+}
+
+// rebalance rewrites the indirection table: buckets are reassigned from
+// the most-loaded core (by queued work) to the least-loaded, one bucket
+// per pass, mirroring RSS++'s incremental migration of table entries.
+func (s *RSSPlus) rebalance() {
+	if s.stopped {
+		return
+	}
+	defer func() {
+		s.eng.After(s.Interval, s.rebalance)
+	}()
+	s.Rebalances++
+	defer func() {
+		for b := range s.load {
+			s.load[b] = 0
+		}
+	}()
+
+	// Measured per-core load over the last interval (RSS++ balances on
+	// load estimates, not instantaneous queue depth, which is noisy and
+	// drifts buckets under churn).
+	coreLoad := make([]int, len(s.cores))
+	total := 0
+	for b, c := range s.table {
+		coreLoad[c] += s.load[b]
+		total += s.load[b]
+	}
+	if total == 0 {
+		return
+	}
+	max, min := 0, 0
+	for i, l := range coreLoad {
+		if l > coreLoad[max] {
+			max = i
+		}
+		if l < coreLoad[min] {
+			min = i
+		}
+	}
+	avg := total / len(s.cores)
+	diff := coreLoad[max] - coreLoad[min]
+	// Only act on meaningful imbalance (>25% of a fair share).
+	if diff*4 <= avg {
+		return
+	}
+	// Move the bucket on the max core that minimises the residual
+	// imbalance |diff - 2L|, requiring strict improvement (0 < L < diff)
+	// so a move can never oscillate a hot bucket back and forth.
+	best, bestResidual := -1, diff
+	for b, c := range s.table {
+		l := s.load[b]
+		if c != max || l <= 0 || l >= diff {
+			continue
+		}
+		residual := diff - 2*l
+		if residual < 0 {
+			residual = -residual
+		}
+		if residual < bestResidual {
+			best, bestResidual = b, residual
+		}
+	}
+	if best >= 0 {
+		s.table[best] = min
+		s.MovedBkts++
+	}
+}
+
+// QueueLens implements Scheduler.
+func (s *RSSPlus) QueueLens() []int {
+	out := make([]int, len(s.queues))
+	for i := range s.queues {
+		out[i] = s.queues[i].Len()
+	}
+	return out
+}
+
+// Cores exposes the core array for utilisation reporting.
+func (s *RSSPlus) Cores() []*exec.Core { return s.cores }
+
+// hashConn mirrors the steering hash for bucket selection.
+func hashConn(x uint32) uint32 {
+	x ^= x >> 16
+	x *= 0x85ebca6b
+	x ^= x >> 13
+	x *= 0xc2b2ae35
+	x ^= x >> 16
+	return x
+}
+
+var _ Scheduler = (*RSSPlus)(nil)

@@ -1,0 +1,63 @@
+// Package sched implements the baseline RPC schedulers the paper compares
+// against (Table I / §II-D):
+//
+//   - DFCFS: NIC-RSS distributed FCFS with per-core queues (IX, plain RSS).
+//   - Steal: d-FCFS plus idle-core work stealing (ZygOS).
+//   - Central: a centralized software dispatcher with preemption
+//     (Shinjuku): one dedicated dispatcher core, bounded dispatch
+//     throughput, 5 µs-class preemption quantum.
+//   - JBSQ: a hardware scheduler with a central NIC-managed queue and
+//     bounded per-core queues (RPCValet, Nebula, nanoPU — differing in
+//     NIC-to-core transfer cost and preemption support).
+//
+// The ALTOCUMULUS scheduler itself lives in internal/core.
+package sched
+
+import (
+	"repro/internal/rpcproto"
+	"repro/internal/sim"
+)
+
+// Scheduler routes delivered requests to cores. Deliver is called by the
+// server harness once the NIC receive path has completed; the request's
+// Service field already includes any on-core stack processing cost.
+type Scheduler interface {
+	// Name identifies the scheduler in reports.
+	Name() string
+	// Deliver hands an arriving request to the scheduler at engine-now.
+	Deliver(r *rpcproto.Request)
+	// QueueLens returns a snapshot of the scheduler's queue lengths
+	// (semantics are scheduler-specific; used for instrumentation).
+	QueueLens() []int
+}
+
+// Done is invoked exactly once per request at completion time, with
+// r.Finish set.
+type Done func(r *rpcproto.Request)
+
+// Observer receives scheduling-time instrumentation. The Fig. 7 analysis
+// records the queue length each request observed on arrival.
+type Observer interface {
+	// OnEnqueue fires when r joins queue q whose length (excluding r) was
+	// qlen.
+	OnEnqueue(r *rpcproto.Request, q, qlen int)
+}
+
+// NopObserver ignores all events.
+type NopObserver struct{}
+
+// OnEnqueue implements Observer.
+func (NopObserver) OnEnqueue(*rpcproto.Request, int, int) {}
+
+// pickupLoop is a tiny helper shared by queue-draining schedulers.
+type starter interface {
+	tryStart(core int)
+}
+
+// overheadOrZero guards against negative configured overheads.
+func overheadOrZero(d sim.Time) sim.Time {
+	if d < 0 {
+		return 0
+	}
+	return d
+}

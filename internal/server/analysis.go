@@ -1,0 +1,102 @@
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Effectiveness classifies migrated requests by comparing an ALTOCUMULUS
+// run against a same-seed baseline run without migration, exactly as
+// §VIII-D defines the four groups.
+type Effectiveness struct {
+	Eff            int // saved: violated in baseline, meets SLO after migration
+	IneffNoHarm    int // fine either way (queueing still reduced)
+	IneffNoBenefit int // violates either way
+	False          int // harmful: baseline met SLO, migrated run violates
+	Migrated       int // total migrated requests
+}
+
+func (e Effectiveness) String() string {
+	return fmt.Sprintf("migrated=%d eff=%d ineff-no-harm=%d ineff-no-benefit=%d false=%d",
+		e.Migrated, e.Eff, e.IneffNoHarm, e.IneffNoBenefit, e.False)
+}
+
+// ClassifyMigrations computes the Fig. 12(b) breakdown. base must be a
+// run of the identical workload (same seed and parameters) with
+// migration disabled; mig is the run with the runtime active. slo is the
+// latency target.
+func ClassifyMigrations(base, mig *Result, slo sim.Time) (Effectiveness, error) {
+	var out Effectiveness
+	if len(base.Requests) != len(mig.Requests) {
+		return out, fmt.Errorf("server: replay mismatch: %d vs %d requests",
+			len(base.Requests), len(mig.Requests))
+	}
+	for i, m := range mig.Requests {
+		if m == nil || !m.Migrated {
+			continue
+		}
+		b := base.Requests[i]
+		out.Migrated++
+		beforeViolates := b.Latency() > slo
+		afterViolates := m.Latency() > slo
+		switch {
+		case beforeViolates && !afterViolates:
+			out.Eff++
+		case !beforeViolates && !afterViolates:
+			out.IneffNoHarm++
+		case beforeViolates && afterViolates:
+			out.IneffNoBenefit++
+		default:
+			out.False++
+		}
+	}
+	return out, nil
+}
+
+// PredictionAccuracy returns the paper's §IV metric: the ratio of
+// correctly predicted SLO violations to the total number of SLO
+// violations. Ground truth is which requests violate the SLO in the
+// baseline (no-migration) run; a prediction is the Predicted mark set by
+// the runtime in the migrated run.
+func PredictionAccuracy(base, mig *Result, slo sim.Time) (float64, error) {
+	if len(base.Requests) != len(mig.Requests) {
+		return 0, fmt.Errorf("server: replay mismatch: %d vs %d requests",
+			len(base.Requests), len(mig.Requests))
+	}
+	violations, caught := 0, 0
+	for i, b := range base.Requests {
+		if b == nil || b.Latency() <= slo {
+			continue
+		}
+		violations++
+		if mig.Requests[i].Predicted {
+			caught++
+		}
+	}
+	if violations == 0 {
+		return 1, nil
+	}
+	return float64(caught) / float64(violations), nil
+}
+
+// LoadPoint is one entry of a latency-throughput curve.
+type LoadPoint struct {
+	OfferedRPS float64
+	P99        sim.Time
+	VioRatio   float64
+	DoneRPS    float64
+}
+
+// ThroughputAtSLO scans a latency-throughput curve (ascending offered
+// load) and returns the highest offered rate whose p99 meets the SLO.
+// Returns 0 if no point qualifies.
+func ThroughputAtSLO(points []LoadPoint, slo sim.Time) float64 {
+	best := 0.0
+	for _, p := range points {
+		if p.P99 <= slo && p.OfferedRPS > best {
+			best = p.OfferedRPS
+		}
+	}
+	return best
+}

@@ -1,0 +1,332 @@
+// Package server assembles a complete simulated RPC server — NIC receive
+// path, scheduler, worker cores, and optionally an application (MICA) —
+// and runs workloads against it, producing latency samples, SLO
+// accounting, and per-request records for the replay-based analyses
+// (migration effectiveness, prediction accuracy).
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/exec"
+	"repro/internal/fabric"
+	"repro/internal/nic"
+	"repro/internal/rpcproto"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// SchedulerKind selects which system the server models.
+type SchedulerKind int
+
+const (
+	// SchedRSS: commodity NIC RSS with per-core d-FCFS queues and no
+	// rebalancing (the "Emulated Commodity RSS NIC" baseline).
+	SchedRSS SchedulerKind = iota
+	// SchedIX: RSS d-FCFS over a kernel-bypass dataplane (IX).
+	SchedIX
+	// SchedZygOS: d-FCFS plus work stealing.
+	SchedZygOS
+	// SchedShinjuku: centralized software dispatcher with preemption.
+	SchedShinjuku
+	// SchedRPCValet / SchedNebula / SchedNanoPU: hardware JBSQ designs.
+	SchedRPCValet
+	SchedNebula
+	SchedNanoPU
+	// SchedAltocumulus: the paper's system (configured via Config.AC).
+	SchedAltocumulus
+	// SchedRSSPlus: d-FCFS with RSS++-style periodic indirection-table
+	// rebalancing (every 20 us, per the paper's §IX-E citation).
+	SchedRSSPlus
+)
+
+func (k SchedulerKind) String() string {
+	switch k {
+	case SchedIX:
+		return "IX"
+	case SchedZygOS:
+		return "ZygOS"
+	case SchedShinjuku:
+		return "Shinjuku"
+	case SchedRPCValet:
+		return "RPCValet"
+	case SchedNebula:
+		return "Nebula"
+	case SchedNanoPU:
+		return "nanoPU"
+	case SchedAltocumulus:
+		return "Altocumulus"
+	case SchedRSSPlus:
+		return "RSS++"
+	default:
+		return "RSS"
+	}
+}
+
+// Config describes one server under test.
+type Config struct {
+	Kind  SchedulerKind
+	Cores int         // total cores (baselines use all as workers; Shinjuku reserves one dispatcher)
+	AC    core.Params // Altocumulus configuration (Kind == SchedAltocumulus)
+
+	Stack rpcproto.StackKind
+	Cost  fabric.CostModel
+	Steer nic.SteerPolicy // steering for d-FCFS and AC group selection
+
+	Seed uint64
+
+	// SLO: explicit target; when 0, SLOMult x the workload's mean
+	// service time is used (the paper's default L = 10).
+	SLO     sim.Time
+	SLOMult float64
+
+	// MaxQueueSnapshot enables periodic queue-length snapshots.
+	SnapshotEvery sim.Time
+}
+
+// App lets an application bind real work to requests.
+type App interface {
+	// Prepare assigns the operation, payload and base service time of a
+	// freshly generated request (called at trace-generation time so that
+	// all schedulers replay the identical workload).
+	Prepare(r *rpcproto.Request, rng *sim.RNG)
+}
+
+// Workload is the offered load.
+type Workload struct {
+	Arrivals dist.ArrivalProcess
+	Service  dist.ServiceDist // ignored when App != nil
+	App      App
+	N        int // total requests
+	Warmup   int // initial completions excluded from the latency sample
+	Conns    int // distinct connections (flows); default 1024
+}
+
+// Result is one run's measurements.
+type Result struct {
+	Name       string
+	Lat        *stats.Sample
+	SLO        sim.Time
+	Summary    stats.Summary
+	Requests   []*rpcproto.Request // indexed by request ID
+	Duration   sim.Time            // last completion time
+	OfferedRPS float64
+	DoneRPS    float64 // completed / duration
+	ACStats    core.Stats
+	StealFrac  float64
+	// WorkerUtilization is the mean busy fraction of the worker cores
+	// over the run (management/dispatcher cores excluded).
+	WorkerUtilization float64
+	Snapshots         []Snapshot
+}
+
+// Snapshot is a periodic queue-length observation.
+type Snapshot struct {
+	At   sim.Time
+	Lens []int
+}
+
+// Run executes the workload against the configured server.
+func Run(cfg Config, wl Workload) (*Result, error) {
+	if wl.N <= 0 {
+		return nil, fmt.Errorf("server: workload N = %d", wl.N)
+	}
+	if wl.Conns <= 0 {
+		wl.Conns = 1024
+	}
+	if cfg.SLOMult == 0 {
+		cfg.SLOMult = 10
+	}
+	if cfg.Cost.ClockHz == 0 {
+		cfg.Cost = fabric.Default()
+	}
+
+	eng := sim.NewEngine()
+	root := sim.NewRNG(cfg.Seed)
+	arrRNG := root.Fork(1)
+	svcRNG := root.Fork(2)
+	steerRNG := root.Fork(3)
+	schedRNG := root.Fork(4)
+
+	res := &Result{
+		Name:     cfg.Kind.String(),
+		Lat:      stats.NewSample(wl.N),
+		Requests: make([]*rpcproto.Request, wl.N),
+	}
+
+	nDone := 0
+	done := func(r *rpcproto.Request) {
+		nDone++
+		if int(r.ID) >= wl.Warmup {
+			res.Lat.Add(r.Latency())
+		}
+		if r.Finish > res.Duration {
+			res.Duration = r.Finish
+		}
+	}
+
+	s, rx, err := build(cfg, eng, steerRNG, schedRNG, done)
+	if err != nil {
+		return nil, err
+	}
+	res.Name = s.Name()
+	if cfg.Kind == SchedAltocumulus {
+		res.Name = "Altocumulus"
+	}
+
+	// Lazily-generated arrival chain: one event in flight at a time.
+	var meanSvcSum float64
+	var schedule func(i int, at sim.Time)
+	schedule = func(i int, at sim.Time) {
+		if i >= wl.N {
+			return
+		}
+		r := &rpcproto.Request{
+			ID:   uint64(i),
+			Conn: uint32(arrRNG.Intn(wl.Conns)),
+			Size: 300,
+		}
+		if wl.App != nil {
+			wl.App.Prepare(r, svcRNG)
+		} else {
+			r.Service = wl.Service.Sample(svcRNG)
+		}
+		meanSvcSum += r.Service.Seconds()
+		// Software stacks charge per-request processing on the core.
+		r.Service += rx.CoreStackCost(r.Size)
+		res.Requests[i] = r
+		gap := wl.Arrivals.NextGap(arrRNG)
+		eng.At(at, func() {
+			r.Arrival = eng.Now()
+			d := rx.Delay(r.Size)
+			eng.After(d, func() { s.Deliver(r) })
+			schedule(i+1, eng.Now()+gap)
+		})
+	}
+	schedule(0, 0)
+
+	if cfg.SnapshotEvery > 0 {
+		var snap func()
+		snap = func() {
+			if nDone >= wl.N {
+				return
+			}
+			res.Snapshots = append(res.Snapshots, Snapshot{At: eng.Now(), Lens: s.QueueLens()})
+			eng.After(cfg.SnapshotEvery, snap)
+		}
+		eng.After(cfg.SnapshotEvery, snap)
+	}
+
+	// Run to completion; the AC runtime ticks forever, so run in chunks.
+	const chunk = 5 * sim.Millisecond
+	const hardCap = 100 * sim.Second
+	for nDone < wl.N {
+		if eng.Now() > hardCap {
+			return nil, fmt.Errorf("server: %s did not finish %d requests within %v (done %d)",
+				res.Name, wl.N, hardCap, nDone)
+		}
+		eng.Run(eng.Now() + chunk)
+	}
+	if ac, ok := s.(*core.Scheduler); ok {
+		ac.Stop()
+		res.ACStats = ac.Stats
+	}
+	if rp, ok := s.(*sched.RSSPlus); ok {
+		rp.Stop()
+	}
+	if z, ok := s.(*sched.Steal); ok {
+		res.StealFrac = z.StealFraction()
+	}
+	if cs, ok := s.(interface{ Cores() []*exec.Core }); ok && res.Duration > 0 {
+		var busy float64
+		cores := cs.Cores()
+		for _, c := range cores {
+			busy += c.BusyTime().Seconds()
+		}
+		res.WorkerUtilization = busy / (res.Duration.Seconds() * float64(len(cores)))
+	}
+
+	res.SLO = cfg.SLO
+	if res.SLO == 0 {
+		meanSvc := sim.FromSeconds(meanSvcSum / float64(wl.N))
+		res.SLO = sim.Time(cfg.SLOMult * float64(meanSvc))
+	}
+	res.Summary = res.Lat.Summarize(res.SLO)
+	res.OfferedRPS = wl.Arrivals.MeanRate()
+	if res.Duration > 0 {
+		res.DoneRPS = float64(wl.N) / res.Duration.Seconds()
+	}
+	return res, nil
+}
+
+// build constructs the scheduler and NIC receive model for a config.
+func build(cfg Config, eng *sim.Engine, steerRNG, schedRNG *sim.RNG, done sched.Done) (sched.Scheduler, nic.RXModel, error) {
+	cost := cfg.Cost
+	stack := rpcproto.NewStack(cfg.Stack)
+
+	pcie := nic.RXModel{Cost: cost, Attach: fabric.AttachPCIe, Stack: stack}
+	integ := nic.RXModel{Cost: cost, Attach: fabric.AttachIntegrated, HWTerminated: true, Stack: stack}
+
+	switch cfg.Kind {
+	case SchedRSS, SchedIX:
+		st := nic.NewSteerer(cfg.Steer, cfg.Cores, steerRNG)
+		s := sched.NewDFCFS(eng, cfg.Cores, st, cost.CacheMiss, done)
+		if cfg.Kind == SchedIX {
+			s.Label = "IX"
+		} else {
+			s.Label = "RSS"
+		}
+		return s, pcie, nil
+	case SchedZygOS:
+		st := nic.NewSteerer(cfg.Steer, cfg.Cores, steerRNG)
+		s := sched.NewSteal(eng, cfg.Cores, st, cost.CacheMiss, cost.StealAttempt, schedRNG, done)
+		return s, pcie, nil
+	case SchedRSSPlus:
+		s := sched.NewRSSPlus(eng, cfg.Cores, 4*cfg.Cores, cost.CacheMiss,
+			20*sim.Microsecond, done)
+		return s, pcie, nil
+	case SchedShinjuku:
+		// One core is the dedicated dispatcher; ~200 ns per dispatch caps
+		// it at the paper's 5 MRPS. 5 us preemption quantum.
+		workers := cfg.Cores - 1
+		if workers < 1 {
+			workers = 1
+		}
+		s := sched.NewCentral(eng, workers, 200*sim.Nanosecond, cost.CoherenceMsg,
+			5*sim.Microsecond, cost.PreemptCost, done)
+		return s, pcie, nil
+	case SchedRPCValet:
+		s := sched.NewJBSQ(eng, cfg.Cores, sched.VariantRPCValet, 2, cost.CacheMiss,
+			6*sim.Nanosecond, 0, 0, done)
+		return s, integ, nil
+	case SchedNebula:
+		s := sched.NewJBSQ(eng, cfg.Cores, sched.VariantNebula, 2, cost.LLCAccess,
+			4*sim.Nanosecond, 0, 0, done)
+		return s, integ, nil
+	case SchedNanoPU:
+		s := sched.NewJBSQ(eng, cfg.Cores, sched.VariantNanoPU, 2, cost.RegisterXfer,
+			1500*sim.Picosecond, 5*sim.Microsecond, 200*sim.Nanosecond, done)
+		return s, integ, nil
+	case SchedAltocumulus:
+		st := nic.NewSteerer(cfg.Steer, cfg.AC.Groups, steerRNG)
+		s, err := core.New(eng, cfg.AC, cost, st, done)
+		if err != nil {
+			return nil, nic.RXModel{}, err
+		}
+		if cfg.AC.Local == core.DispatchSoftware {
+			// ACrss: commodity PCIe NIC, but the manager core runs the
+			// networking threads (§VII "handles traditional networking
+			// threads and request dispatch, similar to Shinjuku"), so
+			// stack processing is pipelined off the workers: it adds
+			// receive-path latency, not worker occupancy.
+			return s, nic.RXModel{Cost: cost, Attach: fabric.AttachPCIe,
+				HWTerminated: true, Stack: stack}, nil
+		}
+		return s, integ, nil
+	default:
+		return nil, nic.RXModel{}, fmt.Errorf("server: unknown scheduler kind %d", cfg.Kind)
+	}
+}

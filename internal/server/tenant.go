@@ -1,0 +1,115 @@
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/rpcproto"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Tenant describes one application sharing the server in a multi-tenant
+// study (§XI's future-work direction: the distributed runtime as an
+// isolation boundary). Each tenant has its own service-time profile,
+// traffic share and SLO.
+type Tenant struct {
+	Name    string
+	Service dist.ServiceDist
+	Share   float64  // fraction of total arrivals
+	SLO     sim.Time // per-tenant latency target
+	Conns   int      // connection-id space width for this tenant
+}
+
+// TenantMix is an App that stamps each request with a tenant drawn from
+// the configured shares, making it usable anywhere a Workload takes an
+// App.
+type TenantMix struct {
+	Tenants []Tenant
+	cum     []float64
+	total   float64
+}
+
+// NewTenantMix validates and builds a tenant mix.
+func NewTenantMix(tenants []Tenant) (*TenantMix, error) {
+	if len(tenants) == 0 || len(tenants) > 256 {
+		return nil, fmt.Errorf("server: %d tenants (need 1-256)", len(tenants))
+	}
+	m := &TenantMix{Tenants: tenants}
+	for i, tn := range tenants {
+		if tn.Share <= 0 {
+			return nil, fmt.Errorf("server: tenant %q share %v", tn.Name, tn.Share)
+		}
+		if tn.Service == nil {
+			return nil, fmt.Errorf("server: tenant %q has no service distribution", tn.Name)
+		}
+		if tn.Conns <= 0 {
+			tenants[i].Conns = 64
+		}
+		m.total += tn.Share
+		m.cum = append(m.cum, m.total)
+	}
+	return m, nil
+}
+
+// Prepare implements App.
+func (m *TenantMix) Prepare(r *rpcproto.Request, rng *sim.RNG) {
+	u := rng.Float64() * m.total
+	idx := len(m.Tenants) - 1
+	for i, c := range m.cum {
+		if u < c {
+			idx = i
+			break
+		}
+	}
+	tn := m.Tenants[idx]
+	r.Tenant = uint8(idx)
+	r.Conn = uint32(idx*1024 + rng.Intn(tn.Conns))
+	r.Service = tn.Service.Sample(rng)
+	r.Size = 300
+}
+
+// MeanService returns the share-weighted mean service time of the mix.
+func (m *TenantMix) MeanService() sim.Time {
+	var sum float64
+	for i, tn := range m.Tenants {
+		sum += float64(tn.Service.Mean()) * m.Tenants[i].Share / m.total
+	}
+	return sim.Time(sum)
+}
+
+var _ App = (*TenantMix)(nil)
+
+// TenantSummary is one tenant's latency digest from a run.
+type TenantSummary struct {
+	Name    string
+	SLO     sim.Time
+	Summary stats.Summary
+}
+
+// SummarizeTenants splits a run's per-request records by tenant and
+// digests each against its own SLO.
+func SummarizeTenants(res *Result, mix *TenantMix, warmup int) []TenantSummary {
+	samples := make([]*stats.Sample, len(mix.Tenants))
+	for i := range samples {
+		samples[i] = stats.NewSample(0)
+	}
+	for _, r := range res.Requests {
+		if r == nil || r.Finish == 0 || int(r.ID) < warmup {
+			continue
+		}
+		t := int(r.Tenant)
+		if t < len(samples) {
+			samples[t].Add(r.Latency())
+		}
+	}
+	out := make([]TenantSummary, len(mix.Tenants))
+	for i, tn := range mix.Tenants {
+		out[i] = TenantSummary{
+			Name:    tn.Name,
+			SLO:     tn.SLO,
+			Summary: samples[i].Summarize(tn.SLO),
+		}
+	}
+	return out
+}

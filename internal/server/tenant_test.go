@@ -1,0 +1,101 @@
+package server
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/nic"
+	"repro/internal/rpcproto"
+	"repro/internal/sim"
+)
+
+func testMix(t *testing.T) *TenantMix {
+	t.Helper()
+	mix, err := NewTenantMix([]Tenant{
+		{Name: "lc", Service: dist.Fixed{V: us(1)}, Share: 0.8, SLO: us(10), Conns: 32},
+		{Name: "batch", Service: dist.Fixed{V: us(100)}, Share: 0.2, SLO: us(1000), Conns: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mix
+}
+
+func TestTenantMixValidation(t *testing.T) {
+	if _, err := NewTenantMix(nil); err == nil {
+		t.Fatal("empty mix should fail")
+	}
+	if _, err := NewTenantMix([]Tenant{{Name: "x", Share: 0}}); err == nil {
+		t.Fatal("zero share should fail")
+	}
+	if _, err := NewTenantMix([]Tenant{{Name: "x", Share: 1}}); err == nil {
+		t.Fatal("nil service should fail")
+	}
+}
+
+func TestTenantMixShares(t *testing.T) {
+	mix := testMix(t)
+	rng := sim.NewRNG(1)
+	counts := map[uint8]int{}
+	for i := 0; i < 50000; i++ {
+		var r rpcproto.Request
+		mix.Prepare(&r, rng)
+		counts[r.Tenant]++
+		switch r.Tenant {
+		case 0:
+			if r.Service != us(1) {
+				t.Fatal("tenant 0 service")
+			}
+		case 1:
+			if r.Service != us(100) {
+				t.Fatal("tenant 1 service")
+			}
+		default:
+			t.Fatalf("unknown tenant %d", r.Tenant)
+		}
+	}
+	frac := float64(counts[0]) / 50000
+	if math.Abs(frac-0.8) > 0.01 {
+		t.Fatalf("tenant 0 share = %v", frac)
+	}
+}
+
+func TestTenantMixMeanService(t *testing.T) {
+	mix := testMix(t)
+	want := 0.8*1 + 0.2*100 // us
+	if got := mix.MeanService().Microseconds(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("mean service = %v, want %v", got, want)
+	}
+}
+
+func TestSummarizeTenants(t *testing.T) {
+	mix := testMix(t)
+	rate := 0.5 * 12 / mix.MeanService().Seconds()
+	res, err := Run(Config{
+		Kind: SchedAltocumulus, AC: core.DefaultParams(4, 3),
+		Stack: rpcproto.StackNanoRPC, Steer: nic.SteerConnection, Seed: 5,
+	}, Workload{Arrivals: dist.Poisson{Rate: rate}, App: mix, N: 6000, Warmup: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := SummarizeTenants(res, mix, 600)
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	if sums[0].Name != "lc" || sums[1].Name != "batch" {
+		t.Fatal("names")
+	}
+	total := sums[0].Summary.N + sums[1].Summary.N
+	if total != 6000-600 {
+		t.Fatalf("per-tenant samples sum to %d", total)
+	}
+	// The batch tenant's latency floor is its 100us service.
+	if sums[1].Summary.P50 < us(100) {
+		t.Fatalf("batch p50 = %v", sums[1].Summary.P50)
+	}
+	if sums[0].SLO != us(10) {
+		t.Fatal("per-tenant SLO lost")
+	}
+}

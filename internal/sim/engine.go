@@ -1,0 +1,180 @@
+package sim
+
+// Event is a scheduled callback. Events fire in (time, sequence) order;
+// the sequence number breaks ties FIFO so that same-instant events run in
+// the order they were scheduled, keeping runs deterministic.
+type event struct {
+	at   Time
+	seq  uint64
+	act  func()
+	dead bool
+}
+
+// EventID identifies a scheduled event so it can be cancelled. The zero
+// EventID is never issued.
+type EventID struct{ e *event }
+
+// Cancel marks the event dead; it will be skipped when popped. Cancelling
+// an already-fired or already-cancelled event is a no-op.
+func (id EventID) Cancel() {
+	if id.e != nil {
+		id.e.dead = true
+	}
+}
+
+// Valid reports whether the id refers to a scheduled event.
+func (id EventID) Valid() bool { return id.e != nil }
+
+// Engine is a discrete-event simulator. It is not safe for concurrent use;
+// an entire simulation runs on one goroutine (the simulated hardware is
+// parallel, the simulator is not — same as ZSim's bound-phase model
+// collapsed to a strict event order).
+type Engine struct {
+	now    Time
+	seq    uint64
+	heap   []*event
+	nEvent uint64 // total events executed, for reporting
+	stop   bool
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{heap: make([]*event, 0, 1024)}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.nEvent }
+
+// At schedules f to run at absolute time t. Scheduling in the past is
+// clamped to "now" (fires next, after already-queued events at now).
+func (e *Engine) At(t Time, f func()) EventID {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &event{at: t, seq: e.seq, act: f}
+	e.seq++
+	e.push(ev)
+	return EventID{ev}
+}
+
+// After schedules f to run d after the current time.
+func (e *Engine) After(d Time, f func()) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, f)
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stop = true }
+
+// Run executes events until the queue is empty or the clock passes until.
+// Events scheduled exactly at until still run. Returns the number of
+// events executed by this call.
+func (e *Engine) Run(until Time) uint64 {
+	e.stop = false
+	var n uint64
+	for len(e.heap) > 0 && !e.stop {
+		ev := e.heap[0]
+		if ev.at > until {
+			break
+		}
+		e.pop()
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		ev.act()
+		n++
+		e.nEvent++
+	}
+	if e.now < until && len(e.heap) == 0 {
+		e.now = until
+	}
+	return n
+}
+
+// RunAll executes events until the queue drains. Unlike Run, it leaves the
+// clock at the time of the last executed event.
+func (e *Engine) RunAll() uint64 {
+	e.stop = false
+	var n uint64
+	for len(e.heap) > 0 && !e.stop {
+		ev := e.heap[0]
+		e.pop()
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		ev.act()
+		n++
+		e.nEvent++
+	}
+	return n
+}
+
+// Pending returns the number of live events still queued.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.heap {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// push / pop implement a classic binary min-heap keyed on (at, seq).
+// Hand-rolled (rather than container/heap) to avoid interface boxing on
+// the hottest path of the simulator.
+
+func (e *Engine) less(i, j int) bool {
+	a, b := e.heap[i], e.heap[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(ev *event) {
+	e.heap = append(e.heap, ev)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+func (e *Engine) pop() *event {
+	h := e.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = nil
+	e.heap = h[:last]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(e.heap) && e.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(e.heap) && e.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		e.heap[i], e.heap[smallest] = e.heap[smallest], e.heap[i]
+		i = smallest
+	}
+	return top
+}

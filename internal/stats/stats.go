@@ -1,0 +1,234 @@
+// Package stats provides the measurement machinery for the evaluation:
+// latency sample recording, percentile extraction, histograms, linear
+// least-squares fitting (used to calibrate the E[T̂] threshold model) and
+// small summary helpers.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Sample accumulates latency observations (as sim.Time) and answers
+// percentile and moment queries. It keeps all samples; the experiments in
+// this repository record at most a few million per run, which is cheap.
+type Sample struct {
+	xs     []sim.Time
+	sorted bool
+}
+
+// NewSample returns an empty sample with the given capacity hint.
+func NewSample(capacity int) *Sample {
+	return &Sample{xs: make([]sim.Time, 0, capacity)}
+}
+
+// Add records one observation.
+func (s *Sample) Add(v sim.Time) {
+	s.xs = append(s.xs, v)
+	s.sorted = false
+}
+
+// Len returns the number of observations.
+func (s *Sample) Len() int { return len(s.xs) }
+
+// Reset discards all observations, retaining capacity.
+func (s *Sample) Reset() {
+	s.xs = s.xs[:0]
+	s.sorted = true
+}
+
+func (s *Sample) sortIfNeeded() {
+	if !s.sorted {
+		sort.Slice(s.xs, func(i, j int) bool { return s.xs[i] < s.xs[j] })
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using the
+// nearest-rank method, which is what tail-latency SLOs are defined
+// against. Returns 0 for an empty sample.
+func (s *Sample) Percentile(p float64) sim.Time {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sortIfNeeded()
+	if p <= 0 {
+		return s.xs[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(s.xs))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s.xs) {
+		rank = len(s.xs)
+	}
+	return s.xs[rank-1]
+}
+
+// P50, P99, P999 are the percentiles the paper reports.
+func (s *Sample) P50() sim.Time  { return s.Percentile(50) }
+func (s *Sample) P99() sim.Time  { return s.Percentile(99) }
+func (s *Sample) P999() sim.Time { return s.Percentile(99.9) }
+
+// Max returns the largest observation (0 if empty).
+func (s *Sample) Max() sim.Time {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sortIfNeeded()
+	return s.xs[len(s.xs)-1]
+}
+
+// Mean returns the arithmetic mean.
+func (s *Sample) Mean() sim.Time {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.xs {
+		sum += float64(v)
+	}
+	return sim.Time(sum / float64(len(s.xs)))
+}
+
+// StdDev returns the population standard deviation in picoseconds.
+func (s *Sample) StdDev() float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	mean := float64(s.Mean())
+	var ss float64
+	for _, v := range s.xs {
+		d := float64(v) - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// CountAbove returns how many observations exceed the threshold. This is
+// the "# SLO violations" counter.
+func (s *Sample) CountAbove(thr sim.Time) int {
+	s.sortIfNeeded()
+	// First index with xs[i] > thr.
+	i := sort.Search(len(s.xs), func(i int) bool { return s.xs[i] > thr })
+	return len(s.xs) - i
+}
+
+// FractionAbove returns the ratio of observations exceeding the threshold.
+func (s *Sample) FractionAbove(thr sim.Time) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	return float64(s.CountAbove(thr)) / float64(len(s.xs))
+}
+
+// Summary is a compact digest of a sample, convenient for table rows.
+type Summary struct {
+	N          int
+	Mean       sim.Time
+	P50        sim.Time
+	P99        sim.Time
+	P999       sim.Time
+	Max        sim.Time
+	Violations int     // observations above SLO
+	VioRatio   float64 // Violations / N
+}
+
+// Summarize digests the sample against an SLO threshold.
+func (s *Sample) Summarize(slo sim.Time) Summary {
+	v := s.CountAbove(slo)
+	ratio := 0.0
+	if s.Len() > 0 {
+		ratio = float64(v) / float64(s.Len())
+	}
+	return Summary{
+		N: s.Len(), Mean: s.Mean(),
+		P50: s.P50(), P99: s.P99(), P999: s.P999(), Max: s.Max(),
+		Violations: v, VioRatio: ratio,
+	}
+}
+
+func (sm Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v p99.9=%v max=%v viol=%d (%.3f%%)",
+		sm.N, sm.Mean, sm.P50, sm.P99, sm.P999, sm.Max, sm.Violations, sm.VioRatio*100)
+}
+
+// Histogram is a fixed-width bucket histogram over a [0, max) range, used
+// for the queue-length-vs-violation analysis (Fig. 7).
+type Histogram struct {
+	Width    float64
+	counts   []uint64
+	overflow uint64
+	total    uint64
+}
+
+// NewHistogram returns a histogram with n buckets of the given width.
+func NewHistogram(n int, width float64) *Histogram {
+	return &Histogram{Width: width, counts: make([]uint64, n)}
+}
+
+// Add records value v.
+func (h *Histogram) Add(v float64) {
+	h.total++
+	if v < 0 {
+		v = 0
+	}
+	i := int(v / h.Width)
+	if i >= len(h.counts) {
+		h.overflow++
+		return
+	}
+	h.counts[i]++
+}
+
+// Count returns the count in bucket i.
+func (h *Histogram) Count(i int) uint64 { return h.counts[i] }
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// Total returns the total number of observations, including overflow.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Overflow returns the number of observations beyond the last bucket.
+func (h *Histogram) Overflow() uint64 { return h.overflow }
+
+// LinearFit performs ordinary least squares y = slope*x + intercept.
+// It is used by queueing.Calibrate to fit the paper's
+// E[T̂] = a·E[c·N̂q+d]+b linear transformation from simulation sweeps.
+func LinearFit(xs, ys []float64) (slope, intercept float64, ok bool) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, false
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, false
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept, true
+}
+
+// Mean returns the mean of a float slice (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

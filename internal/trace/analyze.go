@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// OpStats digests the records of one operation type.
+type OpStats struct {
+	Op        string
+	N         int
+	MeanNS    float64
+	P50NS     float64
+	P99NS     float64
+	P999NS    float64
+	MaxNS     float64
+	Migrated  int
+	Predicted int
+}
+
+// Analysis is the digest of a whole trace.
+type Analysis struct {
+	Total     int
+	Migrated  int
+	Predicted int
+	PerOp     []OpStats
+	PerGroup  map[int]int // request count per initially-steered group
+}
+
+// Analyze digests exported records: per-op latency percentiles,
+// migration/prediction counts and per-group request distribution.
+func Analyze(recs []Record) Analysis {
+	a := Analysis{PerGroup: map[int]int{}}
+	byOp := map[string][]float64{}
+	migByOp := map[string]int{}
+	predByOp := map[string]int{}
+	for _, r := range recs {
+		a.Total++
+		a.PerGroup[r.Group]++
+		byOp[r.Op] = append(byOp[r.Op], r.LatencyNS)
+		if r.Migrated {
+			a.Migrated++
+			migByOp[r.Op]++
+		}
+		if r.Predicted {
+			a.Predicted++
+			predByOp[r.Op]++
+		}
+	}
+	ops := make([]string, 0, len(byOp))
+	for op := range byOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		lats := byOp[op]
+		sort.Float64s(lats)
+		var sum float64
+		for _, v := range lats {
+			sum += v
+		}
+		pct := func(p float64) float64 {
+			idx := int(p/100*float64(len(lats))+0.999999) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(lats) {
+				idx = len(lats) - 1
+			}
+			return lats[idx]
+		}
+		a.PerOp = append(a.PerOp, OpStats{
+			Op: op, N: len(lats),
+			MeanNS: sum / float64(len(lats)),
+			P50NS:  pct(50), P99NS: pct(99), P999NS: pct(99.9),
+			MaxNS:    lats[len(lats)-1],
+			Migrated: migByOp[op], Predicted: predByOp[op],
+		})
+	}
+	return a
+}
+
+// Report writes a human-readable analysis.
+func (a Analysis) Report(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "requests: %d  migrated: %d (%.2f%%)  predicted: %d (%.2f%%)\n",
+		a.Total, a.Migrated, pctOf(a.Migrated, a.Total),
+		a.Predicted, pctOf(a.Predicted, a.Total)); err != nil {
+		return err
+	}
+	for _, op := range a.PerOp {
+		if _, err := fmt.Fprintf(w,
+			"%-5s n=%-8d mean=%8.1fns p50=%8.1fns p99=%8.1fns p99.9=%8.1fns max=%10.1fns migrated=%d\n",
+			op.Op, op.N, op.MeanNS, op.P50NS, op.P99NS, op.P999NS, op.MaxNS, op.Migrated); err != nil {
+			return err
+		}
+	}
+	groups := make([]int, 0, len(a.PerGroup))
+	for g := range a.PerGroup {
+		groups = append(groups, g)
+	}
+	sort.Ints(groups)
+	if _, err := fmt.Fprint(w, "per-group: "); err != nil {
+		return err
+	}
+	for _, g := range groups {
+		if _, err := fmt.Fprintf(w, "q%d=%d ", g, a.PerGroup[g]); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func pctOf(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}

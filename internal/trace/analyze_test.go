@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAnalyze(t *testing.T) {
+	recs := []Record{
+		{Op: "GET", Group: 0, LatencyNS: 100, Migrated: true, Predicted: true},
+		{Op: "GET", Group: 0, LatencyNS: 200},
+		{Op: "GET", Group: 1, LatencyNS: 300},
+		{Op: "SET", Group: 1, LatencyNS: 50},
+		{Op: "SET", Group: 2, LatencyNS: 150, Predicted: true},
+	}
+	a := Analyze(recs)
+	if a.Total != 5 || a.Migrated != 1 || a.Predicted != 2 {
+		t.Fatalf("totals: %+v", a)
+	}
+	if len(a.PerOp) != 2 {
+		t.Fatalf("ops: %d", len(a.PerOp))
+	}
+	get := a.PerOp[0]
+	if get.Op != "GET" || get.N != 3 {
+		t.Fatalf("GET stats: %+v", get)
+	}
+	if get.MeanNS != 200 || get.P50NS != 200 || get.MaxNS != 300 {
+		t.Fatalf("GET latency stats: %+v", get)
+	}
+	if get.Migrated != 1 {
+		t.Fatalf("GET migrated: %d", get.Migrated)
+	}
+	if a.PerGroup[0] != 2 || a.PerGroup[1] != 2 || a.PerGroup[2] != 1 {
+		t.Fatalf("per group: %v", a.PerGroup)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a := Analyze(nil)
+	if a.Total != 0 || len(a.PerOp) != 0 {
+		t.Fatalf("empty analysis: %+v", a)
+	}
+	var buf bytes.Buffer
+	if err := a.Report(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalysisReport(t *testing.T) {
+	recs := []Record{
+		{Op: "GET", Group: 0, LatencyNS: 100},
+		{Op: "SCAN", Group: 1, LatencyNS: 50000, Migrated: true},
+	}
+	var buf bytes.Buffer
+	if err := Analyze(recs).Report(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"requests: 2", "GET", "SCAN", "q0=1", "q1=1", "migrated: 1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeEndToEndWithCSV(t *testing.T) {
+	reqs := mkReqs(50)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(recs)
+	if a.Total != 50 {
+		t.Fatalf("total = %d", a.Total)
+	}
+	// mkReqs marks every even request migrated.
+	if a.Migrated != 25 {
+		t.Fatalf("migrated = %d", a.Migrated)
+	}
+}
