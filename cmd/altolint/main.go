@@ -1,0 +1,133 @@
+// Command altolint runs the repository's domain-specific static
+// analyzers (see internal/lint). It enforces the simulator determinism
+// contract: no wall-clock reads, no global RNG, no concurrency in
+// sim-driven packages, no order-leaking map iteration, no exact float
+// equality in numeric code, and no bare literals posing as sim.Time.
+//
+// Usage:
+//
+//	altolint [-json] [packages]
+//
+// Packages may be "./..." (default, the whole module), a directory, or
+// a directory with a /... suffix. Exit status: 0 clean, 1 findings,
+// 2 usage or load failure. Suppress an individual finding with
+//
+//	//altolint:allow <analyzer> <reason>
+//
+// on the offending line or the line above it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON (for CI)")
+	listAnalyzers := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: altolint [-json] [-list] [packages]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *listAnalyzers {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	pkgs, err := load(loader, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	if diags == nil {
+		diags = []lint.Diagnostic{} // -json emits [] rather than null
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "altolint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// load resolves package patterns. No args and "./..." both mean the
+// whole module; "dir/..." means the subtree; anything else is a single
+// package directory.
+func load(loader *lint.Loader, patterns []string) ([]*lint.Package, error) {
+	if len(patterns) == 0 {
+		return loader.LoadAll()
+	}
+	var pkgs []*lint.Package
+	seen := make(map[string]bool)
+	add := func(ps ...*lint.Package) {
+		for _, p := range ps {
+			if !seen[p.Path] {
+				seen[p.Path] = true
+				pkgs = append(pkgs, p)
+			}
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			all, err := loader.LoadAll()
+			if err != nil {
+				return nil, err
+			}
+			add(all...)
+		case strings.HasSuffix(pat, "/..."):
+			sub, err := loader.LoadTree(strings.TrimSuffix(pat, "/..."))
+			if err != nil {
+				return nil, err
+			}
+			add(sub...)
+		default:
+			pkg, err := loader.LoadDir(pat)
+			if err != nil {
+				return nil, err
+			}
+			add(pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "altolint:", err)
+	os.Exit(2)
+}

@@ -81,14 +81,17 @@ func runFig11(scale Scale, seed uint64) ([]report.Table, error) {
 		}
 		periodT.AddRow("no-migration", res.Lat.CountAbove(slo), usStr(res.Summary.P99), "0")
 	}
-	for _, period := range []sim.Time{10, 40, 100, 200, 400, 1000} {
+	for _, period := range []sim.Time{
+		10 * sim.Nanosecond, 40 * sim.Nanosecond, 100 * sim.Nanosecond,
+		200 * sim.Nanosecond, 400 * sim.Nanosecond, 1000 * sim.Nanosecond,
+	} {
 		p := core.DefaultParams(16, 15)
-		p.Period = period * sim.Nanosecond
+		p.Period = period
 		res, err := fig11Run(p, svc, rate, n, seed)
 		if err != nil {
 			return nil, err
 		}
-		periodT.AddRow(fmt.Sprint(int64(period)), res.Lat.CountAbove(slo),
+		periodT.AddRow(fmt.Sprint(int64(period/sim.Nanosecond)), res.Lat.CountAbove(slo),
 			usStr(res.Summary.P99), fmt.Sprint(res.ACStats.MigratedReqs))
 	}
 	periodT.Notes = append(periodT.Notes,

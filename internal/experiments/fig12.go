@@ -97,9 +97,12 @@ func runFig12b(scale Scale, seed uint64) ([]report.Table, error) {
 	}
 	violBefore := base.Lat.CountAbove(slo)
 
-	for _, period := range []sim.Time{40, 200, 400, 1000} {
+	for _, period := range []sim.Time{
+		40 * sim.Nanosecond, 200 * sim.Nanosecond,
+		400 * sim.Nanosecond, 1000 * sim.Nanosecond,
+	} {
 		p := core.DefaultParams(16, 15)
-		p.Period = period * sim.Nanosecond
+		p.Period = period
 		mig, err := fig11Run(p, svc, rate, n, seed)
 		if err != nil {
 			return nil, err
@@ -113,7 +116,7 @@ func runFig12b(scale Scale, seed uint64) ([]report.Table, error) {
 		if violBefore > 0 {
 			saved = 100 * (1 - float64(violAfter)/float64(violBefore))
 		}
-		eff.AddRow(fmt.Sprint(int64(period)), cls.Migrated, cls.Eff, cls.IneffNoHarm,
+		eff.AddRow(fmt.Sprint(int64(period/sim.Nanosecond)), cls.Migrated, cls.Eff, cls.IneffNoHarm,
 			cls.IneffNoBenefit, cls.False, violBefore, violAfter,
 			fmt.Sprintf("%.1f", saved))
 	}

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// allowDirective is one parsed //altolint:allow comment. A directive
+// suppresses findings from one analyzer on the directive's own line
+// (trailing comment) or the line immediately below it (preceding
+// comment):
+//
+//	start := time.Now() //altolint:allow detnow wall-clock benchmark timing
+//
+//	//altolint:allow detnow wall-clock benchmark timing
+//	start := time.Now()
+//
+// The reason is mandatory: an exception without a recorded
+// justification is itself a finding.
+type allowDirective struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+const allowPrefix = "altolint:allow"
+
+// collectAllows parses every //altolint:allow directive in the package.
+func collectAllows(pkg *Package) []*allowDirective {
+	var out []*allowDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // /* */ comments are not directives
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, allowPrefix)
+				if !ok {
+					continue
+				}
+				d := &allowDirective{pos: pkg.Fset.Position(c.Pos())}
+				fields := strings.Fields(rest)
+				if len(fields) > 0 {
+					d.analyzer = fields[0]
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// filterAllowed drops diagnostics covered by a well-formed directive
+// and marks those directives used.
+func filterAllowed(diags []Diagnostic, allows []*allowDirective) []Diagnostic {
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, a := range allows {
+			if a.analyzer != d.Analyzer || a.reason == "" {
+				continue
+			}
+			if a.pos.Filename != d.File {
+				continue
+			}
+			if a.pos.Line == d.Line || a.pos.Line == d.Line-1 {
+				a.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// directiveDiagnostics reports malformed and unused directives, so
+// suppressions cannot silently rot as the code under them changes.
+func directiveDiagnostics(pkg *Package, allows []*allowDirective, analyzers map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	report := func(a *allowDirective, msg string) {
+		out = append(out, Diagnostic{
+			Analyzer: "altolint",
+			Pos:      a.pos,
+			File:     a.pos.Filename,
+			Line:     a.pos.Line,
+			Col:      a.pos.Column,
+			Message:  msg,
+		})
+	}
+	for _, a := range allows {
+		switch {
+		case a.analyzer == "":
+			report(a, "malformed directive: want //altolint:allow <analyzer> <reason>")
+		case !analyzers[a.analyzer]:
+			report(a, "directive names unknown analyzer "+a.analyzer)
+		case a.reason == "":
+			report(a, "directive for "+a.analyzer+" is missing a reason")
+		case !a.used:
+			report(a, "unused directive: no "+a.analyzer+" finding on this or the next line")
+		}
+	}
+	return out
+}

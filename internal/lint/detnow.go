@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerDetNow forbids wall-clock and global-RNG APIs everywhere in
+// the repository. Simulated time must come from sim.Engine.Now(), and
+// randomness from a seed-derived sim.RNG (see internal/dist) — a single
+// time.Now() or global rand.Intn() makes a run irreproducible, which
+// silently invalidates every replay-based analysis. Intentional
+// wall-clock use (e.g. reporting real benchmark duration) must carry an
+// //altolint:allow detnow directive with a reason.
+var AnalyzerDetNow = &Analyzer{
+	Name: "detnow",
+	Doc:  "forbid wall-clock time and global math/rand in simulator code",
+	Run:  runDetNow,
+}
+
+// timeForbidden lists package time functions that read or wait on the
+// wall clock. Pure helpers (time.ParseDuration, the Duration
+// constants/conversions) stay legal.
+var timeForbidden = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// randConstructors are the math/rand functions that build an explicitly
+// seeded generator rather than touching the global one.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 equivalents.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDetNow(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pn := pass.PkgNameOf(sel.X)
+			if pn == nil {
+				return true
+			}
+			obj := pass.Pkg.Info.Uses[sel.Sel]
+			if _, isFunc := obj.(*types.Func); !isFunc {
+				return true // types and constants are deterministic
+			}
+			switch pn.Imported().Path() {
+			case "time":
+				if timeForbidden[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock; deterministic code must use sim.Engine.Now/After",
+						sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"rand.%s draws from the global generator; use a seeded sim.RNG (internal/dist) so runs are a pure function of the seed",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerFloatCmp flags == and != between floating-point operands in
+// the math-heavy packages (internal/queueing, internal/stats). Queueing
+// formulas chain divisions and exponentials, so two mathematically
+// equal quantities rarely compare bit-equal; an exact comparison there
+// is almost always a latent bug that manifests as a plateau or
+// off-by-one-bucket in a figure. Compare against a tolerance instead,
+// or annotate the rare intentional exact sentinel check.
+var AnalyzerFloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag exact floating-point equality in numeric packages",
+	Applies: func(p *Package) bool {
+		return strings.HasSuffix(p.Path, "/internal/queueing") ||
+			strings.HasSuffix(p.Path, "/internal/stats")
+	},
+	Run: runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	isFloat := func(e ast.Expr) bool {
+		t := pass.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsFloat != 0
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if (n.Op == token.EQL || n.Op == token.NEQ) && (isFloat(n.X) || isFloat(n.Y)) {
+					pass.Reportf(n.OpPos,
+						"exact floating-point %s comparison; use a tolerance (math.Abs(a-b) < eps)", n.Op)
+				}
+			case *ast.SwitchStmt:
+				if n.Tag != nil && isFloat(n.Tag) {
+					pass.Reportf(n.Tag.Pos(),
+						"switch on floating-point value compares cases exactly; use if/else with tolerances")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden-file harness: each analyzer has a package under
+// testdata/<name>/ whose offending lines carry trailing
+//
+//	// want "substring"
+//
+// comments (several quoted substrings for several findings on one
+// line). The test runs the analyzer and diffs reported diagnostics
+// against the expectations both ways: every want must be matched by a
+// diagnostic on its line, and every diagnostic must be claimed by a
+// want.
+func TestGolden(t *testing.T) {
+	loader := testLoader(t)
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) {
+			pkg, err := loader.LoadDir(filepath.Join("testdata", a.Name))
+			if err != nil {
+				t.Fatalf("loading testdata: %v", err)
+			}
+			diags := RunAnalyzer(a, pkg)
+			checkExpectations(t, pkg, diags)
+		})
+	}
+}
+
+var wantRE = regexp.MustCompile(`// want (".*")\s*$`)
+var wantStrRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// collectWants maps "file:line" to the expected message substrings on
+// that line.
+func collectWants(t *testing.T, pkg *Package) map[string][]string {
+	t.Helper()
+	wants := make(map[string][]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "want \"") {
+						t.Errorf("%s: malformed want comment: %s", pkg.Fset.Position(c.Pos()), c.Text)
+					}
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				for _, q := range wantStrRE.FindAllStringSubmatch(m[1], -1) {
+					wants[key] = append(wants[key], q[1])
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func checkExpectations(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	unclaimed := make(map[string][]string, len(wants))
+	for k, v := range wants {
+		unclaimed[k] = append([]string(nil), v...)
+	}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", filepath.Base(d.File), d.Line)
+		idx := -1
+		for i, w := range unclaimed[key] {
+			if strings.Contains(d.Message, w) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			t.Errorf("unexpected diagnostic at %s: %s", key, d.Message)
+			continue
+		}
+		unclaimed[key] = append(unclaimed[key][:idx], unclaimed[key][idx+1:]...)
+	}
+	for key, rest := range unclaimed {
+		for _, w := range rest {
+			t.Errorf("missing diagnostic at %s: want message containing %q", key, w)
+		}
+	}
+}
+
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("finding module root: %v", err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("creating loader: %v", err)
+	}
+	return loader
+}

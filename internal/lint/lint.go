@@ -1,0 +1,182 @@
+// Package lint implements altolint, a domain-specific static-analysis
+// suite for this repository. The analyzers enforce the simulator's
+// determinism contract: events fire in strict (time, seq) order on a
+// single goroutine, all randomness flows from the run seed, and all
+// timestamps are sim.Time — so every figure is exactly reproducible
+// run-to-run. Nothing in the Go toolchain enforces those invariants;
+// altolint does.
+//
+// The suite is stdlib-only (go/parser + go/types with the source
+// importer) so go.mod stays dependency-free.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the repository, the unit the
+// analyzers operate on.
+type Package struct {
+	Path  string // import path, e.g. "repro/internal/sim"
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// ImportsSim reports whether the package imports (or is) the simulation
+// engine package — the scope rule used by analyzers that guard the
+// single-goroutine contract.
+func (p *Package) ImportsSim() bool {
+	if strings.HasSuffix(p.Path, "/internal/sim") {
+		return true
+	}
+	for _, imp := range p.Types.Imports() {
+		if strings.HasSuffix(imp.Path(), "/internal/sim") {
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnostic is a single finding.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's run over one package.
+type Pass struct {
+	Pkg   *Package
+	diags *[]Diagnostic
+	name  string
+}
+
+// Fset returns the file set positions resolve against.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// TypeOf returns the type of an expression, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Pkg.Info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// PkgNameOf resolves e to the *types.PkgName it references, if e is a
+// package qualifier (handles aliased imports), else nil.
+func (p *Pass) PkgNameOf(e ast.Expr) *types.PkgName {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if pn, ok := p.Pkg.Info.Uses[id].(*types.PkgName); ok {
+		return pn
+	}
+	return nil
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Applies gates the analyzer to its domain (e.g. floatcmp only runs
+	// on the math-heavy packages). Nil means every package.
+	Applies func(*Package) bool
+	Run     func(*Pass)
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerDetNow,
+		AnalyzerSimSync,
+		AnalyzerMapIter,
+		AnalyzerFloatCmp,
+		AnalyzerSimTime,
+	}
+}
+
+// RunAnalyzer runs a single analyzer over pkg, ignoring its Applies
+// gate, and returns findings with //altolint:allow suppression applied.
+// The golden-file tests use this entry point.
+func RunAnalyzer(a *Analyzer, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	a.Run(&Pass{Pkg: pkg, diags: &diags, name: a.Name})
+	allows := collectAllows(pkg)
+	diags = filterAllowed(diags, allows)
+	sortDiags(diags)
+	return diags
+}
+
+// Run executes every analyzer that applies to each package, applies
+// //altolint:allow suppression, and reports unused or malformed
+// directives. Diagnostics come back sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var pkgDiags []Diagnostic
+		names := make(map[string]bool, len(analyzers))
+		for _, a := range analyzers {
+			names[a.Name] = true
+			if a.Applies != nil && !a.Applies(pkg) {
+				continue
+			}
+			a.Run(&Pass{Pkg: pkg, diags: &pkgDiags, name: a.Name})
+		}
+		allows := collectAllows(pkg)
+		pkgDiags = filterAllowed(pkgDiags, allows)
+		pkgDiags = append(pkgDiags, directiveDiagnostics(pkg, allows, names)...)
+		diags = append(diags, pkgDiags...)
+	}
+	sortDiags(diags)
+	return diags
+}
+
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

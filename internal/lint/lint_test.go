@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAllowDirectives drives lint.Run over testdata/allow and checks
+// the directive semantics end to end: same-line and line-above
+// suppression work, and the malformed / unknown-analyzer / unused
+// directive cases are themselves findings.
+func TestAllowDirectives(t *testing.T) {
+	loader := testLoader(t)
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "allow"))
+	if err != nil {
+		t.Fatalf("loading testdata/allow: %v", err)
+	}
+	diags := Run([]*Package{pkg}, All())
+
+	find := func(analyzer, msgPart string) *Diagnostic {
+		for i := range diags {
+			if diags[i].Analyzer == analyzer && strings.Contains(diags[i].Message, msgPart) {
+				return &diags[i]
+			}
+		}
+		return nil
+	}
+
+	// The two suppressed time.Now calls must not be reported: the only
+	// detnow finding left is the one under the reason-less directive.
+	var detnow []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == "detnow" {
+			detnow = append(detnow, d)
+		}
+	}
+	if len(detnow) != 1 {
+		t.Fatalf("want exactly 1 surviving detnow finding, got %d: %v", len(detnow), detnow)
+	}
+
+	if find("altolint", "missing a reason") == nil {
+		t.Errorf("missing 'missing a reason' directive diagnostic in %v", diags)
+	}
+	if find("altolint", "unknown analyzer bogus") == nil {
+		t.Errorf("missing 'unknown analyzer' directive diagnostic in %v", diags)
+	}
+	if find("altolint", "unused directive") == nil {
+		t.Errorf("missing 'unused directive' diagnostic in %v", diags)
+	}
+}
+
+// TestLoadAll checks the repository loads cleanly and the walker skips
+// testdata: the lint golden packages must not appear.
+func TestLoadAll(t *testing.T) {
+	loader := testLoader(t)
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	seen := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		seen[p.Path] = true
+		if strings.Contains(p.Path, "testdata") {
+			t.Errorf("LoadAll picked up testdata package %s", p.Path)
+		}
+	}
+	for _, want := range []string{"repro", "repro/internal/sim", "repro/internal/lint", "repro/cmd/altolint"} {
+		if !seen[want] {
+			t.Errorf("LoadAll missing package %s", want)
+		}
+	}
+}
+
+// TestRepoIsClean is the determinism gate as a test: the full analyzer
+// suite must report nothing on the repository itself. If this fails,
+// either fix the finding or annotate it with //altolint:allow and a
+// reason.
+func TestRepoIsClean(t *testing.T) {
+	loader := testLoader(t)
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	diags := Run(pkgs, All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestImportsSim pins the scope rule simsync relies on.
+func TestImportsSim(t *testing.T) {
+	loader := testLoader(t)
+	simPkg, err := loader.LoadDir(filepath.Join("..", "sim"))
+	if err != nil {
+		t.Fatalf("loading internal/sim: %v", err)
+	}
+	if !simPkg.ImportsSim() {
+		t.Errorf("internal/sim must count as sim-driven")
+	}
+	lintPkg, err := loader.LoadDir(".")
+	if err != nil {
+		t.Fatalf("loading internal/lint: %v", err)
+	}
+	if lintPkg.ImportsSim() {
+		t.Errorf("internal/lint must not count as sim-driven")
+	}
+}

@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerMapIter flags range-over-map loops whose iteration order can
+// leak into output: appending to a slice that is never sorted
+// afterwards, or writing directly (fmt printing, io writes, report-row
+// emission). Go randomizes map iteration order per run, so any such
+// loop makes two same-seed runs produce different bytes — the exact
+// failure the deterministic engine exists to prevent. The accepted
+// idiom is collect-keys / sort / iterate-sorted.
+var AnalyzerMapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "flag map iteration whose order reaches output or an unsorted slice",
+	Run:  runMapIter,
+}
+
+// outputMethods are method names that emit ordered output in this
+// repository: io.Writer-style writes plus report.Table row emission.
+var outputMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"AddRow": true, "AddSeries": true,
+}
+
+func runMapIter(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		// Walk with a parent stack so a range statement can see its
+		// enclosing block (to look for a sort after the loop).
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if t := pass.TypeOf(rng.X); t == nil {
+				return true
+			} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, rng, stack)
+			return true
+		})
+	}
+}
+
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, stack []ast.Node) {
+	// Direct output in the loop body can never be fixed up afterwards.
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if pn := pass.PkgNameOf(sel.X); pn != nil {
+				if pn.Imported().Path() == "fmt" && strings.HasPrefix(sel.Sel.Name, "Print") ||
+					pn.Imported().Path() == "fmt" && strings.HasPrefix(sel.Sel.Name, "Fprint") {
+					pass.Reportf(call.Pos(),
+						"fmt.%s inside range over map: output order is randomized per run; iterate sorted keys instead",
+						sel.Sel.Name)
+				}
+				return true
+			}
+			if outputMethods[sel.Sel.Name] {
+				pass.Reportf(call.Pos(),
+					"%s call inside range over map: emission order is randomized per run; iterate sorted keys instead",
+					sel.Sel.Name)
+			}
+		}
+		return true
+	})
+
+	// Appends whose target is declared outside the loop keep the random
+	// order unless a sort follows in the enclosing block.
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Rhs) != 1 {
+			return true
+		}
+		call, ok := asg.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+			return true
+		}
+		target := rootIdent(asg.Lhs[0])
+		if target == nil {
+			return true
+		}
+		obj := pass.Pkg.Info.ObjectOf(target)
+		if obj == nil || insideNode(rng, obj.Pos()) {
+			return true // loop-local accumulator; order dies with the loop
+		}
+		if sortFollows(pass, rng, stack, obj) {
+			return true
+		}
+		pass.Reportf(asg.Pos(),
+			"append to %s inside range over map without a later sort: element order is randomized per run",
+			target.Name)
+		return true
+	})
+}
+
+// rootIdent unwraps expressions like x, x.f, x[i] to their base ident.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+func insideNode(n ast.Node, pos token.Pos) bool {
+	return n.Pos() <= pos && pos < n.End()
+}
+
+// sortFollows reports whether a statement after rng in one of its
+// enclosing blocks sorts (or hands to a sorter) the object obj. This is
+// a syntactic check for the collect-then-sort idiom, not a dataflow
+// analysis: sort.X(v), slices.X(v), or any call whose arguments mention
+// v counts.
+func sortFollows(pass *Pass, rng *ast.RangeStmt, stack []ast.Node, obj types.Object) bool {
+	// Find enclosing blocks from innermost out; in each, look at
+	// statements positioned after the range loop.
+	for i := len(stack) - 1; i >= 0; i-- {
+		var stmts []ast.Stmt
+		switch b := stack[i].(type) {
+		case *ast.BlockStmt:
+			stmts = b.List
+		case *ast.CaseClause:
+			stmts = b.Body
+		default:
+			continue
+		}
+		for _, s := range stmts {
+			if s.Pos() <= rng.End() {
+				continue
+			}
+			if stmtSorts(pass, s, obj) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func stmtSorts(pass *Pass, s ast.Stmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pn := pass.PkgNameOf(sel.X)
+		if pn == nil {
+			return true
+		}
+		switch pn.Imported().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if id := rootIdent(arg); id != nil && pass.Pkg.Info.ObjectOf(id) == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerSimSync flags concurrency constructs in packages driven by
+// the simulation engine. sim.Engine is documented single-goroutine: the
+// simulated hardware is parallel, the simulator is not. A goroutine,
+// channel op, or sync primitive in engine-adjacent code either races on
+// engine state or injects OS-scheduler ordering into what must be a
+// strict (time, seq) event order — both break reproducibility.
+var AnalyzerSimSync = &Analyzer{
+	Name:    "simsync",
+	Doc:     "forbid goroutines, channel ops, and sync primitives in sim-driven packages",
+	Applies: func(p *Package) bool { return p.ImportsSim() },
+	Run:     runSimSync,
+}
+
+func runSimSync(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement in a sim-driven package; the engine is single-goroutine by contract")
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send in a sim-driven package; schedule an event with sim.Engine.At/After instead")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive in a sim-driven package; the event loop is the only scheduler")
+				}
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select statement in a sim-driven package; event ordering must be (time, seq), not runtime-chosen")
+			case *ast.RangeStmt:
+				if t := pass.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						pass.Reportf(n.Pos(), "range over channel in a sim-driven package")
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+					if t := pass.TypeOf(n.Args[0]); t != nil {
+						if _, ok := t.Underlying().(*types.Chan); ok {
+							pass.Reportf(n.Pos(), "close of channel in a sim-driven package")
+						}
+					}
+				}
+			case *ast.SelectorExpr:
+				pn := pass.PkgNameOf(n.X)
+				if pn == nil {
+					return true
+				}
+				switch pn.Imported().Path() {
+				case "sync", "sync/atomic":
+					pass.Reportf(n.Pos(),
+						"%s.%s in a sim-driven package; single-goroutine code needs no synchronization",
+						pn.Imported().Name(), n.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}

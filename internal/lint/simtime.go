@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerSimTime flags bare integer literals used as sim.Time outside
+// the sim package's own unit declarations. sim.Time is picoseconds; a
+// bare `40` where a Time is expected means 40 ps, which is almost never
+// what the author intended (NoC hops are ~3 ns, RPCs hundreds of ns).
+// Every Time-valued literal must go through a unit constant —
+// 40*sim.Nanosecond — so the magnitude is visible and auditable.
+// Multiplying or dividing a Time by a bare scalar (t*2, t/4,
+// 40*sim.Nanosecond) is scaling, not a timestamp, and stays legal.
+var AnalyzerSimTime = &Analyzer{
+	Name: "simtime",
+	Doc:  "flag bare integer literals mixed with sim.Time outside unit constants",
+	Applies: func(p *Package) bool {
+		// The sim package itself declares the unit constants.
+		return !strings.HasSuffix(p.Path, "/internal/sim")
+	},
+	Run: runSimTime,
+}
+
+func isSimTime(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Time" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "/internal/sim")
+}
+
+func runSimTime(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkTimeConversion(pass, n)
+			case *ast.BasicLit:
+				checkTimeLiteral(pass, n, stack)
+			}
+			return true
+		})
+	}
+}
+
+// checkTimeConversion reports sim.Time(<bare literal>) conversions.
+func checkTimeConversion(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.Pkg.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || !isSimTime(tv.Type) {
+		return
+	}
+	lit, ok := unwrapLiteral(call.Args[0])
+	if !ok || lit.Kind != token.INT || isZeroConst(pass, lit) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"sim.Time(%s) converts a bare literal (picoseconds); spell the unit, e.g. %s*sim.Nanosecond",
+		lit.Value, lit.Value)
+}
+
+// checkTimeLiteral reports untyped integer literals that the type
+// checker converted to sim.Time in additive, comparison, assignment,
+// composite-literal, or argument positions.
+func checkTimeLiteral(pass *Pass, lit *ast.BasicLit, stack []ast.Node) {
+	if lit.Kind != token.INT || isZeroConst(pass, lit) {
+		return
+	}
+	tv, ok := pass.Pkg.Info.Types[lit]
+	if !ok || !isSimTime(tv.Type) {
+		return
+	}
+	// Walk out through parens and unary minus to the operation that
+	// consumes the literal.
+	i := len(stack) - 2
+	for i >= 0 {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			i--
+			continue
+		case *ast.UnaryExpr:
+			if p.Op == token.SUB || p.Op == token.ADD {
+				i--
+				continue
+			}
+		}
+		break
+	}
+	if i >= 0 {
+		switch p := stack[i].(type) {
+		case *ast.BinaryExpr:
+			// 40 * sim.Nanosecond and t / 2 are unit construction and
+			// scaling; the literal is a scalar there, not a timestamp.
+			if p.Op == token.MUL || p.Op == token.QUO {
+				return
+			}
+		case *ast.CallExpr:
+			// A conversion sim.Time(40) is reported by
+			// checkTimeConversion; don't double-report.
+			if tv, ok := pass.Pkg.Info.Types[p.Fun]; ok && tv.IsType() {
+				return
+			}
+		}
+	}
+	pass.Reportf(lit.Pos(),
+		"bare literal %s used as sim.Time (picoseconds); spell the unit, e.g. %s*sim.Nanosecond",
+		lit.Value, lit.Value)
+}
+
+func unwrapLiteral(e ast.Expr) (*ast.BasicLit, bool) {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			if v.Op == token.SUB || v.Op == token.ADD {
+				e = v.X
+				continue
+			}
+			return nil, false
+		case *ast.BasicLit:
+			return v, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+func isZeroConst(pass *Pass, lit *ast.BasicLit) bool {
+	if tv, ok := pass.Pkg.Info.Types[lit]; ok && tv.Value != nil {
+		return constant.Sign(tv.Value) == 0
+	}
+	return lit.Value == "0"
+}

@@ -1,0 +1,28 @@
+// Package allowtest exercises //altolint:allow directive semantics:
+// suppression on the same line and the line above, plus the malformed,
+// unknown-analyzer, and unused cases that lint.Run reports itself.
+package allowtest
+
+import "time"
+
+func sameLine() time.Time {
+	return time.Now() //altolint:allow detnow suppressed on the same line
+}
+
+func lineAbove() time.Time {
+	//altolint:allow detnow suppressed from the line above
+	return time.Now()
+}
+
+func missingReason() time.Time {
+	//altolint:allow detnow
+	return time.Now()
+}
+
+func unknownAnalyzer() {
+	//altolint:allow bogus some reason
+}
+
+func unused() {
+	//altolint:allow detnow nothing to suppress here
+}

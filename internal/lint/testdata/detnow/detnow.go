@@ -1,0 +1,48 @@
+// Package detnowtest exercises the detnow analyzer: wall-clock reads
+// and global math/rand draws are findings; seeded generators, duration
+// constants, and annotated exceptions are not.
+package detnowtest
+
+import (
+	"math/rand"
+	"time"
+)
+
+const tick = 3 * time.Millisecond // duration constants are deterministic
+
+func wallClock() time.Duration {
+	start := time.Now()        // want "time.Now reads the wall clock"
+	time.Sleep(tick)           // want "time.Sleep reads the wall clock"
+	if time.Until(start) < 0 { // want "time.Until reads the wall clock"
+		_ = time.Tick(tick) // want "time.Tick reads the wall clock"
+	}
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func timers() {
+	t := time.NewTimer(tick) // want "time.NewTimer reads the wall clock"
+	defer t.Stop()
+	k := time.NewTicker(tick) // want "time.NewTicker reads the wall clock"
+	defer k.Stop()
+	_ = time.AfterFunc(tick, func() {}) // want "time.AfterFunc reads the wall clock"
+}
+
+func globalRand() int {
+	rand.Shuffle(3, func(i, j int) {}) // want "rand.Shuffle draws from the global generator"
+	_ = rand.Float64()                 // want "rand.Float64 draws from the global generator"
+	return rand.Intn(10)               // want "rand.Intn draws from the global generator"
+}
+
+// seeded generators are the sanctioned escape hatch.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func parse(s string) (time.Duration, error) {
+	return time.ParseDuration(s) // pure parsing, no clock involved
+}
+
+func annotated() time.Time {
+	//altolint:allow detnow golden-file demonstration of suppression
+	return time.Now()
+}

@@ -1,0 +1,38 @@
+// Package floatcmptest exercises the floatcmp analyzer: exact == / !=
+// between floating-point operands is a finding; tolerance comparisons
+// and integer equality are not.
+package floatcmptest
+
+import "math"
+
+func equal(a, b float64) bool {
+	return a == b // want "exact floating-point == comparison"
+}
+
+func notEqual(a, b float32) bool {
+	return a != b // want "exact floating-point != comparison"
+}
+
+func mixedConst(a float64) bool {
+	return a == 0 // want "exact floating-point == comparison"
+}
+
+func tolerant(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+func ordering(a, b float64) bool {
+	return a < b // ordered comparisons are well-defined
+}
+
+func intsFine(a, b int) bool {
+	return a == b
+}
+
+func switchFloat(x float64) int {
+	switch x { // want "switch on floating-point value"
+	case 1.0:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,54 @@
+// Package mapitertest exercises the mapiter analyzer: map iteration
+// order may not reach output or an unsorted slice. The accepted idiom
+// is collect keys, sort, iterate sorted.
+package mapitertest
+
+import (
+	"fmt"
+	"sort"
+)
+
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out inside range over map"
+	}
+	return out
+}
+
+func keysSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k) // no finding: sorted below before use
+	}
+	sort.Strings(out)
+	return out
+}
+
+func printAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "fmt.Println inside range over map"
+	}
+}
+
+func dumpTo(m map[string]int, t *table) {
+	for k := range m {
+		t.AddRow(k) // want "AddRow call inside range over map"
+	}
+}
+
+type table struct{ rows [][]string }
+
+func (t *table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// Loop-local accumulators and commutative reductions are fine: the
+// random order never escapes.
+func reductions(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		total += len(tmp)
+	}
+	return total
+}

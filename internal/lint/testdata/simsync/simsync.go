@@ -1,0 +1,46 @@
+// Package simsynctest exercises the simsync analyzer: any concurrency
+// construct in a package that drives a sim.Engine is a finding, because
+// the engine is single-goroutine by contract.
+package simsynctest
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+type driver struct {
+	eng *sim.Engine
+	mu  sync.Mutex // want "sync.Mutex in a sim-driven package"
+	n   int64
+}
+
+func (d *driver) spawn(ch chan int) {
+	go d.step()              // want "go statement in a sim-driven package"
+	ch <- 1                  // want "channel send in a sim-driven package"
+	<-ch                     // want "channel receive in a sim-driven package"
+	close(ch)                // want "close of channel in a sim-driven package"
+	atomic.AddInt64(&d.n, 1) // want "atomic.AddInt64 in a sim-driven package"
+}
+
+func (d *driver) step() {
+	d.eng.After(sim.Nanosecond, func() {})
+}
+
+func (d *driver) wait(a, b chan int) int {
+	select { // want "select statement in a sim-driven package"
+	case v := <-a: // want "channel receive in a sim-driven package"
+		return v
+	case v := <-b: // want "channel receive in a sim-driven package"
+		return v
+	}
+}
+
+func drain(ch chan int) int {
+	total := 0
+	for v := range ch { // want "range over channel in a sim-driven package"
+		total += v
+	}
+	return total
+}

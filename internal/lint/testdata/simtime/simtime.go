@@ -1,0 +1,28 @@
+// Package simtimetest exercises the simtime analyzer: a bare integer
+// literal in a sim.Time position means raw picoseconds, which is almost
+// never intended. Units must be spelled; scaling by a scalar is fine.
+package simtimetest
+
+import "repro/internal/sim"
+
+const hop = 3 * sim.Nanosecond // unit-spelled constant: fine
+
+func schedule(eng *sim.Engine) {
+	eng.After(40, func() {})                // want "bare literal 40 used as sim.Time"
+	eng.After(40*sim.Nanosecond, func() {}) // unit-spelled: fine
+
+	var deadline sim.Time = 500 // want "bare literal 500 used as sim.Time"
+	deadline += 1000            // want "bare literal 1000 used as sim.Time"
+	if deadline > 100 {         // want "bare literal 100 used as sim.Time"
+		eng.Stop()
+	}
+
+	_ = sim.Time(250) // want "sim.Time(250) converts a bare literal"
+	_ = sim.Time(0)   // zero is unit-free
+
+	_ = []sim.Time{40, hop} // want "bare literal 40 used as sim.Time"
+
+	_ = deadline * 2 // scaling: fine
+	_ = deadline / 4 // scaling: fine
+	_ = hop + deadline
+}

@@ -212,8 +212,10 @@ func LinearFit(xs, ys []float64) (slope, intercept float64, ok bool) {
 		sxx += xs[i] * xs[i]
 		sxy += xs[i] * ys[i]
 	}
+	// den suffers catastrophic cancellation when all xs are (nearly)
+	// equal; compare against the magnitude of its terms, not exact zero.
 	den := n*sxx - sx*sx
-	if den == 0 {
+	if math.Abs(den) <= 1e-12*math.Abs(n*sxx) {
 		return 0, 0, false
 	}
 	slope = (n*sxy - sx*sy) / den

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# check.sh — the repository's single pre-merge gate. Everything CI runs
+# is here, so `./scripts/check.sh` locally reproduces CI exactly:
+#
+#   1. gofmt           every .go file is formatted
+#   2. go vet          toolchain static checks
+#   3. altolint        domain-specific determinism checks (internal/lint)
+#   4. go build        everything compiles
+#   5. go test -race   full suite under the race detector
+#
+# Fails fast on the first broken step.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== altolint"
+go run ./cmd/altolint ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== all checks passed"
