@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/sim"
 )
 
@@ -47,6 +48,25 @@ func BenchmarkFig09(b *testing.B) { benchExperiment(b, "fig09") }
 
 // BenchmarkFig10 regenerates Fig. 10 (tail vs throughput, all systems).
 func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFig10Serial regenerates Fig. 10 with the cross-run fleet
+// forced to width 1 — the baseline for the parallel-speedup comparison
+// recorded in BENCH_sim.json.
+func BenchmarkFig10Serial(b *testing.B) {
+	fleet.SetParallelism(1)
+	defer fleet.SetParallelism(0)
+	benchExperiment(b, "fig10")
+}
+
+// BenchmarkFig10Par4 regenerates Fig. 10 at fleet width 4. On a box
+// with >=4 cores this should beat BenchmarkFig10Serial by ~2x or more
+// (the sweep has more points than workers, so scaling is not perfectly
+// linear); on a single-core box the two are expected to tie.
+func BenchmarkFig10Par4(b *testing.B) {
+	fleet.SetParallelism(4)
+	defer fleet.SetParallelism(0)
+	benchExperiment(b, "fig10")
+}
 
 // BenchmarkFig11 regenerates Fig. 11 (Bulk and Period sensitivity).
 func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }

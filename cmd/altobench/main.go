@@ -3,8 +3,12 @@
 // Usage:
 //
 //	altobench -list
-//	altobench -exp fig10 [-scale quick|full] [-seed N]
+//	altobench -exp fig10 [-scale quick|full] [-seed N] [-par N]
 //	altobench -exp all -scale full | tee experiments.txt
+//
+// Independent runs inside an experiment (load sweeps, seed grids)
+// execute on a worker pool sized by -par (default GOMAXPROCS); output
+// is byte-identical at every width, -par 1 being strictly serial.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/report"
 )
 
@@ -64,8 +69,10 @@ func main() {
 		seed  = flag.Uint64("seed", 1, "simulation seed")
 		list  = flag.Bool("list", false, "list available experiments")
 		chart = flag.Bool("chart", false, "also render latency-throughput tables as ASCII charts")
+		par   = flag.Int("par", 0, "cross-run parallelism: worker-pool width for independent runs (0 = GOMAXPROCS, 1 = fully serial); tables are byte-identical at any width")
 	)
 	flag.Parse()
+	fleet.SetParallelism(*par)
 
 	if *list || *expID == "" {
 		fmt.Println("available experiments:")

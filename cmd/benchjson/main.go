@@ -1,0 +1,114 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// machine-readable benchmark record committed as BENCH_sim.json. It is
+// the second half of scripts/bench.sh: the shell script chooses which
+// benchmarks to run, this tool parses the testing package's text format
+// into stable JSON so CI and humans can diff performance run-to-run.
+//
+// Every (value, unit) pair on a benchmark line is kept — ns/op,
+// B/op, allocs/op, and custom b.ReportMetric units like simreq/s all
+// land in the metrics map. When both Fig10Serial and Fig10Par4 are
+// present, the derived fig10_par4_speedup ratio (serial ns/op over
+// parallel ns/op) is emitted so the cross-run fleet's scaling is a
+// single greppable number.
+//
+// Usage:
+//
+//	go test -bench 'Engine|Fig10' -benchmem -run '^$' . | go run ./cmd/benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchmark is one parsed result line.
+type benchmark struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// record is the whole BENCH_sim.json document.
+type record struct {
+	Schema     string             `json:"schema"`
+	Goos       string             `json:"goos,omitempty"`
+	Goarch     string             `json:"goarch,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Package    string             `json:"pkg,omitempty"`
+	Benchmarks []benchmark        `json:"benchmarks"`
+	Derived    map[string]float64 `json:"derived,omitempty"`
+}
+
+var benchLineRE = regexp.MustCompile(`^Benchmark(\S+?)(?:-(\d+))?\s+(\d+)\s+(.*)$`)
+
+// parseLine parses one "BenchmarkX-8  1000  135.3 ns/op  0 B/op ..."
+// line, or returns false for non-benchmark lines.
+func parseLine(line string) (benchmark, bool) {
+	m := benchLineRE.FindStringSubmatch(line)
+	if m == nil {
+		return benchmark{}, false
+	}
+	b := benchmark{Name: m[1], Procs: 1, Metrics: map[string]float64{}}
+	if m[2] != "" {
+		b.Procs, _ = strconv.Atoi(m[2])
+	}
+	b.Iterations, _ = strconv.ParseInt(m[3], 10, 64)
+	fields := strings.Fields(m[4])
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+func run(in *bufio.Scanner) record {
+	rec := record{Schema: "altocumulus-bench/v1"}
+	meta := map[string]*string{
+		"goos:": &rec.Goos, "goarch:": &rec.Goarch,
+		"cpu:": &rec.CPU, "pkg:": &rec.Package,
+	}
+	for in.Scan() {
+		line := strings.TrimRight(in.Text(), " \t")
+		for prefix, dst := range meta {
+			if rest, ok := strings.CutPrefix(line, prefix); ok {
+				*dst = strings.TrimSpace(rest)
+			}
+		}
+		if b, ok := parseLine(line); ok {
+			rec.Benchmarks = append(rec.Benchmarks, b)
+		}
+	}
+	nsOf := func(name string) float64 {
+		for _, b := range rec.Benchmarks {
+			if b.Name == name {
+				return b.Metrics["ns/op"]
+			}
+		}
+		return 0
+	}
+	if serial, par := nsOf("Fig10Serial"), nsOf("Fig10Par4"); serial > 0 && par > 0 {
+		rec.Derived = map[string]float64{"fig10_par4_speedup": serial / par}
+	}
+	return rec
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	rec := run(sc)
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+}

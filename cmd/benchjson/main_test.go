@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Example CPU @ 3.00GHz
+BenchmarkEngineEvents-8   	 8621462	       135.3 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFig10Serial-8    	       2	 700000000 ns/op
+BenchmarkFig10Par4-8      	       4	 350000000 ns/op
+BenchmarkSimulatorThroughput-8	      12	  95000000 ns/op	   526315 simreq/s
+PASS
+ok  	repro	12.345s
+`
+
+func TestRunParsesBenchOutput(t *testing.T) {
+	rec := run(bufio.NewScanner(strings.NewReader(sample)))
+	if rec.Goos != "linux" || rec.Goarch != "amd64" || rec.Package != "repro" {
+		t.Errorf("metadata not captured: %+v", rec)
+	}
+	if len(rec.Benchmarks) != 4 {
+		t.Fatalf("want 4 benchmarks, got %d: %+v", len(rec.Benchmarks), rec.Benchmarks)
+	}
+	eng := rec.Benchmarks[0]
+	if eng.Name != "EngineEvents" || eng.Procs != 8 || eng.Iterations != 8621462 {
+		t.Errorf("engine line misparsed: %+v", eng)
+	}
+	if eng.Metrics["ns/op"] != 135.3 || eng.Metrics["allocs/op"] != 0 || eng.Metrics["B/op"] != 0 {
+		t.Errorf("engine metrics misparsed: %+v", eng.Metrics)
+	}
+	if got := rec.Benchmarks[3].Metrics["simreq/s"]; got != 526315 {
+		t.Errorf("custom metric simreq/s misparsed: %v", got)
+	}
+	if got := rec.Derived["fig10_par4_speedup"]; got != 2 {
+		t.Errorf("fig10_par4_speedup: want 2, got %v", got)
+	}
+}
+
+func TestParseLineRejectsProse(t *testing.T) {
+	for _, line := range []string{"PASS", "ok  \trepro\t12.3s", "Benchmarks are fun"} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine accepted non-benchmark line %q", line)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/fleet"
 	"repro/internal/report"
 	"repro/internal/server"
 	"repro/internal/sim"
@@ -111,24 +112,26 @@ func All() []Experiment {
 // sweep runs one configuration across ascending load fractions and
 // returns a latency-throughput curve. mkConfig receives the load
 // fraction so schedulers can be rebuilt per point; mkWorkload builds the
-// offered load for the given fraction.
+// offered load for the given fraction. The points run in parallel on
+// the fleet pool (each is an independent simulation), so mkConfig and
+// mkWorkload must be pure functions of the load fraction; results come
+// back in load order, identical to serial execution.
 func sweep(loads []float64,
 	mkConfig func(load float64) server.Config,
 	mkWorkload func(load float64) server.Workload) ([]server.LoadPoint, error) {
-	points := make([]server.LoadPoint, 0, len(loads))
-	for _, l := range loads {
+	return fleet.Map(len(loads), func(i int) (server.LoadPoint, error) {
+		l := loads[i]
 		res, err := server.Run(mkConfig(l), mkWorkload(l))
 		if err != nil {
-			return nil, fmt.Errorf("sweep at load %.2f: %w", l, err)
+			return server.LoadPoint{}, fmt.Errorf("sweep at load %.2f: %w", l, err)
 		}
-		points = append(points, server.LoadPoint{
+		return server.LoadPoint{
 			OfferedRPS: res.OfferedRPS,
 			P99:        res.Summary.P99,
 			VioRatio:   res.Summary.VioRatio,
 			DoneRPS:    res.DoneRPS,
-		})
-	}
-	return points, nil
+		}, nil
+	})
 }
 
 // mrps formats requests/second as millions.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/exec"
+	"repro/internal/fleet"
 	"repro/internal/queueing"
 	"repro/internal/report"
 	"repro/internal/rpcproto"
@@ -55,11 +56,19 @@ func runFig07(scale Scale, seed uint64) ([]report.Table, error) {
 		Title: "threshold characterization: first-violation queue length vs k*L+1 upper bound",
 		Cols:  []string{"distribution", "T-lower(first violation)", "T-upper(k*L+1)"},
 	}
-	for _, c := range cases {
-		first, hist, err := fig07Measure(cores, c.d, c.load, l, n, seed)
-		if err != nil {
-			return nil, err
-		}
+	type measurement struct {
+		first int
+		hist  *fig07Hist
+	}
+	measured3, err := fleet.Map(len(cases), func(i int) (measurement, error) {
+		first, hist, err := fig07Measure(cores, cases[i].d, cases[i].load, l, n, seed)
+		return measurement{first, hist}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range cases {
+		first, hist := measured3[ci].first, measured3[ci].hist
 		for b := 0; b < hist.buckets; b++ {
 			total := hist.total[b]
 			if total == 0 {
@@ -94,15 +103,16 @@ func runFig07(scale Scale, seed uint64) ([]report.Table, error) {
 	// fitting Eqn. 2 (the paper fits per distribution).
 	loads := []float64{0.985, 0.9875, 0.99, 0.9925, 0.995}
 	bimodal := cases[2].d
-	measured := make([]int, len(loads))
+	measured, err := fleet.Map(len(loads), func(i int) (int, error) {
+		first, _, err := fig07Measure(cores, bimodal, loads[i], l, n, seed+uint64(i)+1)
+		return first, err
+	})
+	if err != nil {
+		return nil, err
+	}
 	for i, load := range loads {
-		first, _, err := fig07Measure(cores, bimodal, load, l, n, seed+uint64(i)+1)
-		if err != nil {
-			return nil, err
-		}
-		measured[i] = first
-		if first > 0 { // a zero means no violation was observed at this load
-			pts = append(pts, queueing.CalibrationPoint{Offered: load * cores, ObservedT: float64(first)})
+		if measured[i] > 0 { // a zero means no violation was observed at this load
+			pts = append(pts, queueing.CalibrationPoint{Offered: load * cores, ObservedT: float64(measured[i])})
 		}
 	}
 	if err := model.Calibrate(pts); err != nil {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/fleet"
 	"repro/internal/nic"
 	"repro/internal/report"
 	"repro/internal/rpcproto"
@@ -51,16 +52,19 @@ func runFig11(scale Scale, seed uint64) ([]report.Table, error) {
 		Title: "SLO violations and p99 vs Bulk (Period 200ns, 16x16 cores, load 0.95)",
 		Cols:  []string{"bulk", "violations", "p99(us)", "migrated-reqs"},
 	}
-	for _, bulk := range []int{8, 16, 24, 32, 40} {
+	bulks := []int{8, 16, 24, 32, 40}
+	bulkRes, err := fleet.Map(len(bulks), func(i int) (*server.Result, error) {
 		p := core.DefaultParams(16, 15)
-		p.Bulk = bulk
+		p.Bulk = bulks[i]
 		p.Period = 200 * sim.Nanosecond
 		p.Concurrency = 8
-		res, err := fig11Run(p, svc, rate, n, seed)
-		if err != nil {
-			return nil, err
-		}
-		bulkT.AddRow(bulk, res.Lat.CountAbove(slo), usStr(res.Summary.P99),
+		return fig11Run(p, svc, rate, n, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range bulkRes {
+		bulkT.AddRow(bulks[i], res.Lat.CountAbove(slo), usStr(res.Summary.P99),
 			fmt.Sprint(res.ACStats.MigratedReqs))
 	}
 	bulkT.Notes = append(bulkT.Notes,
@@ -71,26 +75,26 @@ func runFig11(scale Scale, seed uint64) ([]report.Table, error) {
 		Title: "SLO violations and p99 vs migration Period (Bulk 16)",
 		Cols:  []string{"period(ns)", "violations", "p99(us)", "migrated-reqs"},
 	}
-	// Baseline without migration first.
-	{
-		p := core.DefaultParams(16, 15)
-		p.DisableMigration = true
-		res, err := fig11Run(p, svc, rate, n, seed)
-		if err != nil {
-			return nil, err
-		}
-		periodT.AddRow("no-migration", res.Lat.CountAbove(slo), usStr(res.Summary.P99), "0")
-	}
-	for _, period := range []sim.Time{
+	// One batch: the no-migration baseline plus every period variant.
+	periods := []sim.Time{
 		10 * sim.Nanosecond, 40 * sim.Nanosecond, 100 * sim.Nanosecond,
 		200 * sim.Nanosecond, 400 * sim.Nanosecond, 1000 * sim.Nanosecond,
-	} {
+	}
+	periodRes, err := fleet.Map(len(periods)+1, func(i int) (*server.Result, error) {
 		p := core.DefaultParams(16, 15)
-		p.Period = period
-		res, err := fig11Run(p, svc, rate, n, seed)
-		if err != nil {
-			return nil, err
+		if i == 0 {
+			p.DisableMigration = true
+		} else {
+			p.Period = periods[i-1]
 		}
+		return fig11Run(p, svc, rate, n, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	periodT.AddRow("no-migration", periodRes[0].Lat.CountAbove(slo), usStr(periodRes[0].Summary.P99), "0")
+	for i, period := range periods {
+		res := periodRes[i+1]
 		periodT.AddRow(fmt.Sprint(int64(period/sim.Nanosecond)), res.Lat.CountAbove(slo),
 			usStr(res.Summary.P99), fmt.Sprint(res.ACStats.MigratedReqs))
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/fleet"
 	"repro/internal/nic"
 	"repro/internal/report"
 	"repro/internal/rpcproto"
@@ -97,16 +98,20 @@ func runFig12b(scale Scale, seed uint64) ([]report.Table, error) {
 	}
 	violBefore := base.Lat.CountAbove(slo)
 
-	for _, period := range []sim.Time{
+	periods := []sim.Time{
 		40 * sim.Nanosecond, 200 * sim.Nanosecond,
 		400 * sim.Nanosecond, 1000 * sim.Nanosecond,
-	} {
+	}
+	migRes, err := fleet.Map(len(periods), func(i int) (*server.Result, error) {
 		p := core.DefaultParams(16, 15)
-		p.Period = period
-		mig, err := fig11Run(p, svc, rate, n, seed)
-		if err != nil {
-			return nil, err
-		}
+		p.Period = periods[i]
+		return fig11Run(p, svc, rate, n, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, period := range periods {
+		mig := migRes[i]
 		cls, err := server.ClassifyMigrations(base, mig, slo)
 		if err != nil {
 			return nil, err

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/fabric"
+	"repro/internal/fleet"
 	"repro/internal/mica"
 	"repro/internal/nic"
 	"repro/internal/report"
@@ -245,15 +246,15 @@ func fig13Accuracy(name string, cores int, arrivals string, load float64, scale 
 		}
 		return server.Run(cfg, server.Workload{Arrivals: arr, App: app, N: n, Warmup: n / 10})
 	}
-	base, err := run(true)
+	// The baseline and migrating runs are independent; pair them on the
+	// fleet pool.
+	pair, err := fleet.Map(2, func(i int) (*server.Result, error) {
+		return run(i == 0)
+	})
 	if err != nil {
 		return 0, err
 	}
-	mig, err := run(false)
-	if err != nil {
-		return 0, err
-	}
-	return server.PredictionAccuracy(base, mig, slo)
+	return server.PredictionAccuracy(pair[0], pair[1], slo)
 }
 
 func runFig13b(scale Scale, seed uint64) ([]report.Table, error) {
@@ -371,17 +372,15 @@ func runFig13c(scale Scale, seed uint64) ([]report.Table, error) {
 			p := acOpt(groups, 15)
 			p.Local = local
 			p.SLOMultiplier = mult
-			basep := p
-			basep.DisableMigration = true
-			base, err := fig13RunAC(basep, load, scale, seed, slo)
+			pair, err := fleet.Map(2, func(i int) (*server.Result, error) {
+				pp := p
+				pp.DisableMigration = i == 0
+				return fig13RunAC(pp, load, scale, seed, slo)
+			})
 			if err != nil {
 				return nil, err
 			}
-			mig, err := fig13RunAC(p, load, scale, seed, slo)
-			if err != nil {
-				return nil, err
-			}
-			acc, err := server.PredictionAccuracy(base, mig, slo)
+			acc, err := server.PredictionAccuracy(pair[0], pair[1], slo)
 			if err != nil {
 				return nil, err
 			}

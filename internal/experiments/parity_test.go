@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/report"
+)
+
+// render executes one experiment and returns its rendered tables.
+func render(t *testing.T, id string, seed uint64) []byte {
+	t.Helper()
+	e, err := Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := e.Run(ScaleQuick, seed)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	var buf bytes.Buffer
+	if err := report.RenderAll(&buf, tables); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// parityDefault is the subset of experiments cheap enough (quick-scale
+// wall time well under ~3 s each) to regenerate twice inside the
+// ordinary `go test ./...` budget. ALTOBENCH_PARITY=all widens the test
+// to the full registry — scripts/check.sh runs that mode with a raised
+// timeout, so every registered experiment gets the byte-identity check
+// in CI without pushing the default package run past its deadline.
+var parityDefault = map[string]bool{
+	"fig01": true, "fig03": true, "fig07": true, "fig09": true,
+	"fig10": true, "efficiency": true, "isolation": true, "validate": true,
+}
+
+// TestParallelSerialParity is the cross-run determinism gate for the
+// fleet harness: each covered experiment, run strictly serially and at
+// -par 8, must render byte-identical tables. A single diverging byte
+// means some run is no longer a pure function of (Config, Workload,
+// seed) — shared state, map-order leakage, or order-dependent float
+// aggregation — and the parallel harness is unsound.
+func TestParallelSerialParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parity regeneration skipped in -short mode")
+	}
+	all := os.Getenv("ALTOBENCH_PARITY") == "all"
+	defer fleet.SetParallelism(0)
+	for _, e := range All() {
+		e := e
+		if !all && !parityDefault[e.ID] {
+			continue
+		}
+		t.Run(e.ID, func(t *testing.T) {
+			fleet.SetParallelism(1)
+			serial := render(t, e.ID, 1)
+			fleet.SetParallelism(8)
+			parallel := render(t, e.ID, 1)
+			if !bytes.Equal(serial, parallel) {
+				t.Fatalf("serial and -par 8 outputs differ for %s:\n--- serial ---\n%s\n--- par 8 ---\n%s",
+					e.ID, serial, parallel)
+			}
+		})
+	}
+}

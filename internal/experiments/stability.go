@@ -5,7 +5,9 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/report"
+	"repro/internal/server"
 	"repro/internal/sim"
 )
 
@@ -42,14 +44,23 @@ func runStability(scale Scale, seed uint64) ([]report.Table, error) {
 		{"with migration", false},
 		{"no migration", true},
 	} {
-		var p99s, viols []float64
-		for _, sd := range seeds {
+		variant := variant
+		// The five seeds are independent runs: schedule them on the
+		// fleet pool and aggregate in seed order.
+		results, err := fleet.Map(len(seeds), func(i int) (*server.Result, error) {
 			p := core.DefaultParams(16, 15)
 			p.DisableMigration = variant.disable
-			res, err := fig11Run(p, svc, rate, n, sd)
+			res, err := fig11Run(p, svc, rate, n, seeds[i])
 			if err != nil {
-				return nil, fmt.Errorf("%s seed %d: %w", variant.name, sd, err)
+				return nil, fmt.Errorf("%s seed %d: %w", variant.name, seeds[i], err)
 			}
+			return res, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var p99s, viols []float64
+		for _, res := range results {
 			p99s = append(p99s, res.Summary.P99.Microseconds())
 			viols = append(viols, float64(res.Lat.CountAbove(slo)))
 		}

@@ -1,0 +1,113 @@
+// Package fleet is the deterministic cross-run parallel harness: it
+// schedules independent simulation runs onto a bounded worker pool and
+// gathers results by input index, so the emitted tables are
+// byte-identical to serial execution.
+//
+// The determinism contract (DESIGN §7) makes each run a pure function
+// of (Config, Workload, seed) with a private sim.Engine and RNG tree,
+// which is exactly the property that makes cross-run parallelism safe:
+// nothing is shared between runs, and nothing about the OS scheduler's
+// interleaving can leak into a result. The concurrency lives strictly
+// BETWEEN runs — a single engine remains single-goroutine, enforced by
+// the simsync analyzer, for which this package is the one annotated
+// boundary (//altolint:fleet-boundary below).
+package fleet
+
+//altolint:fleet-boundary cross-run worker pool; each run owns a private engine and RNG tree, results gather by input index
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/server"
+)
+
+// parOverride holds the -par override; 0 means "use GOMAXPROCS".
+var parOverride atomic.Int64
+
+// Parallelism returns the worker-pool width used by Map: the override
+// set by SetParallelism when positive, otherwise GOMAXPROCS.
+func Parallelism() int {
+	if p := int(parOverride.Load()); p > 0 {
+		return p
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetParallelism overrides the pool width (the -par flag). n <= 0
+// restores the GOMAXPROCS default. SetParallelism(1) forces fully
+// serial execution on the caller's goroutine — no pool at all.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parOverride.Store(int64(n))
+}
+
+// Map runs fn(0), ..., fn(n-1) on a bounded worker pool and returns the
+// results in input order. Every fn call must be independent of the
+// others (a pure function of i); fleet guarantees nothing about
+// execution order. All n calls run even if some fail; the returned
+// error is the lowest-index one, matching what serial first-error
+// iteration would report, so error output is deterministic too.
+//
+// With Parallelism() == 1 (or n == 1) fn runs inline on the caller's
+// goroutine. Nested Map calls never deadlock — each call brings its own
+// workers — but they multiply goroutine counts, so parallelise the
+// innermost grid only.
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	par := Parallelism()
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = fn(i)
+		}
+	} else {
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		for w := 0; w < par; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					if i >= n {
+						return
+					}
+					out[i], errs[i] = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Runs executes server.Run for each (Config, Workload) pair in
+// parallel and returns the results in input order. cfgs and wls must
+// have equal length. This is the typed convenience for seed sweeps and
+// parameter grids whose per-run cost dwarfs workload construction; use
+// Map directly when workload construction itself should run on the
+// workers (e.g. per-load MICA store builds).
+func Runs(cfgs []server.Config, wls []server.Workload) ([]*server.Result, error) {
+	if len(cfgs) != len(wls) {
+		panic("fleet: Runs with mismatched config/workload lengths")
+	}
+	return Map(len(cfgs), func(i int) (*server.Result, error) {
+		return server.Run(cfgs[i], wls[i])
+	})
+}

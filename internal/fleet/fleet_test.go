@@ -1,0 +1,219 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/nic"
+	"repro/internal/rpcproto"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+func TestMapGathersByIndex(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(8)
+	rng := rand.New(rand.NewSource(1))
+	delays := make([]time.Duration, 64)
+	for i := range delays {
+		delays[i] = time.Duration(rng.Intn(3)) * time.Millisecond
+	}
+	out, err := Map(len(delays), func(i int) (int, error) {
+		time.Sleep(delays[i]) // shuffle completion order
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapDeterministicError(t *testing.T) {
+	defer SetParallelism(0)
+	// The reported error must be the lowest-index one regardless of
+	// completion order — the same error serial iteration would hit first.
+	for _, par := range []int{1, 8} {
+		SetParallelism(par)
+		_, err := Map(16, func(i int) (int, error) {
+			if i == 3 || i == 7 || i == 12 {
+				time.Sleep(time.Duration(16-i) * time.Millisecond)
+				return 0, fmt.Errorf("job %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Fatalf("par %d: err = %v, want lowest-index job 3", par, err)
+		}
+	}
+}
+
+func TestMapEmptyAndSerial(t *testing.T) {
+	defer SetParallelism(0)
+	out, err := Map(0, func(i int) (int, error) { return 0, nil })
+	if err != nil || out != nil {
+		t.Fatalf("empty Map: %v, %v", out, err)
+	}
+	SetParallelism(1)
+	calls := 0
+	out, err = Map(5, func(i int) (int, error) { calls++; return i, nil })
+	if err != nil || len(out) != 5 || calls != 5 {
+		t.Fatalf("serial Map: out=%v calls=%d err=%v", out, calls, err)
+	}
+}
+
+func TestParallelismOverride(t *testing.T) {
+	defer SetParallelism(0)
+	if Parallelism() <= 0 {
+		t.Fatal("default parallelism must be positive")
+	}
+	SetParallelism(3)
+	if Parallelism() != 3 {
+		t.Fatalf("override = %d", Parallelism())
+	}
+	SetParallelism(-1)
+	if Parallelism() <= 0 {
+		t.Fatal("negative override must restore the default")
+	}
+}
+
+func TestRunsMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths must panic")
+		}
+	}()
+	_, _ = Runs(make([]server.Config, 2), make([]server.Workload, 1))
+}
+
+// testSweep runs a small latency-throughput sweep through Map with a
+// per-job pre-sleep that shuffles worker completion order, and returns
+// the load points exactly as experiments.sweep builds them.
+func testSweep(t *testing.T, seed uint64, delays []time.Duration) []server.LoadPoint {
+	t.Helper()
+	svc := dist.Exponential{M: sim.Microsecond}
+	loads := []float64{0.3, 0.6, 0.9}
+	capacity := 4 / svc.Mean().Seconds()
+	pts, err := Map(len(loads), func(i int) (server.LoadPoint, error) {
+		if delays != nil {
+			time.Sleep(delays[i])
+		}
+		res, err := server.Run(server.Config{
+			Kind: server.SchedRSS, Cores: 4, Stack: rpcproto.StackNanoRPC,
+			Steer: nic.SteerConnection, Seed: seed,
+		}, server.Workload{
+			Arrivals: dist.Poisson{Rate: loads[i] * capacity},
+			Service:  svc, N: 2000, Warmup: 200,
+		})
+		if err != nil {
+			return server.LoadPoint{}, err
+		}
+		return server.LoadPoint{
+			OfferedRPS: res.OfferedRPS,
+			P99:        res.Summary.P99,
+			VioRatio:   res.Summary.VioRatio,
+			DoneRPS:    res.DoneRPS,
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pts
+}
+
+// TestParallelMatchesSerial is the determinism property test: for
+// several seeds, a parallel Map with randomly shuffled worker
+// completion order must yield the same []server.LoadPoint —
+// bit-identical floats included — as strictly serial execution.
+func TestParallelMatchesSerial(t *testing.T) {
+	defer SetParallelism(0)
+	rng := rand.New(rand.NewSource(42))
+	for _, seed := range []uint64{1, 2, 3} {
+		SetParallelism(1)
+		serial := testSweep(t, seed, nil)
+		for trial := 0; trial < 3; trial++ {
+			delays := []time.Duration{
+				time.Duration(rng.Intn(5)) * time.Millisecond,
+				time.Duration(rng.Intn(5)) * time.Millisecond,
+				time.Duration(rng.Intn(5)) * time.Millisecond,
+			}
+			SetParallelism(8)
+			parallel := testSweep(t, seed, delays)
+			if len(parallel) != len(serial) {
+				t.Fatalf("seed %d: length %d vs %d", seed, len(parallel), len(serial))
+			}
+			for i := range serial {
+				if serial[i] != parallel[i] {
+					t.Fatalf("seed %d point %d: serial %+v != parallel %+v",
+						seed, i, serial[i], parallel[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRunsMatchesSerial covers the typed entry point the seed sweeps
+// use: parallel Runs over differing seeds equals one-at-a-time Run.
+func TestRunsMatchesSerial(t *testing.T) {
+	defer SetParallelism(0)
+	svc := dist.Exponential{M: sim.Microsecond}
+	mk := func(seed uint64) (server.Config, server.Workload) {
+		return server.Config{
+				Kind: server.SchedRSS, Cores: 4, Stack: rpcproto.StackNanoRPC,
+				Steer: nic.SteerConnection, Seed: seed,
+			}, server.Workload{
+				Arrivals: dist.Poisson{Rate: 0.7 * 4 / svc.Mean().Seconds()},
+				Service:  svc, N: 2000, Warmup: 200,
+			}
+	}
+	var cfgs []server.Config
+	var wls []server.Workload
+	for seed := uint64(1); seed <= 6; seed++ {
+		c, w := mk(seed)
+		cfgs = append(cfgs, c)
+		wls = append(wls, w)
+	}
+	SetParallelism(4)
+	par, err := Runs(cfgs, wls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetParallelism(1)
+	for i := range cfgs {
+		ser, err := server.Run(cfgs[i], wls[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ser.Summary.P99 != par[i].Summary.P99 || ser.Duration != par[i].Duration ||
+			ser.Summary.VioRatio != par[i].Summary.VioRatio {
+			t.Fatalf("run %d diverged: serial p99 %v dur %v vs parallel p99 %v dur %v",
+				i, ser.Summary.P99, ser.Duration, par[i].Summary.P99, par[i].Duration)
+		}
+	}
+}
+
+var errSentinel = errors.New("sentinel")
+
+func TestMapErrorReturnsNil(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(4)
+	out, err := Map(8, func(i int) (int, error) {
+		if i == 5 {
+			return 0, errSentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, errSentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if out != nil {
+		t.Fatalf("partial results leaked: %v", out)
+	}
+}

@@ -32,6 +32,51 @@ func TestGolden(t *testing.T) {
 	}
 }
 
+// TestFleetBoundary covers the simsync concurrency opt-in: the
+// sanctioned internal/fleet package (correct path + reasoned
+// //altolint:fleet-boundary directive) is exempt, while a copycat
+// package elsewhere keeps all its findings plus one for the directive
+// itself, and a reason-less directive is a finding even on a plausible
+// package.
+func TestFleetBoundary(t *testing.T) {
+	loader := testLoader(t)
+
+	// The allowed boundary: goroutines, channels, and sync, zero findings.
+	ok, err := loader.LoadDir(filepath.Join("testdata", "fleetboundary", "internal", "fleet"))
+	if err != nil {
+		t.Fatalf("loading boundary testdata: %v", err)
+	}
+	checkExpectations(t, ok, RunAnalyzer(AnalyzerSimSync, ok))
+
+	// The rejected copycat: want comments pin the directive finding and
+	// the surviving concurrency findings.
+	copycat, err := loader.LoadDir(filepath.Join("testdata", "fleetcopycat"))
+	if err != nil {
+		t.Fatalf("loading copycat testdata: %v", err)
+	}
+	checkExpectations(t, copycat, RunAnalyzer(AnalyzerSimSync, copycat))
+
+	// The reason-less directive: asserted directly (a trailing want
+	// comment would parse as the directive's reason).
+	noreason, err := loader.LoadDir(filepath.Join("testdata", "fleetnoreason"))
+	if err != nil {
+		t.Fatalf("loading noreason testdata: %v", err)
+	}
+	diags := RunAnalyzer(AnalyzerSimSync, noreason)
+	var gotMissing, gotGo bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "missing a reason") {
+			gotMissing = true
+		}
+		if strings.Contains(d.Message, "go statement") {
+			gotGo = true
+		}
+	}
+	if !gotMissing || !gotGo || len(diags) != 2 {
+		t.Fatalf("reason-less boundary directive: got %v, want the missing-reason finding plus the go-statement finding", diags)
+	}
+}
+
 var wantRE = regexp.MustCompile(`// want (".*")\s*$`)
 var wantStrRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
 

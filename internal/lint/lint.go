@@ -30,19 +30,44 @@ type Package struct {
 	Info  *types.Info
 }
 
-// ImportsSim reports whether the package imports (or is) the simulation
-// engine package — the scope rule used by analyzers that guard the
-// single-goroutine contract.
+// ImportsSim reports whether the package is, imports, or transitively
+// imports (through module-internal packages) the simulation engine —
+// the scope rule used by analyzers that guard the single-goroutine
+// contract. Transitivity matters: a wrapper package that reaches the
+// engine only through internal/server can corrupt event order just as
+// thoroughly as one that imports internal/sim directly, so concurrency
+// cannot be laundered through an intermediate import.
 func (p *Package) ImportsSim() bool {
 	if strings.HasSuffix(p.Path, "/internal/sim") {
 		return true
 	}
-	for _, imp := range p.Types.Imports() {
-		if strings.HasSuffix(imp.Path(), "/internal/sim") {
-			return true
+	module := p.Path
+	if i := strings.Index(module, "/"); i >= 0 {
+		module = module[:i]
+	}
+	seen := make(map[string]bool)
+	var found bool
+	var walk func(t *types.Package)
+	walk = func(t *types.Package) {
+		for _, imp := range t.Imports() {
+			path := imp.Path()
+			if found || seen[path] {
+				continue
+			}
+			seen[path] = true
+			if strings.HasSuffix(path, "/internal/sim") {
+				found = true
+				return
+			}
+			// Only module-internal packages can pull in the engine;
+			// stdlib subtrees need no walking.
+			if path == module || strings.HasPrefix(path, module+"/") {
+				walk(imp)
+			}
 		}
 	}
-	return false
+	walk(p.Types)
+	return found
 }
 
 // Diagnostic is a single finding.

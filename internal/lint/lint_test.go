@@ -105,4 +105,14 @@ func TestImportsSim(t *testing.T) {
 	if lintPkg.ImportsSim() {
 		t.Errorf("internal/lint must not count as sim-driven")
 	}
+	// Transitivity: internal/fleet imports the engine only through
+	// internal/server, and must still be in scope — concurrency cannot
+	// be laundered through an intermediate import.
+	fleetPkg, err := loader.LoadDir(filepath.Join("..", "fleet"))
+	if err != nil {
+		t.Fatalf("loading internal/fleet: %v", err)
+	}
+	if !fleetPkg.ImportsSim() {
+		t.Errorf("internal/fleet must count as sim-driven (transitively via internal/server)")
+	}
 }

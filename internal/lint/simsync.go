@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // AnalyzerSimSync flags concurrency constructs in packages driven by
@@ -12,6 +13,15 @@ import (
 // channel op, or sync primitive in engine-adjacent code either races on
 // engine state or injects OS-scheduler ordering into what must be a
 // strict (time, seq) event order — both break reproducibility.
+//
+// One package is allowed to cross the boundary: internal/fleet, the
+// cross-run worker pool, whose concurrency is strictly BETWEEN whole
+// simulations (each owning a private engine and RNG tree). The opt-in
+// is explicit and double-keyed: the package must carry a
+// //altolint:fleet-boundary <reason> directive AND live at
+// internal/fleet. A directive anywhere else is itself a finding, and
+// its package's concurrency findings still stand — the boundary cannot
+// be claimed by a copycat.
 var AnalyzerSimSync = &Analyzer{
 	Name:    "simsync",
 	Doc:     "forbid goroutines, channel ops, and sync primitives in sim-driven packages",
@@ -19,7 +29,49 @@ var AnalyzerSimSync = &Analyzer{
 	Run:     runSimSync,
 }
 
+const fleetBoundaryPrefix = "altolint:fleet-boundary"
+
+// fleetBoundaryDirective returns the position and reason of the first
+// //altolint:fleet-boundary directive in the package, or token.NoPos.
+func fleetBoundaryDirective(pkg *Package) (token.Pos, string) {
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				rest, ok := strings.CutPrefix(strings.TrimSpace(text), fleetBoundaryPrefix)
+				if !ok {
+					continue
+				}
+				return c.Pos(), strings.TrimSpace(rest)
+			}
+		}
+	}
+	return token.NoPos, ""
+}
+
+// isFleetBoundaryPath reports whether the import path is the sanctioned
+// worker-pool package. Golden-test packages under
+// testdata/.../internal/fleet qualify by the same suffix rule.
+func isFleetBoundaryPath(path string) bool {
+	return strings.HasSuffix(path, "/internal/fleet")
+}
+
 func runSimSync(pass *Pass) {
+	if pos, reason := fleetBoundaryDirective(pass.Pkg); pos != token.NoPos {
+		switch {
+		case reason == "":
+			pass.Reportf(pos, "fleet-boundary directive is missing a reason")
+		case !isFleetBoundaryPath(pass.Pkg.Path):
+			pass.Reportf(pos, "fleet-boundary directive outside internal/fleet: only the cross-run worker pool may use concurrency")
+		default:
+			// The sanctioned boundary: concurrency between runs is
+			// legal here, so the package is exempt from simsync.
+			return
+		}
+	}
 	for _, f := range pass.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {

@@ -1,0 +1,28 @@
+// Package fleet mirrors the real worker pool for the golden test: a
+// correctly placed, correctly reasoned fleet-boundary directive exempts
+// the package from simsync, so none of the concurrency below is a
+// finding.
+package fleet
+
+//altolint:fleet-boundary cross-run worker pool; every run owns a private engine
+
+import "sync"
+
+func pool(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	jobs := make(chan int, n)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}

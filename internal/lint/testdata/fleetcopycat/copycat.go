@@ -1,0 +1,12 @@
+// Package fleetcopycat claims the fleet-boundary exemption from the
+// wrong place: the directive names a reason but the package is not
+// internal/fleet, so the directive is a finding and the concurrency
+// findings all stand.
+package fleetcopycat
+
+//altolint:fleet-boundary we would like goroutines too // want "fleet-boundary directive outside internal/fleet"
+
+func sneak(ch chan int) {
+	go func() { ch <- 1 }() // want "go statement in a sim-driven package" "channel send in a sim-driven package"
+	<-ch                    // want "channel receive in a sim-driven package"
+}

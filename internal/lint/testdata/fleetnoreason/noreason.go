@@ -1,0 +1,12 @@
+// Package fleetnoreason carries a reason-less fleet-boundary directive:
+// an exemption without a recorded justification is itself a finding,
+// and the concurrency findings stand. (Expectations for this package
+// live in TestFleetBoundary, not in want comments: a trailing want
+// comment here would itself read as the directive's reason.)
+package fleetnoreason
+
+//altolint:fleet-boundary
+
+func leak() {
+	go func() {}()
+}

@@ -1,45 +1,78 @@
 package sim
 
-// Event is a scheduled callback. Events fire in (time, sequence) order;
+// event is a scheduled callback. Events fire in (time, sequence) order;
 // the sequence number breaks ties FIFO so that same-instant events run in
 // the order they were scheduled, keeping runs deterministic.
+//
+// Events live in the engine's slab (Engine.events) and are addressed by
+// index, not pointer: scheduling recycles slots through a free list, so
+// the steady-state event loop allocates nothing. The generation counter
+// guards recycled slots against stale EventIDs.
 type event struct {
 	at   Time
 	seq  uint64
 	act  func()
+	gen  uint32
 	dead bool
 }
 
 // EventID identifies a scheduled event so it can be cancelled. The zero
 // EventID is never issued.
-type EventID struct{ e *event }
+type EventID struct {
+	eng *Engine
+	gen uint32
+	idx int32
+}
 
-// Cancel marks the event dead; it will be skipped when popped. Cancelling
-// an already-fired or already-cancelled event is a no-op.
+// Cancel marks the event dead; it will be dropped when popped or when
+// the heap compacts. Cancelling an already-fired or already-cancelled
+// event is a no-op: the slot's generation advances when it is recycled,
+// so a stale id no longer matches.
 func (id EventID) Cancel() {
-	if id.e != nil {
-		id.e.dead = true
+	if id.eng == nil {
+		return
+	}
+	e := id.eng
+	ev := &e.events[id.idx]
+	if ev.gen != id.gen || ev.dead {
+		return
+	}
+	ev.dead = true
+	ev.act = nil
+	e.pending--
+	// Compact once dead entries dominate, so cancellation-heavy
+	// schedulers (JBSQ re-arms, manager period timers) cannot grow the
+	// heap without bound.
+	if n := len(e.heap); n > 1 && n-e.pending > n/2 {
+		e.compact()
 	}
 }
 
 // Valid reports whether the id refers to a scheduled event.
-func (id EventID) Valid() bool { return id.e != nil }
+func (id EventID) Valid() bool { return id.eng != nil }
 
 // Engine is a discrete-event simulator. It is not safe for concurrent use;
 // an entire simulation runs on one goroutine (the simulated hardware is
 // parallel, the simulator is not — same as ZSim's bound-phase model
 // collapsed to a strict event order).
 type Engine struct {
-	now    Time
-	seq    uint64
-	heap   []*event
-	nEvent uint64 // total events executed, for reporting
-	stop   bool
+	now     Time
+	seq     uint64
+	events  []event // slot slab; EventID.idx and heap entries index it
+	free    []int32 // recycled slab slots
+	heap    []int32 // binary min-heap of slab indices keyed on (at, seq)
+	pending int     // live (scheduled, not cancelled) events
+	nEvent  uint64  // total events executed, for reporting
+	stop    bool
 }
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{heap: make([]*event, 0, 1024)}
+	return &Engine{
+		events: make([]event, 0, 1024),
+		free:   make([]int32, 0, 1024),
+		heap:   make([]int32, 0, 1024),
+	}
 }
 
 // Now returns the current simulated time.
@@ -48,16 +81,47 @@ func (e *Engine) Now() Time { return e.now }
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.nEvent }
 
+// alloc takes a slot from the free list (or grows the slab) and fills it.
+func (e *Engine) alloc(t Time, f func()) int32 {
+	var i int32
+	if n := len(e.free); n > 0 {
+		i = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.events = append(e.events, event{})
+		i = int32(len(e.events) - 1)
+	}
+	ev := &e.events[i]
+	ev.at = t
+	ev.seq = e.seq
+	ev.act = f
+	ev.dead = false
+	e.seq++
+	return i
+}
+
+// release recycles a slab slot after its event fired, was cancelled, or
+// was dropped by compaction. The generation bump invalidates outstanding
+// EventIDs for the slot.
+func (e *Engine) release(i int32) {
+	ev := &e.events[i]
+	ev.gen++
+	ev.act = nil
+	ev.dead = false
+	e.free = append(e.free, i)
+}
+
 // At schedules f to run at absolute time t. Scheduling in the past is
 // clamped to "now" (fires next, after already-queued events at now).
 func (e *Engine) At(t Time, f func()) EventID {
 	if t < e.now {
 		t = e.now
 	}
-	ev := &event{at: t, seq: e.seq, act: f}
-	e.seq++
-	e.push(ev)
-	return EventID{ev}
+	i := e.alloc(t, f)
+	gen := e.events[i].gen
+	e.push(i)
+	e.pending++
+	return EventID{eng: e, gen: gen, idx: i}
 }
 
 // After schedules f to run d after the current time.
@@ -78,16 +142,23 @@ func (e *Engine) Run(until Time) uint64 {
 	e.stop = false
 	var n uint64
 	for len(e.heap) > 0 && !e.stop {
-		ev := e.heap[0]
+		i := e.heap[0]
+		ev := &e.events[i]
 		if ev.at > until {
 			break
 		}
-		e.pop()
+		e.popTop()
 		if ev.dead {
+			e.release(i)
 			continue
 		}
+		e.pending--
 		e.now = ev.at
-		ev.act()
+		act := ev.act
+		// Recycle before running: act may schedule new events into this
+		// very slot, and ev is invalid once the slab grows.
+		e.release(i)
+		act()
 		n++
 		e.nEvent++
 	}
@@ -103,44 +174,60 @@ func (e *Engine) RunAll() uint64 {
 	e.stop = false
 	var n uint64
 	for len(e.heap) > 0 && !e.stop {
-		ev := e.heap[0]
-		e.pop()
+		i := e.heap[0]
+		ev := &e.events[i]
+		e.popTop()
 		if ev.dead {
+			e.release(i)
 			continue
 		}
+		e.pending--
 		e.now = ev.at
-		ev.act()
+		act := ev.act
+		e.release(i)
+		act()
 		n++
 		e.nEvent++
 	}
 	return n
 }
 
-// Pending returns the number of live events still queued.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.heap {
-		if !ev.dead {
-			n++
+// Pending returns the number of live events still queued. It is a live
+// counter (O(1)), maintained across At/Cancel/pop.
+func (e *Engine) Pending() int { return e.pending }
+
+// compact drops dead entries from the heap and restores heap order.
+// Linear in heap size, amortised O(1) per cancellation since it only
+// runs when dead entries outnumber live ones.
+func (e *Engine) compact() {
+	kept := e.heap[:0]
+	for _, i := range e.heap {
+		if e.events[i].dead {
+			e.release(i)
+		} else {
+			kept = append(kept, i)
 		}
 	}
-	return n
+	e.heap = kept
+	for i := len(e.heap)/2 - 1; i >= 0; i-- {
+		e.siftDown(i)
+	}
 }
 
-// push / pop implement a classic binary min-heap keyed on (at, seq).
+// push / popTop implement a classic binary min-heap keyed on (at, seq).
 // Hand-rolled (rather than container/heap) to avoid interface boxing on
 // the hottest path of the simulator.
 
 func (e *Engine) less(i, j int) bool {
-	a, b := e.heap[i], e.heap[j]
+	a, b := &e.events[e.heap[i]], &e.events[e.heap[j]]
 	if a.at != b.at {
 		return a.at < b.at
 	}
 	return a.seq < b.seq
 }
 
-func (e *Engine) push(ev *event) {
-	e.heap = append(e.heap, ev)
+func (e *Engine) push(idx int32) {
+	e.heap = append(e.heap, idx)
 	i := len(e.heap) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -152,15 +239,15 @@ func (e *Engine) push(ev *event) {
 	}
 }
 
-func (e *Engine) pop() *event {
+func (e *Engine) popTop() {
 	h := e.heap
-	top := h[0]
 	last := len(h) - 1
 	h[0] = h[last]
-	h[last] = nil
 	e.heap = h[:last]
-	// Sift down.
-	i := 0
+	e.siftDown(0)
+}
+
+func (e *Engine) siftDown(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i
@@ -176,5 +263,4 @@ func (e *Engine) pop() *event {
 		e.heap[i], e.heap[smallest] = e.heap[smallest], e.heap[i]
 		i = smallest
 	}
-	return top
 }

@@ -150,6 +150,88 @@ func TestEngineCancel(t *testing.T) {
 	}
 }
 
+func TestEngineCancelCompaction(t *testing.T) {
+	// Cancelling the bulk of the queue must shrink the heap (dead-entry
+	// compaction) and keep Pending, a live O(1) counter, exact.
+	e := NewEngine()
+	const n = 10000
+	ids := make([]EventID, 0, n)
+	for i := 0; i < n; i++ {
+		ids = append(ids, e.At(Time(i)*Nanosecond, func() {}))
+	}
+	keep := e.At(Time(n)*Nanosecond, func() {})
+	if e.Pending() != n+1 {
+		t.Fatalf("pending = %d, want %d", e.Pending(), n+1)
+	}
+	for _, id := range ids {
+		id.Cancel()
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending after cancel = %d, want 1", e.Pending())
+	}
+	// Compaction triggers once dead entries outnumber live ones, so the
+	// heap must have shed the 10k cancelled events, not retained them
+	// until pop time.
+	if len(e.heap) >= n/2 {
+		t.Fatalf("heap length %d after cancelling %d events; compaction did not run", len(e.heap), n)
+	}
+	fired := 0
+	e.RunAll()
+	_ = keep
+	if e.nEvent != 1 {
+		t.Fatalf("executed %d events, want 1 (the survivor)", e.nEvent)
+	}
+	_ = fired
+	if e.Pending() != 0 {
+		t.Fatalf("pending after drain = %d", e.Pending())
+	}
+}
+
+func TestEngineSlotRecycling(t *testing.T) {
+	// A fired event's slot is recycled; a stale id for it must not be
+	// able to cancel the new occupant (generation guard).
+	e := NewEngine()
+	stale := e.At(Nanosecond, func() {})
+	e.RunAll()
+	fired := false
+	fresh := e.At(2*Nanosecond, func() { fired = true })
+	stale.Cancel() // refers to a recycled slot; must be a no-op
+	e.RunAll()
+	if !fired {
+		t.Fatal("stale Cancel killed a recycled slot's event")
+	}
+	if !fresh.Valid() {
+		t.Fatal("fresh id invalid")
+	}
+	// The slab must actually recycle: two sequential events, one slot.
+	if len(e.events) != 1 {
+		t.Fatalf("slab grew to %d slots for sequential events", len(e.events))
+	}
+}
+
+func TestEngineCancelInsideCallback(t *testing.T) {
+	// Cancelling from inside a running event — the common JBSQ re-arm
+	// pattern — must work even when it triggers compaction mid-run.
+	e := NewEngine()
+	var ids []EventID
+	cancelled := 0
+	for i := 0; i < 100; i++ {
+		ids = append(ids, e.At(10*Nanosecond, func() { cancelled++ }))
+	}
+	e.At(5*Nanosecond, func() {
+		for _, id := range ids {
+			id.Cancel()
+		}
+	})
+	e.RunAll()
+	if cancelled != 0 {
+		t.Fatalf("%d cancelled events fired", cancelled)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+}
+
 func TestEngineStop(t *testing.T) {
 	e := NewEngine()
 	n := 0

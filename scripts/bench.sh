@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# bench.sh — regenerate BENCH_sim.json, the committed performance record.
+#
+# Runs the benchmarks that gate the two perf-critical paths:
+#
+#   EngineEvents   bare event-loop push/pop cost; allocs/op must be 0
+#                  (the slab + free-list heap recycles every event slot)
+#   Fig10Serial    full Fig. 10 quick regeneration at fleet width 1
+#   Fig10Par4      same at fleet width 4; the derived
+#                  fig10_par4_speedup ratio records cross-run scaling
+#                  (~1.0 on a single core, >=2 expected on 4+ cores)
+#
+# The text output is converted to JSON by cmd/benchjson. CI runs this as
+# a non-gating step: the numbers land in the job log and the committed
+# BENCH_sim.json is refreshed locally by whoever touches the hot paths.
+#
+# BENCHTIME overrides -benchtime (default 1s), e.g. BENCHTIME=3x for a
+# quick smoke.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' \
+    -bench 'BenchmarkEngineEvents$|BenchmarkFig10Serial$|BenchmarkFig10Par4$' \
+    -benchmem -benchtime "${BENCHTIME:-1s}" . | tee "$raw"
+
+go run ./cmd/benchjson <"$raw" >BENCH_sim.json
+echo "wrote BENCH_sim.json"

@@ -7,8 +7,16 @@
 #   3. altolint        domain-specific determinism checks (internal/lint)
 #   4. go build        everything compiles
 #   5. go test -race   full suite under the race detector
+#   6. altobench smoke every registered experiment regenerates at quick
+#                      scale (runs through the cross-run fleet at
+#                      GOMAXPROCS width, so this is fast on CI runners)
 #
 # Fails fast on the first broken step.
+#
+# CHECK_FULL_PARITY=1 additionally runs the serial-vs-parallel parity
+# test over the FULL experiment registry (the default `go test` run
+# covers a fast subset) — every quick experiment rendered at -par 1 and
+# -par 8 must be byte-identical. Budget ~2x a full quick regeneration.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,5 +39,14 @@ go build ./...
 
 echo "== go test -race"
 go test -race ./...
+
+echo "== altobench smoke (all experiments, quick scale)"
+go run ./cmd/altobench -exp all -scale quick >/dev/null
+
+if [[ "${CHECK_FULL_PARITY:-0}" == "1" ]]; then
+    echo "== full-registry serial/parallel parity"
+    ALTOBENCH_PARITY=all go test ./internal/experiments/ \
+        -run TestParallelSerialParity -timeout 60m
+fi
 
 echo "== all checks passed"
