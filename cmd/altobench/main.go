@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/report"
@@ -70,9 +71,11 @@ func main() {
 		list  = flag.Bool("list", false, "list available experiments")
 		chart = flag.Bool("chart", false, "also render latency-throughput tables as ASCII charts")
 		par   = flag.Int("par", 0, "cross-run parallelism: worker-pool width for independent runs (0 = GOMAXPROCS, 1 = fully serial); tables are byte-identical at any width")
+		chk   = flag.Bool("check", true, "run every simulation under the online invariant checker (internal/check); -check=false disables it")
 	)
 	flag.Parse()
 	fleet.SetParallelism(*par)
+	check.SetEnabled(*chk)
 
 	if *list || *expID == "" {
 		fmt.Println("available experiments:")
@@ -128,5 +131,12 @@ func main() {
 		}
 		fmt.Printf("# %s completed in %v\n\n", //altolint:allow detnow wall-clock runtime of the experiment itself, not simulated time
 			e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if runs, checks, violations := check.Totals(); runs > 0 {
+		fmt.Printf("# simcheck: %d runs, %d invariant checks, %d violations\n", runs, checks, violations)
+		if violations > 0 {
+			os.Exit(1)
+		}
 	}
 }

@@ -1,0 +1,29 @@
+package check
+
+import "sync/atomic"
+
+// Process-wide tallies behind the altobench -check summary. Runs
+// execute concurrently on the fleet worker pool, so these are the one
+// place the checker touches synchronization: each counter is written
+// exactly once per finished run (in Finalize, after the run's engine
+// has stopped) and read by cmd/altobench after all runs complete —
+// never from inside a simulation event, so the simsync contract's
+// intent (no concurrency in event execution) is preserved.
+var (
+	runTally   atomic.Uint64 //altolint:allow simsync cross-run tally, written once per finished run, never from sim events
+	checkTally atomic.Uint64 //altolint:allow simsync cross-run tally, written once per finished run, never from sim events
+	vioTally   atomic.Uint64 //altolint:allow simsync cross-run tally, written once per finished run, never from sim events
+)
+
+// recordRun folds one run's report into the process tallies.
+func recordRun(rep *Report) {
+	runTally.Add(1)
+	checkTally.Add(rep.Checks)
+	vioTally.Add(uint64(rep.Total()))
+}
+
+// Totals returns the process-wide counts of checked runs, invariant
+// evaluations, and violations since startup.
+func Totals() (runs, checks, violations uint64) {
+	return runTally.Load(), checkTally.Load(), vioTally.Load()
+}

@@ -1,0 +1,34 @@
+package check
+
+import "testing"
+
+// TestDifferentialGrid runs the CI differential grid under three seeds:
+// every simulated statistic must sit inside its batch-means confidence
+// interval of the closed-form M/M/k value, and every run must be
+// invariant-clean.
+func TestDifferentialGrid(t *testing.T) {
+	for _, seed := range []uint64{1, 42, 1234} {
+		for _, c := range DefaultDiffCases(true) {
+			res, err := RunDiff(c, seed)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, c.Name, err)
+			}
+			if err := res.Err(); err != nil {
+				t.Errorf("seed %d: %v", seed, err)
+			}
+		}
+	}
+}
+
+func TestDiffCaseValidation(t *testing.T) {
+	bad := []DiffCase{
+		{Name: "k0", K: 0, Rho: 0.5, MeanSvc: 1000, N: 10, Warmup: 1},
+		{Name: "rho1", K: 1, Rho: 1.0, MeanSvc: 1000, N: 10, Warmup: 1},
+		{Name: "warm", K: 1, Rho: 0.5, MeanSvc: 1000, N: 10, Warmup: 10},
+	}
+	for _, c := range bad {
+		if _, err := RunDiff(c, 1); err == nil {
+			t.Errorf("%s: bad case accepted", c.Name)
+		}
+	}
+}

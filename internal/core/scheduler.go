@@ -48,6 +48,7 @@ type Scheduler struct {
 	groups []*group
 	done   sched.Done
 	obs    sched.Observer
+	probe  sched.Probe
 
 	Stats   Stats
 	ticking bool
@@ -100,7 +101,14 @@ func New(eng *sim.Engine, p Params, cost fabric.CostModel, steer *nic.Steerer, d
 }
 
 // SetObserver installs instrumentation.
-func (s *Scheduler) SetObserver(o sched.Observer) { s.obs = o }
+func (s *Scheduler) SetObserver(o sched.Observer) { s.obs, s.probe = o, sched.ProbeOf(o) }
+
+// localQueueID is the probe id of worker (gid, w)'s local queue: the
+// NetRX queues occupy ids 0..Groups-1, local queues follow in worker
+// order (matching the worker's global core id plus the Groups offset).
+func (s *Scheduler) localQueueID(gid, w int) int {
+	return s.P.Groups + gid*s.P.WorkersPerGroup + w
+}
 
 // Name implements sched.Scheduler.
 func (s *Scheduler) Name() string {
@@ -161,6 +169,14 @@ func (s *Scheduler) dispatch(g *group) {
 		}
 		r := g.netrx.PopHead()
 		g.claimed[w]++
+		if s.probe != nil {
+			s.probe.OnDequeue(r, g.id, false)
+			n := g.claimed[w] + g.local[w].Len()
+			if g.workers[w].Busy() {
+				n++
+			}
+			s.probe.OnOutstanding(r, g.workers[w].ID, n, s.P.WorkerDepth)
+		}
 		var delay sim.Time
 		switch s.P.Local {
 		case DispatchSoftware:
@@ -179,6 +195,9 @@ func (s *Scheduler) dispatch(g *group) {
 		}
 		s.eng.After(delay, func() {
 			g.claimed[w]--
+			if s.probe != nil {
+				s.probe.OnRequeue(r, s.localQueueID(g.id, w), sched.RequeueTransfer, g.local[w].Len())
+			}
 			g.local[w].PushTail(r)
 			s.tryStart(g, w)
 		})
@@ -206,7 +225,14 @@ func (s *Scheduler) tryStart(g *group, w int) {
 		return
 	}
 	r := g.local[w].PopHead()
+	if s.probe != nil {
+		s.probe.OnDequeue(r, s.localQueueID(g.id, w), false)
+		s.probe.OnRun(r, g.workers[w].ID)
+	}
 	g.workers[w].Start(r, 0, func(r *rpcproto.Request) {
+		if s.probe != nil {
+			s.probe.OnComplete(r, g.workers[w].ID)
+		}
 		s.done(r)
 		s.tryStart(g, w)
 		s.dispatch(g)
@@ -365,31 +391,39 @@ func (s *Scheduler) sendMigrate(g, dst *group, batch int) {
 	}
 	// Algorithm 1 line 8: forbid migrations that would leave the
 	// destination no better off.
+	srcLen, dstView := g.netrx.Len(), g.view[dst.id]
 	if !s.P.DisableGuard {
-		if g.netrx.Len()-batch < g.view[dst.id]+batch {
+		if srcLen-batch < dstView+batch {
 			s.Stats.GuardSkips++
 			return
 		}
+	}
+	if s.probe != nil {
+		s.probe.OnMigrate(g.id, dst.id, srcLen, dstView, batch, !s.P.DisableGuard)
 	}
 	// Collect migratable requests. The paper's policy takes them from
 	// the tail (deepest-queued: the predicted violators); SelectHead is
 	// the ablation counterpoint. The migrate-once restriction stops
 	// collection at the first already-migrated candidate.
+	fromTail := s.P.Select != SelectHead
 	reqs := make([]*rpcproto.Request, 0, batch)
 	for len(reqs) < batch {
 		var r *rpcproto.Request
-		if s.P.Select == SelectHead {
-			r = g.netrx.PeekHead()
-		} else {
+		if fromTail {
 			r = g.netrx.PeekTail()
+		} else {
+			r = g.netrx.PeekHead()
 		}
 		if r == nil || (r.Migrated && !s.P.AllowRemigration) {
 			break
 		}
-		if s.P.Select == SelectHead {
-			reqs = append(reqs, g.netrx.PopHead())
-		} else {
+		if fromTail {
 			reqs = append(reqs, g.netrx.PopTail())
+		} else {
+			reqs = append(reqs, g.netrx.PopHead())
+		}
+		if s.probe != nil {
+			s.probe.OnDequeue(r, g.id, fromTail)
 		}
 	}
 	if len(reqs) == 0 {
@@ -400,6 +434,9 @@ func (s *Scheduler) sendMigrate(g, dst *group, batch int) {
 		// not recoverable for head-selected batches, and the hardware
 		// would re-enqueue at the tail regardless.
 		for i := len(reqs) - 1; i >= 0; i-- {
+			if s.probe != nil {
+				s.probe.OnRequeue(reqs[i], g.id, sched.RequeueNack, g.netrx.Len())
+			}
 			g.netrx.PushTail(reqs[i])
 		}
 	}
@@ -442,6 +479,9 @@ func (s *Scheduler) receiveMigrate(src, dst *group, m *hwmsg.Migrate) {
 		s.eng.At(now+backAt, func() {
 			src.mr.Invalidate(len(m.Descs))
 			for _, r := range m.Reqs {
+				if s.probe != nil {
+					s.probe.OnRequeue(r, src.id, sched.RequeueNack, src.netrx.Len())
+				}
 				src.netrx.PushTail(r)
 			}
 			s.dispatch(src)
@@ -456,6 +496,9 @@ func (s *Scheduler) receiveMigrate(src, dst *group, m *hwmsg.Migrate) {
 		for _, r := range m.Reqs {
 			r.Migrated = true
 			r.Enq = s.eng.Now()
+			if s.probe != nil {
+				s.probe.OnRequeue(r, dst.id, sched.RequeueMigrate, dst.netrx.Len())
+			}
 			dst.netrx.PushTail(r)
 		}
 		s.Stats.MigratedReqs += uint64(len(m.Reqs))

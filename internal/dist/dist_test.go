@@ -43,11 +43,7 @@ func TestUniform(t *testing.T) {
 			t.Fatalf("uniform out of range: %v", v)
 		}
 	}
-	got := sampleMean(d, 3, 100000)
-	want := float64(d.Mean())
-	if math.Abs(got-want)/want > 0.01 {
-		t.Fatalf("uniform mean = %v, want %v", got, want)
-	}
+	// Distribution shape is covered by TestKSUniform.
 	// Degenerate range returns Lo.
 	dz := Uniform{Lo: us(1), Hi: us(1)}
 	if dz.Sample(r) != us(1) {
@@ -56,12 +52,9 @@ func TestUniform(t *testing.T) {
 }
 
 func TestExponential(t *testing.T) {
+	// Distribution shape is covered by TestKSExponential; this exercises
+	// the SCV helper on a non-degenerate distribution.
 	d := Exponential{M: us(1)}
-	got := sampleMean(d, 4, 200000)
-	want := float64(us(1))
-	if math.Abs(got-want)/want > 0.02 {
-		t.Fatalf("exp mean = %v, want %v", got, want)
-	}
 	r := sim.NewRNG(9)
 	scv := SCV(d, r, 200000)
 	if math.Abs(scv-1) > 0.1 {

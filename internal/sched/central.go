@@ -24,6 +24,7 @@ type Central struct {
 	queue    exec.Deque
 	done     Done
 	obs      Observer
+	probe    Probe
 	dispFree sim.Time // dispatcher busy-until
 
 	preempted uint64
@@ -52,7 +53,7 @@ func NewCentral(eng *sim.Engine, n int, dispatch, handoff, quantum, preemptCost 
 }
 
 // SetObserver installs instrumentation.
-func (s *Central) SetObserver(o Observer) { s.obs = o }
+func (s *Central) SetObserver(o Observer) { s.obs, s.probe = o, ProbeOf(o) }
 
 // Name implements Scheduler.
 func (s *Central) Name() string { return "shinjuku-central" }
@@ -74,6 +75,9 @@ func (s *Central) pump() {
 			return
 		}
 		r := s.queue.PopHead()
+		if s.probe != nil {
+			s.probe.OnDequeue(r, 0, false)
+		}
 		now := s.eng.Now()
 		start := now
 		if s.dispFree > start {
@@ -85,7 +89,19 @@ func (s *Central) pump() {
 		s.claimed[w] = true
 		s.eng.After(wait, func() {
 			s.claimed[worker.ID] = false
-			worker.Start(r, s.HandoffCost, s.onDone, s.onPreempt)
+			onDone, onPreempt := s.onDone, s.onPreempt
+			if s.probe != nil {
+				s.probe.OnRun(r, worker.ID)
+				onDone = func(r *rpcproto.Request) {
+					s.probe.OnComplete(r, worker.ID)
+					s.onDone(r)
+				}
+				onPreempt = func(r *rpcproto.Request) {
+					s.probe.OnPreempt(r, worker.ID)
+					s.onPreempt(r)
+				}
+			}
+			worker.Start(r, s.HandoffCost, onDone, onPreempt)
 		})
 	}
 }
@@ -99,6 +115,9 @@ func (s *Central) onPreempt(r *rpcproto.Request) {
 	s.preempted++
 	// The remainder returns to the tail of the central queue (processor
 	// sharing across long requests, Shinjuku-style).
+	if s.probe != nil {
+		s.probe.OnRequeue(r, 0, RequeuePreempt, s.queue.Len())
+	}
 	s.queue.PushTail(r)
 	s.pump()
 }

@@ -22,6 +22,7 @@ type DFCFS struct {
 	steerer *nic.Steerer
 	done    Done
 	obs     Observer
+	probe   Probe
 }
 
 // NewDFCFS builds a d-FCFS scheduler over n cores.
@@ -43,7 +44,7 @@ func NewDFCFS(eng *sim.Engine, n int, steerer *nic.Steerer, pickup sim.Time, don
 }
 
 // SetObserver installs instrumentation.
-func (s *DFCFS) SetObserver(o Observer) { s.obs = o }
+func (s *DFCFS) SetObserver(o Observer) { s.obs, s.probe = o, ProbeOf(o) }
 
 // Name implements Scheduler.
 func (s *DFCFS) Name() string { return s.Label }
@@ -63,7 +64,14 @@ func (s *DFCFS) tryStart(i int) {
 		return
 	}
 	r := s.queues[i].PopHead()
+	if s.probe != nil {
+		s.probe.OnDequeue(r, i, false)
+		s.probe.OnRun(r, i)
+	}
 	s.cores[i].Start(r, s.PickupCost, func(r *rpcproto.Request) {
+		if s.probe != nil {
+			s.probe.OnComplete(r, i)
+		}
 		s.done(r)
 		s.tryStart(i)
 	}, nil)

@@ -58,6 +58,7 @@ type JBSQ struct {
 	central    exec.Deque
 	done       Done
 	obs        Observer
+	probe      Probe
 	rr         int      // round-robin scan pointer over cores
 	engineFree sim.Time // central engine busy-until
 	draining   bool
@@ -91,7 +92,7 @@ func NewJBSQ(eng *sim.Engine, n int, variant JBSQVariant, bound int, xfer, engin
 }
 
 // SetObserver installs instrumentation.
-func (s *JBSQ) SetObserver(o Observer) { s.obs = o }
+func (s *JBSQ) SetObserver(o Observer) { s.obs, s.probe = o, ProbeOf(o) }
 
 // Name implements Scheduler.
 func (s *JBSQ) Name() string { return "jbsq-" + s.Variant.String() }
@@ -134,8 +135,15 @@ func (s *JBSQ) drain() {
 		s.engineFree = now + s.EngineCost
 		r := s.central.PopHead()
 		s.pending[c]++
+		if s.probe != nil {
+			s.probe.OnDequeue(r, 0, false)
+			s.probe.OnOutstanding(r, c, s.pending[c], s.Bound)
+		}
 		core := s.cores[c]
 		s.eng.After(s.EngineCost+s.XferCost, func() {
+			if s.probe != nil {
+				s.probe.OnRequeue(r, 1+core.ID, RequeueTransfer, s.local[core.ID].Len())
+			}
 			s.local[core.ID].PushTail(r)
 			s.tryStart(core.ID)
 		})
@@ -168,14 +176,25 @@ func (s *JBSQ) tryStart(i int) {
 		return
 	}
 	r := s.local[i].PopHead()
+	if s.probe != nil {
+		s.probe.OnDequeue(r, 1+i, false)
+		s.probe.OnRun(r, i)
+	}
 	s.cores[i].Start(r, 0, func(r *rpcproto.Request) {
 		s.pending[i]--
+		if s.probe != nil {
+			s.probe.OnComplete(r, i)
+		}
 		s.done(r)
 		s.tryStart(i)
 		s.drain()
 	}, func(r *rpcproto.Request) {
 		// Preemption (nanoPU): the remainder re-joins this core's local
 		// queue tail so queued shorts run next.
+		if s.probe != nil {
+			s.probe.OnPreempt(r, i)
+			s.probe.OnRequeue(r, 1+i, RequeuePreempt, s.local[i].Len())
+		}
 		s.local[i].PushTail(r)
 		s.tryStart(i)
 	})

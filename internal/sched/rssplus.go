@@ -25,6 +25,7 @@ type RSSPlus struct {
 	load    []int // per-bucket requests since last rebalance
 	done    Done
 	obs     Observer
+	probe   Probe
 	stopped bool
 
 	Rebalances uint64
@@ -62,7 +63,7 @@ func NewRSSPlus(eng *sim.Engine, n, buckets int, pickup, interval sim.Time, done
 }
 
 // SetObserver installs instrumentation.
-func (s *RSSPlus) SetObserver(o Observer) { s.obs = o }
+func (s *RSSPlus) SetObserver(o Observer) { s.obs, s.probe = o, ProbeOf(o) }
 
 // Name implements Scheduler.
 func (s *RSSPlus) Name() string { return "rss++" }
@@ -87,7 +88,14 @@ func (s *RSSPlus) tryStart(i int) {
 		return
 	}
 	r := s.queues[i].PopHead()
+	if s.probe != nil {
+		s.probe.OnDequeue(r, i, false)
+		s.probe.OnRun(r, i)
+	}
 	s.cores[i].Start(r, s.PickupCost, func(r *rpcproto.Request) {
+		if s.probe != nil {
+			s.probe.OnComplete(r, i)
+		}
 		s.done(r)
 		s.tryStart(i)
 	}, nil)

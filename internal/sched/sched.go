@@ -49,6 +49,94 @@ type NopObserver struct{}
 // OnEnqueue implements Observer.
 func (NopObserver) OnEnqueue(*rpcproto.Request, int, int) {}
 
+// RequeueCause says why a request re-entered a queue after its first
+// enqueue (OnEnqueue fires exactly once per request, at delivery).
+type RequeueCause int
+
+const (
+	// RequeueTransfer: a central-to-local (or NetRX-to-worker) transfer
+	// landed, placing the request in a per-core queue.
+	RequeueTransfer RequeueCause = iota
+	// RequeuePreempt: a quantum expired and the remainder re-queued.
+	RequeuePreempt
+	// RequeueMigrate: an ALTOCUMULUS MIGRATE batch was admitted at the
+	// destination NetRX.
+	RequeueMigrate
+	// RequeueNack: a NACKed (or aborted) MIGRATE returned its requests
+	// to the source NetRX.
+	RequeueNack
+)
+
+func (c RequeueCause) String() string {
+	switch c {
+	case RequeuePreempt:
+		return "preempt"
+	case RequeueMigrate:
+		return "migrate"
+	case RequeueNack:
+		return "nack"
+	default:
+		return "transfer"
+	}
+}
+
+// Probe is the full-fidelity instrumentation interface: every queue
+// mutation and core transition a scheduler performs, in the order it
+// performs them. It exists for the invariant checker (internal/check);
+// schedulers emit probe events only when the installed Observer also
+// implements Probe, so plain observers cost nothing extra.
+//
+// Queue ids are scheduler-specific but fixed per instance:
+//
+//   - DFCFS / Steal / RSSPlus: queue i is core i's private queue.
+//   - Central: queue 0 is the single central queue (no owning core).
+//   - JBSQ: queue 0 is the central NIC queue; queue 1+i is core i's
+//     bounded local queue.
+//   - ALTOCUMULUS (internal/core): queue g is group g's NetRX; queue
+//     G + g*W + w is worker (g, w)'s local queue, whose core id is
+//     g*W + w.
+type Probe interface {
+	Observer
+	// OnRequeue fires when r re-joins the tail of queue q for the given
+	// cause; qlen is the queue length excluding r.
+	OnRequeue(r *rpcproto.Request, q int, cause RequeueCause, qlen int)
+	// OnDequeue fires when r is removed from queue q; fromTail reports a
+	// tail pop (ALTOCUMULUS tail-selection), otherwise the head.
+	OnDequeue(r *rpcproto.Request, q int, fromTail bool)
+	// OnRun fires when core begins executing r (including any pickup
+	// overhead charged by the core).
+	OnRun(r *rpcproto.Request, core int)
+	// OnComplete fires when core finishes r, before the scheduler's Done
+	// callback.
+	OnComplete(r *rpcproto.Request, core int)
+	// OnPreempt fires when core's quantum expires on r, before the
+	// remainder re-queues.
+	OnPreempt(r *rpcproto.Request, core int)
+	// OnSteal fires when an idle core (thief) takes r from another
+	// core's queue (victim), after the OnDequeue from the victim.
+	OnSteal(r *rpcproto.Request, thief, victim int)
+	// OnOutstanding reports bounded-queue accounting: after committing r
+	// to core, its outstanding count (running + queued + in-flight) is n
+	// against the scheduler's bound.
+	OnOutstanding(r *rpcproto.Request, core, n, bound int)
+	// OnMigrate reports one MIGRATE batch that passed the Algorithm 1
+	// line 8 guard: srcLen and dstView are the source queue length and
+	// the source's synchronized view of the destination at decision
+	// time, batch the configured batch size S, guarded whether the
+	// q[src]-S < q[dst]+S check was enabled.
+	OnMigrate(src, dst, srcLen, dstView, batch int, guarded bool)
+}
+
+// ProbeOf returns o as a Probe, or nil when o is a plain Observer.
+// Schedulers cache the result so the per-event cost of an uninstalled
+// probe is one nil check.
+func ProbeOf(o Observer) Probe {
+	if p, ok := o.(Probe); ok {
+		return p
+	}
+	return nil
+}
+
 // pickupLoop is a tiny helper shared by queue-draining schedulers.
 type starter interface {
 	tryStart(core int)

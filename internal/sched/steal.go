@@ -25,6 +25,7 @@ type Steal struct {
 	rng     *sim.RNG
 	done    Done
 	obs     Observer
+	probe   Probe
 
 	// Stats.
 	Stolen    uint64 // requests moved across cores
@@ -51,7 +52,7 @@ func NewSteal(eng *sim.Engine, n int, steerer *nic.Steerer, pickup, steal sim.Ti
 }
 
 // SetObserver installs instrumentation.
-func (s *Steal) SetObserver(o Observer) { s.obs = o }
+func (s *Steal) SetObserver(o Observer) { s.obs, s.probe = o, ProbeOf(o) }
 
 // Name implements Scheduler.
 func (s *Steal) Name() string { return "zygos-steal" }
@@ -86,6 +87,9 @@ func (s *Steal) tryStart(i int) {
 	}
 	if s.queues[i].Len() > 0 {
 		r := s.queues[i].PopHead()
+		if s.probe != nil {
+			s.probe.OnDequeue(r, i, false)
+		}
 		s.run(i, r, s.PickupCost)
 		return
 	}
@@ -101,6 +105,10 @@ func (s *Steal) tryStart(i int) {
 		if s.queues[v].Len() > 0 {
 			r := s.queues[v].PopHead()
 			s.Stolen++
+			if s.probe != nil {
+				s.probe.OnDequeue(r, v, false)
+				s.probe.OnSteal(r, i, v)
+			}
 			s.run(i, r, s.StealCost)
 			return
 		}
@@ -108,7 +116,13 @@ func (s *Steal) tryStart(i int) {
 }
 
 func (s *Steal) run(i int, r *rpcproto.Request, overhead sim.Time) {
+	if s.probe != nil {
+		s.probe.OnRun(r, i)
+	}
 	s.cores[i].Start(r, overhead, func(r *rpcproto.Request) {
+		if s.probe != nil {
+			s.probe.OnComplete(r, i)
+		}
 		s.done(r)
 		s.tryStart(i)
 	}, nil)

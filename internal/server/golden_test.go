@@ -1,0 +1,102 @@
+package server
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/nic"
+	"repro/internal/rpcproto"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden trace files")
+
+// TestGoldenTraces locks down end-to-end determinism: one small
+// fixed-seed run per scheduler, exported with trace.WriteCSV and
+// byte-compared against a checked-in golden. Any change to event
+// ordering, RNG consumption, steering, or scheduler logic shows up as a
+// golden diff — if the change is intended, regenerate with
+//
+//	go test ./internal/server -run TestGoldenTraces -update
+//
+// and review the diff like any other code change.
+func TestGoldenTraces(t *testing.T) {
+	const (
+		cores = 4
+		n     = 250
+	)
+	svc := dist.Exponential{M: sim.Microsecond}
+	rate := dist.LoadForRate(0.7, cores, svc)
+
+	kinds := []SchedulerKind{
+		SchedRSS, SchedIX, SchedZygOS, SchedShinjuku,
+		SchedRPCValet, SchedNebula, SchedNanoPU,
+		SchedAltocumulus, SchedRSSPlus,
+	}
+	for _, kind := range kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := Config{
+				Kind: kind, Cores: cores, Stack: rpcproto.StackNanoRPC,
+				Steer: nic.SteerConnection, Seed: 7,
+			}
+			if kind == SchedAltocumulus {
+				cfg.AC = core.DefaultParams(2, 2)
+			}
+			res, err := Run(cfg, Workload{
+				Arrivals: dist.Poisson{Rate: rate}, Service: svc,
+				N: n, Warmup: 0, Conns: 8,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Check == nil {
+				t.Fatal("golden run executed without the invariant checker")
+			}
+
+			var buf bytes.Buffer
+			if err := trace.WriteCSV(&buf, res.Requests); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden",
+				fmt.Sprintf("%s.csv", sanitize(kind.String())))
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("trace deviates from %s (%d vs %d bytes); run with -update if the change is intended",
+					path, buf.Len(), len(want))
+			}
+		})
+	}
+}
+
+// sanitize maps scheduler display names to filesystem-safe stems
+// (RSS++ -> RSS_plus_plus would be overkill; just swap the plus signs).
+func sanitize(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		if c := name[i]; c == '+' {
+			out = append(out, 'p')
+		} else {
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}

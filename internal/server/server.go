@@ -8,6 +8,7 @@ package server
 import (
 	"fmt"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/exec"
@@ -85,6 +86,12 @@ type Config struct {
 
 	// MaxQueueSnapshot enables periodic queue-length snapshots.
 	SnapshotEvery sim.Time
+
+	// NoCheck opts this run out of the online invariant checker
+	// (internal/check). The checker is on by default — it is passive and
+	// deterministic, so results are identical either way; opt out only
+	// for micro-benchmarks where its bookkeeping overhead matters.
+	NoCheck bool
 }
 
 // App lets an application bind real work to requests.
@@ -121,6 +128,8 @@ type Result struct {
 	// over the run (management/dispatcher cores excluded).
 	WorkerUtilization float64
 	Snapshots         []Snapshot
+	// Check is the invariant checker's report (nil when opted out).
+	Check *check.Report
 }
 
 // Snapshot is a periodic queue-length observation.
@@ -168,9 +177,23 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 		}
 	}
 
+	var chk *check.Checker
+	if !cfg.NoCheck && check.Enabled() {
+		chk = check.New(check.Options{
+			Expected:         wl.N,
+			AllowRemigration: cfg.Kind == SchedAltocumulus && cfg.AC.AllowRemigration,
+			WorkConserving:   cfg.Kind == SchedZygOS,
+		})
+		done = chk.WrapDone(done)
+	}
+
 	s, rx, err := build(cfg, eng, steerRNG, schedRNG, done)
 	if err != nil {
 		return nil, err
+	}
+	if chk != nil {
+		s.(interface{ SetObserver(sched.Observer) }).SetObserver(chk)
+		chk.Attach(eng, checkSpecs(cfg), s.QueueLens)
 	}
 	res.Name = s.Name()
 	if cfg.Kind == SchedAltocumulus {
@@ -249,6 +272,13 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 		res.WorkerUtilization = busy / (res.Duration.Seconds() * float64(len(cores)))
 	}
 
+	if chk != nil {
+		res.Check = chk.Finalize()
+		if err := res.Check.Err(); err != nil {
+			return nil, fmt.Errorf("server: %s: %w", res.Name, err)
+		}
+	}
+
 	res.SLO = cfg.SLO
 	if res.SLO == 0 {
 		meanSvc := sim.FromSeconds(meanSvcSum / float64(wl.N))
@@ -260,6 +290,41 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 		res.DoneRPS = float64(wl.N) / res.Duration.Seconds()
 	}
 	return res, nil
+}
+
+// checkSpecs maps a config's scheduler onto the checker's queue
+// topology, following the probe id conventions documented on
+// sched.Probe.
+func checkSpecs(cfg Config) []check.QueueSpec {
+	var specs []check.QueueSpec
+	switch cfg.Kind {
+	case SchedRSS, SchedIX, SchedZygOS, SchedRSSPlus:
+		for i := 0; i < cfg.Cores; i++ {
+			specs = append(specs, check.QueueSpec{ID: i, Core: i, Lens: i})
+		}
+	case SchedShinjuku:
+		// The central queue has no owning core: a non-empty queue with
+		// idle workers is legal while dispatches are in flight.
+		specs = []check.QueueSpec{{ID: 0, Core: -1, Lens: 0}}
+	case SchedRPCValet, SchedNebula, SchedNanoPU:
+		// QueueLens exposes per-core outstanding counts (not local queue
+		// lengths) after the central length, so only index 0 cross-checks.
+		specs = append(specs, check.QueueSpec{ID: 0, Core: -1, Lens: 0})
+		for i := 0; i < cfg.Cores; i++ {
+			specs = append(specs, check.QueueSpec{ID: 1 + i, Core: i, Lens: -1})
+		}
+	case SchedAltocumulus:
+		g, w := cfg.AC.Groups, cfg.AC.WorkersPerGroup
+		for gid := 0; gid < g; gid++ {
+			specs = append(specs, check.QueueSpec{ID: gid, Core: -1, Lens: gid})
+		}
+		for gid := 0; gid < g; gid++ {
+			for wi := 0; wi < w; wi++ {
+				specs = append(specs, check.QueueSpec{ID: g + gid*w + wi, Core: gid*w + wi, Lens: -1})
+			}
+		}
+	}
+	return specs
 }
 
 // build constructs the scheduler and NIC receive model for a config.

@@ -196,6 +196,23 @@ func (e *Engine) RunAll() uint64 {
 // counter (O(1)), maintained across At/Cancel/pop.
 func (e *Engine) Pending() int { return e.pending }
 
+// Every runs f at now+d, now+2d, ... until f returns false. The
+// callback runs as an ordinary event, so it observes the simulation
+// between event callbacks, never mid-callback. Used for periodic
+// instrumentation such as invariant checkpoints.
+func (e *Engine) Every(d Time, f func() bool) {
+	if d <= 0 {
+		panic("sim: Every with non-positive period")
+	}
+	var tick func()
+	tick = func() {
+		if f() {
+			e.After(d, tick)
+		}
+	}
+	e.After(d, tick)
+}
+
 // compact drops dead entries from the heap and restores heap order.
 // Linear in heap size, amortised O(1) per cancellation since it only
 // runs when dead entries outnumber live ones.

@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"testing"
+)
+
+// The fuzzer drives the hand-rolled slab heap and a container/heap
+// oracle through the same schedule/cancel/run script decoded from the
+// fuzz input, then demands identical firing order, firing times, and
+// pending counts. Chained schedules (callbacks that schedule from
+// inside the event loop) exercise the release-before-run slot reuse;
+// cancels of stale ids exercise the generation guard.
+
+type oracleEvent struct {
+	at    Time
+	seq   uint64
+	id    int
+	chain Time // schedule a child this far after firing; 0 = none
+}
+
+type oracleHeap []oracleEvent
+
+func (h oracleHeap) Len() int { return len(h) }
+func (h oracleHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h oracleHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *oracleHeap) Push(x any)   { *h = append(*h, x.(oracleEvent)) }
+func (h *oracleHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// oracle is the reference semantics of Engine built on container/heap.
+// Cancelled events stay in the heap as dead entries (as in the engine)
+// because they are observable: Run only advances the clock to its
+// horizon when the heap — dead entries included — is empty, and the
+// engine compacts dead entries away only when they outnumber live ones.
+type oracle struct {
+	h         oracleHeap
+	now       Time
+	seq       uint64
+	nextID    int
+	cancelled map[int]bool
+	fired     map[int]bool
+	pending   int
+	log       []int  // firing order
+	logAt     []Time // firing times
+}
+
+func newOracle() *oracle {
+	return &oracle{cancelled: map[int]bool{}, fired: map[int]bool{}}
+}
+
+func (o *oracle) schedule(at Time, chain Time) int {
+	if at < o.now {
+		at = o.now
+	}
+	id := o.nextID
+	o.nextID++
+	heap.Push(&o.h, oracleEvent{at: at, seq: o.seq, id: id, chain: chain})
+	o.seq++
+	o.pending++
+	return id
+}
+
+func (o *oracle) cancel(id int) {
+	if o.fired[id] || o.cancelled[id] {
+		return
+	}
+	o.cancelled[id] = true
+	o.pending--
+	// Mirror Engine.Cancel's compaction trigger: once dead entries
+	// outnumber live ones, they are swept from the heap.
+	if n := o.h.Len(); n > 1 && n-o.pending > n/2 {
+		kept := o.h[:0]
+		for _, ev := range o.h {
+			if !o.cancelled[ev.id] {
+				kept = append(kept, ev)
+			}
+		}
+		o.h = kept
+		heap.Init(&o.h)
+	}
+}
+
+// run pops until the horizon (or fully, when all is true).
+func (o *oracle) run(until Time, all bool) {
+	for o.h.Len() > 0 {
+		top := o.h[0]
+		if !all && top.at > until {
+			return
+		}
+		heap.Pop(&o.h)
+		if o.cancelled[top.id] {
+			continue
+		}
+		o.pending--
+		o.now = top.at
+		o.fired[top.id] = true
+		o.log = append(o.log, top.id)
+		o.logAt = append(o.logAt, top.at)
+		if top.chain > 0 {
+			o.schedule(o.now+top.chain, 0)
+		}
+	}
+	// Engine.Run advances the clock to the horizon when it drains the
+	// heap entirely (dead entries block this, hence the check above).
+	if !all && o.now < until {
+		o.now = until
+	}
+}
+
+func FuzzEngineHeap(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 0, 0, 5, 0, 2, 20, 0})
+	f.Add([]byte{0, 1, 0, 3, 0, 2, 0, 1, 0, 0, 3})
+	f.Add([]byte{0, 0, 128, 0, 0, 1, 1, 0, 3, 1, 0})
+	f.Add([]byte{0, 4, 0, 7, 2, 255, 255, 0, 4, 0, 0, 1, 1, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		eng := NewEngine()
+		o := newOracle()
+
+		var engLog []int
+		var engLogAt []Time
+		ids := map[int]EventID{} // engine ids by oracle id
+		nextID := 0
+		var mkAct func(id int, chain Time) func()
+		mkAct = func(id int, chain Time) func() {
+			return func() {
+				engLog = append(engLog, id)
+				engLogAt = append(engLogAt, eng.Now())
+				if chain > 0 {
+					cid := nextID
+					nextID++
+					ids[cid] = eng.After(chain, mkAct(cid, 0))
+				}
+			}
+		}
+
+		u16 := func(i int) uint16 {
+			if i+1 < len(data) {
+				return binary.LittleEndian.Uint16(data[i:])
+			}
+			if i < len(data) {
+				return uint16(data[i])
+			}
+			return 0
+		}
+
+		lastNow := eng.Now()
+		ops := 0
+		for i := 0; i < len(data) && ops < 256; ops++ {
+			op := data[i] % 4
+			i++
+			switch op {
+			case 0: // schedule, possibly in the past, possibly chaining
+				raw := u16(i)
+				i += 2
+				delta := Time(int16(raw)) // negative deltas test past-clamping
+				chain := Time(0)
+				if raw%5 == 0 {
+					chain = Time(raw%97) + 1
+				}
+				id := nextID
+				nextID++
+				ids[id] = eng.At(eng.Now()+delta, mkAct(id, chain))
+				o.schedule(o.now+delta, chain)
+			case 1: // cancel an arbitrary id (maybe fired/cancelled already)
+				if nextID > 0 {
+					k := int(u16(i)) % nextID
+					i += 2
+					ids[k].Cancel()
+					o.cancel(k)
+					// Double cancel must be a no-op.
+					if k%3 == 0 {
+						ids[k].Cancel()
+						o.cancel(k)
+					}
+				} else {
+					i += 2
+				}
+			case 2: // bounded run
+				d := Time(u16(i))
+				i += 2
+				until := eng.Now() + d
+				eng.Run(until)
+				o.run(until, false)
+			case 3: // drain
+				eng.RunAll()
+				o.run(0, true)
+			}
+
+			if eng.Now() < lastNow {
+				t.Fatalf("op %d: clock moved backwards %v -> %v", ops, lastNow, eng.Now())
+			}
+			lastNow = eng.Now()
+			if eng.Now() != o.now {
+				t.Fatalf("op %d: Now() = %v, oracle %v", ops, eng.Now(), o.now)
+			}
+			if eng.Pending() != o.pending {
+				t.Fatalf("op %d: Pending() = %d, oracle %d", ops, eng.Pending(), o.pending)
+			}
+		}
+		eng.RunAll()
+		o.run(0, true)
+
+		if eng.Pending() != 0 {
+			t.Fatalf("Pending() = %d after drain", eng.Pending())
+		}
+		if len(engLog) != len(o.log) {
+			t.Fatalf("fired %d events, oracle fired %d", len(engLog), len(o.log))
+		}
+		for i := range engLog {
+			if engLog[i] != o.log[i] {
+				t.Fatalf("firing order diverges at %d: engine id %d, oracle id %d", i, engLog[i], o.log[i])
+			}
+			if engLogAt[i] != o.logAt[i] {
+				t.Fatalf("event %d fired at %v, oracle at %v", engLog[i], engLogAt[i], o.logAt[i])
+			}
+		}
+		for i := 1; i < len(engLogAt); i++ {
+			if engLogAt[i] < engLogAt[i-1] {
+				t.Fatalf("firing times not monotone at %d: %v after %v", i, engLogAt[i], engLogAt[i-1])
+			}
+		}
+	})
+}

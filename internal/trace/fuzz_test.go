@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/rpcproto"
+	"repro/internal/sim"
+)
+
+// FuzzTraceRoundTrip checks that Record -> CSV -> Record and
+// Record -> JSONL -> Record are lossless for any finished request. Time
+// fields are clamped below 2^50 ps (~13 days of simulated time, far
+// beyond any run) so the fixed three-decimal nanosecond format is
+// exact; Finish is forced positive because WriteCSV skips unfinished
+// requests by contract.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint32(0), uint8(0), uint8(0), int16(0), uint64(0), uint64(1), uint64(1), false, false)
+	f.Add(uint64(1), uint32(7), uint8(2), uint8(1), int16(3), uint64(1000), uint64(500), uint64(2500), true, false)
+	f.Add(uint64(1<<40), uint32(1<<31), uint8(255), uint8(3), int16(-1),
+		uint64(1)<<49, uint64(1)<<49, uint64(1)<<49, true, true)
+	f.Add(uint64(12345678901), uint32(4096), uint8(9), uint8(200), int16(512),
+		uint64(999999999999), uint64(123456789), uint64(7777777777777), false, true)
+
+	f.Fuzz(func(t *testing.T, id uint64, conn uint32, tenant, op uint8, group int16,
+		arrival, service, finish uint64, migrated, predicted bool) {
+		const maxPS = uint64(1) << 50
+		r := &rpcproto.Request{
+			ID:        id,
+			Conn:      conn,
+			Tenant:    tenant,
+			Op:        rpcproto.Op(op % 4),
+			GroupHint: int(group),
+			Arrival:   sim.Time(arrival % maxPS),
+			Service:   sim.Time(service % maxPS),
+			Migrated:  migrated,
+			Predicted: predicted,
+		}
+		// Finish must be positive and late enough that Latency is sane.
+		r.Finish = r.Arrival + r.Service + sim.Time(finish%maxPS) + 1
+		want := FromRequest(r)
+
+		var csvBuf bytes.Buffer
+		if err := WriteCSV(&csvBuf, []*rpcproto.Request{r}); err != nil {
+			t.Fatalf("WriteCSV: %v", err)
+		}
+		recs, err := ReadCSV(bytes.NewReader(csvBuf.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadCSV: %v\ncsv:\n%s", err, csvBuf.String())
+		}
+		if len(recs) != 1 {
+			t.Fatalf("ReadCSV returned %d records, want 1", len(recs))
+		}
+		if recs[0] != want {
+			t.Fatalf("CSV round trip:\n got %+v\nwant %+v\ncsv:\n%s", recs[0], want, csvBuf.String())
+		}
+
+		var jsonBuf bytes.Buffer
+		if err := WriteJSONL(&jsonBuf, []*rpcproto.Request{r}); err != nil {
+			t.Fatalf("WriteJSONL: %v", err)
+		}
+		var got Record
+		if err := json.Unmarshal(jsonBuf.Bytes(), &got); err != nil {
+			t.Fatalf("json: %v\nline: %s", err, jsonBuf.String())
+		}
+		if got != want {
+			t.Fatalf("JSONL round trip:\n got %+v\nwant %+v\nline: %s", got, want, jsonBuf.String())
+		}
+	})
+}

@@ -7,9 +7,17 @@
 #   3. altolint        domain-specific determinism checks (internal/lint)
 #   4. go build        everything compiles
 #   5. go test -race   full suite under the race detector
-#   6. altobench smoke every registered experiment regenerates at quick
-#                      scale (runs through the cross-run fleet at
-#                      GOMAXPROCS width, so this is fast on CI runners)
+#   6. coverage ratchet the invariant-bearing packages (internal/sim,
+#                      internal/sched, internal/check) must stay above
+#                      their recorded coverage floors
+#   7. fuzz smoke      30s total of FuzzEngineHeap (event heap vs
+#                      container/heap oracle) and FuzzTraceRoundTrip
+#                      (CSV/JSONL codec round trip) over the committed
+#                      corpora plus fresh mutations
+#   8. altobench smoke every registered experiment regenerates at quick
+#                      scale with the online invariant checker attached
+#                      (runs through the cross-run fleet at GOMAXPROCS
+#                      width, so this is fast on CI runners)
 #
 # Fails fast on the first broken step.
 #
@@ -40,8 +48,34 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
-echo "== altobench smoke (all experiments, quick scale)"
-go run ./cmd/altobench -exp all -scale quick >/dev/null
+echo "== coverage ratchet"
+# Floors sit a few points below measured coverage; raise them when
+# coverage rises, never lower them to admit a regression.
+check_cover() {
+    local pkg=$1 floor=$2
+    local line pct
+    line=$(go test -cover "$pkg" | tail -1)
+    pct=$(echo "$line" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+    if [[ -z "$pct" ]]; then
+        echo "no coverage reported for $pkg: $line" >&2
+        exit 1
+    fi
+    if ! awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p >= f) }'; then
+        echo "coverage ratchet: $pkg at ${pct}%, floor ${floor}%" >&2
+        exit 1
+    fi
+    echo "   $pkg ${pct}% (floor ${floor}%)"
+}
+check_cover ./internal/sim 90
+check_cover ./internal/sched 82
+check_cover ./internal/check 86
+
+echo "== fuzz smoke (30s)"
+go test ./internal/sim -run '^$' -fuzz '^FuzzEngineHeap$' -fuzztime 15s >/dev/null
+go test ./internal/trace -run '^$' -fuzz '^FuzzTraceRoundTrip$' -fuzztime 15s >/dev/null
+
+echo "== altobench smoke (all experiments, quick scale, invariant checker on)"
+go run ./cmd/altobench -exp all -scale quick -check >/dev/null
 
 if [[ "${CHECK_FULL_PARITY:-0}" == "1" ]]; then
     echo "== full-registry serial/parallel parity"
