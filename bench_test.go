@@ -13,9 +13,15 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/experiments"
+	"repro/internal/fabric"
 	"repro/internal/fleet"
+	"repro/internal/nic"
+	"repro/internal/rpcproto"
+	"repro/internal/sched"
+	"repro/internal/server"
 	"repro/internal/sim"
 )
 
@@ -107,6 +113,89 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	elapsed := b.Elapsed().Seconds()
 	if elapsed > 0 {
 		b.ReportMetric(float64(b.N)*nPerRun/elapsed, "simreq/s")
+	}
+}
+
+// BenchmarkRequestLifecycle measures the steady-state per-request path
+// end to end: generate -> arrive -> deliver -> queue -> execute ->
+// complete -> recycle, through full fixed-size server runs on a warm
+// Scratch. The derived allocs/req metric is the one to watch: with the
+// request arena and pre-bound callbacks it should be ~0 (the residue is
+// per-run setup amortized over the requests, not per-request cost).
+func BenchmarkRequestLifecycle(b *testing.B) {
+	svc := dist.Exponential{M: sim.Microsecond}
+	const (
+		cores = 4
+		n     = 5000
+	)
+	wl := server.Workload{
+		Arrivals: dist.Poisson{Rate: dist.LoadForRate(0.7, cores, svc)},
+		Service:  svc,
+		N:        n, Conns: 64,
+	}
+	sc := server.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := server.Config{
+			Kind: server.SchedRSS, Cores: cores, Stack: rpcproto.StackNanoRPC,
+			Steer: nic.SteerConnection, Seed: uint64(i) + 1,
+		}
+		if _, err := server.RunWith(sc, cfg, wl); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/n, "ns/req")
+}
+
+// BenchmarkQueueLens measures the scratch-buffer queue-length snapshot
+// on each scheduler implementation — the path the AC manager tick and
+// the invariant checker hit every Period. All variants must stay at
+// 0 allocs/op once the scratch has grown to size.
+func BenchmarkQueueLens(b *testing.B) {
+	const cores = 16
+	nop := func(*rpcproto.Request) {}
+	cost := fabric.Default()
+	build := map[string]func(eng *sim.Engine) sched.Scheduler{
+		"DFCFS": func(eng *sim.Engine) sched.Scheduler {
+			st := nic.NewSteerer(nic.SteerConnection, cores, sim.NewRNG(3))
+			return sched.NewDFCFS(eng, cores, st, cost.CacheMiss, nop)
+		},
+		"Steal": func(eng *sim.Engine) sched.Scheduler {
+			st := nic.NewSteerer(nic.SteerConnection, cores, sim.NewRNG(3))
+			return sched.NewSteal(eng, cores, st, cost.CacheMiss, cost.StealAttempt, sim.NewRNG(4), nop)
+		},
+		"Central": func(eng *sim.Engine) sched.Scheduler {
+			return sched.NewCentral(eng, cores-1, 200*sim.Nanosecond, cost.CoherenceMsg,
+				5*sim.Microsecond, cost.PreemptCost, nop)
+		},
+		"JBSQ": func(eng *sim.Engine) sched.Scheduler {
+			return sched.NewJBSQ(eng, cores, sched.VariantRPCValet, 2, cost.CacheMiss,
+				6*sim.Nanosecond, 0, 0, nop)
+		},
+		"RSSPlus": func(eng *sim.Engine) sched.Scheduler {
+			return sched.NewRSSPlus(eng, cores, 4*cores, cost.CacheMiss, 20*sim.Microsecond, nop)
+		},
+		"Altocumulus": func(eng *sim.Engine) sched.Scheduler {
+			st := nic.NewSteerer(nic.SteerConnection, 4, sim.NewRNG(3))
+			s, err := core.New(eng, core.DefaultParams(4, 4), cost, st, nop)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return s
+		},
+	}
+	for _, name := range []string{"DFCFS", "Steal", "Central", "JBSQ", "RSSPlus", "Altocumulus"} {
+		b.Run(name, func(b *testing.B) {
+			s := build[name](sim.NewEngine())
+			var buf []int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = s.QueueLensInto(buf)
+			}
+			_ = buf
+		})
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/report"
+	"repro/internal/server"
 )
 
 // renderCharts draws any table shaped like (system, MRPS, p99, ...) as a
@@ -72,10 +73,12 @@ func main() {
 		chart = flag.Bool("chart", false, "also render latency-throughput tables as ASCII charts")
 		par   = flag.Int("par", 0, "cross-run parallelism: worker-pool width for independent runs (0 = GOMAXPROCS, 1 = fully serial); tables are byte-identical at any width")
 		chk   = flag.Bool("check", true, "run every simulation under the online invariant checker (internal/check); -check=false disables it")
+		noAr  = flag.Bool("noarena", false, "heap-allocate every request instead of using the request arena; results are byte-identical, only allocation behaviour changes")
 	)
 	flag.Parse()
 	fleet.SetParallelism(*par)
 	check.SetEnabled(*chk)
+	server.SetArenaEnabled(!*noAr)
 
 	if *list || *expID == "" {
 		fmt.Println("available experiments:")

@@ -14,11 +14,19 @@
 // Usage:
 //
 //	go test -bench 'Engine|Fig10' -benchmem -run '^$' . | go run ./cmd/benchjson
+//
+// With -regress <committed.json> the tool instead compares the fresh
+// run on stdin against the committed record and reports steady-state
+// allocation regressions: any benchmark whose committed allocs/op was 0
+// (the zero-alloc hot paths) that now allocates. It exits 1 on
+// regression so callers can decide whether that gates (check.sh wraps
+// it as a warning).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
@@ -101,10 +109,60 @@ func run(in *bufio.Scanner) record {
 	return rec
 }
 
+// allocRegressions compares a fresh record against the committed one
+// and returns one line per steady-state allocation regression: a
+// benchmark committed at 0 allocs/op that now reports more. Benchmarks
+// absent from either side are skipped — new benchmarks only start
+// gating once their zero-alloc status is committed.
+func allocRegressions(committed, fresh record) []string {
+	baseline := make(map[string]float64, len(committed.Benchmarks))
+	for _, b := range committed.Benchmarks {
+		if v, ok := b.Metrics["allocs/op"]; ok {
+			baseline[b.Name] = v
+		}
+	}
+	var out []string
+	for _, b := range fresh.Benchmarks {
+		base, ok := baseline[b.Name]
+		got, hasAllocs := b.Metrics["allocs/op"]
+		if !ok || !hasAllocs || base != 0 || got <= 0 {
+			continue
+		}
+		out = append(out, fmt.Sprintf(
+			"%s: was 0 allocs/op, now %g — a steady-state path started allocating", b.Name, got))
+	}
+	return out
+}
+
 func main() {
+	regress := flag.String("regress", "",
+		"path to the committed BENCH_sim.json; compare stdin against it and exit 1 on 0->N allocs/op regressions instead of emitting JSON")
+	flag.Parse()
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	rec := run(sc)
+	if *regress != "" {
+		data, err := os.ReadFile(*regress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var committed record
+		if err := json.Unmarshal(data, &committed); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", *regress, err)
+			os.Exit(1)
+		}
+		regs := allocRegressions(committed, rec)
+		for _, r := range regs {
+			fmt.Println("alloc regression:", r)
+		}
+		if len(regs) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("no alloc regressions against %s (%d benchmarks compared)\n",
+			*regress, len(rec.Benchmarks))
+		return
+	}
 	out, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -41,6 +41,28 @@ func TestRunParsesBenchOutput(t *testing.T) {
 	}
 }
 
+func TestAllocRegressions(t *testing.T) {
+	committed := record{Benchmarks: []benchmark{
+		{Name: "EngineEvents", Metrics: map[string]float64{"allocs/op": 0}},
+		{Name: "QueueLens/DFCFS", Metrics: map[string]float64{"allocs/op": 0}},
+		{Name: "Fig10Serial", Metrics: map[string]float64{"allocs/op": 35000}},
+		{Name: "Retired", Metrics: map[string]float64{"allocs/op": 0}},
+	}}
+	fresh := record{Benchmarks: []benchmark{
+		{Name: "EngineEvents", Metrics: map[string]float64{"allocs/op": 2}},    // 0 -> 2: regression
+		{Name: "QueueLens/DFCFS", Metrics: map[string]float64{"allocs/op": 0}}, // still clean
+		{Name: "Fig10Serial", Metrics: map[string]float64{"allocs/op": 40000}}, // nonzero baseline: not gated
+		{Name: "Brand/New", Metrics: map[string]float64{"allocs/op": 7}},       // no baseline: skipped
+	}}
+	regs := allocRegressions(committed, fresh)
+	if len(regs) != 1 || !strings.Contains(regs[0], "EngineEvents") {
+		t.Fatalf("want exactly the EngineEvents regression, got %v", regs)
+	}
+	if regs := allocRegressions(committed, committed); len(regs) != 0 {
+		t.Fatalf("self-comparison must be clean, got %v", regs)
+	}
+}
+
 func TestParseLineRejectsProse(t *testing.T) {
 	for _, line := range []string{"PASS", "ok  \trepro\t12.3s", "Benchmarks are fun"} {
 		if _, ok := parseLine(line); ok {

@@ -1,0 +1,124 @@
+// Package arena provides a slab arena for rpcproto.Request values so the
+// steady-state request lifecycle allocates nothing: requests are acquired
+// from recycled slots on arrival and released back when they drain.
+//
+// The design mirrors the internal/sim event slab (PR 2): slots are
+// addressed by index through generation-counted handles, so a stale
+// RequestID — one whose slot has since been released and reissued — is
+// detectable rather than silently aliasing a different request. Unlike
+// the event slab, request pointers escape to schedulers and run for the
+// whole service time, so slots must be pointer-stable: the arena grows in
+// fixed-size chunks and never moves a slot once issued.
+package arena
+
+import "repro/internal/rpcproto"
+
+// chunkSize is the number of request slots per slab chunk. Chunks are
+// allocated whole and never reallocated, which keeps every issued
+// *rpcproto.Request stable for the lifetime of the arena.
+const chunkSize = 256
+
+// RequestID is a generation-counted handle to an arena slot. The zero
+// RequestID is never issued and is always stale.
+type RequestID struct {
+	idx int32
+	gen uint32
+}
+
+// Valid reports whether the id was issued by an arena (it may still be
+// stale if the slot has been recycled since).
+func (id RequestID) Valid() bool { return id.gen != 0 }
+
+type slot struct {
+	req rpcproto.Request
+	gen uint32 // odd while live, even while free; 0 = never issued
+}
+
+// Arena is a free-list slab of requests. Not safe for concurrent use:
+// each simulation (fleet worker) owns its own arena, matching the
+// //altolint:fleet-boundary rule that no simulator state crosses workers.
+type Arena struct {
+	chunks [][]slot
+	free   []RequestID
+	live   int
+}
+
+// New returns an empty arena.
+func New() *Arena {
+	return &Arena{}
+}
+
+// Acquire returns a zeroed request and its handle. The pointer stays
+// valid until Release; afterwards the handle goes stale and the slot may
+// be reissued.
+func (a *Arena) Acquire() (*rpcproto.Request, RequestID) {
+	var id RequestID
+	if n := len(a.free); n > 0 {
+		id = a.free[n-1]
+		a.free = a.free[:n-1]
+	} else {
+		if len(a.chunks) == 0 || len(a.chunks[len(a.chunks)-1]) == chunkSize {
+			a.chunks = append(a.chunks, make([]slot, 0, chunkSize))
+		}
+		last := len(a.chunks) - 1
+		a.chunks[last] = append(a.chunks[last], slot{})
+		id = RequestID{idx: int32(last*chunkSize + len(a.chunks[last]) - 1)}
+	}
+	s := a.slot(id.idx)
+	s.gen++ // free (even) -> live (odd)
+	id.gen = s.gen
+	a.live++
+	return &s.req, id
+}
+
+// Get returns the request for id, or nil if the handle is stale (the
+// slot was released, possibly reissued to a different request).
+func (a *Arena) Get(id RequestID) *rpcproto.Request {
+	if !a.owns(id) {
+		return nil
+	}
+	s := a.slot(id.idx)
+	if s.gen != id.gen {
+		return nil
+	}
+	return &s.req
+}
+
+// Release recycles the slot behind id. It returns false — and does
+// nothing — if the handle is stale, so double-free is detectable by the
+// caller (internal/check treats a lost or double-freed request as a
+// conservation violation).
+func (a *Arena) Release(id RequestID) bool {
+	if !a.owns(id) {
+		return false
+	}
+	s := a.slot(id.idx)
+	if s.gen != id.gen {
+		return false
+	}
+	s.req = rpcproto.Request{} // drop Payload/OnExecute references
+	s.gen++                    // live (odd) -> free (even): outstanding handles go stale
+	a.free = append(a.free, RequestID{idx: id.idx})
+	a.live--
+	return true
+}
+
+// Live returns the number of acquired-but-not-released requests.
+func (a *Arena) Live() int { return a.live }
+
+// owns reports whether id could have been issued by this arena: a live
+// generation (odd, non-zero) and an index inside the slab.
+func (a *Arena) owns(id RequestID) bool {
+	if id.gen == 0 || id.gen%2 == 0 || id.idx < 0 {
+		return false
+	}
+	c := int(id.idx) / chunkSize
+	if c >= len(a.chunks) {
+		return false
+	}
+	return int(id.idx)%chunkSize < len(a.chunks[c])
+}
+
+func (a *Arena) slot(idx int32) *slot {
+	return &a.chunks[idx/chunkSize][idx%chunkSize]
+}

@@ -181,15 +181,16 @@ func (q *shadowQ) popTail() (uint64, bool) {
 // Checker implements sched.Probe over one run. Zero-value is unusable;
 // construct with New and wire with WrapDone + Attach.
 type Checker struct {
-	opt   Options
-	eng   *sim.Engine
-	lens  func() []int
-	specs []QueueSpec
+	opt         Options
+	eng         *sim.Engine
+	lens        func(buf []int) []int
+	lensScratch []int // reused across checkpoints (violations copy fresh)
+	specs       []QueueSpec
 
-	queues   []*shadowQ     // indexed by queue id; nil = undeclared
-	coreBusy []bool         // indexed by core id
-	state    []uint8        // indexed by request id
-	migrated map[uint64]int // RequeueMigrate landings per request
+	queues   []*shadowQ // indexed by queue id; nil = undeclared
+	coreBusy []bool     // indexed by core id
+	state    []uint8    // indexed by request id
+	migrated []int32    // indexed by request id: RequeueMigrate landings
 
 	queued    int // requests across all shadow queues
 	running   int // requests executing
@@ -212,22 +213,21 @@ func New(opt Options) *Checker {
 	if opt.MaxViolations <= 0 {
 		opt.MaxViolations = 16
 	}
-	c := &Checker{
-		opt:      opt,
-		migrated: make(map[uint64]int),
-	}
+	c := &Checker{opt: opt}
 	if opt.Expected > 0 {
 		c.state = make([]uint8, opt.Expected)
+		c.migrated = make([]int32, opt.Expected)
 	}
 	return c
 }
 
 // Attach binds the checker to a run: the engine (for timestamps and the
 // periodic checkpoint), the scheduler's queue topology, and its
-// QueueLens snapshot for cross-checking. Call once, before the first
-// delivery. The checkpoint cadence stops by itself once the expected
-// request count has completed, so event queues can drain.
-func (c *Checker) Attach(eng *sim.Engine, specs []QueueSpec, lens func() []int) {
+// QueueLensInto snapshot for cross-checking (the checker owns the
+// scratch buffer, so periodic checkpoints allocate nothing). Call once,
+// before the first delivery. The checkpoint cadence stops by itself once
+// the expected request count has completed, so event queues can drain.
+func (c *Checker) Attach(eng *sim.Engine, specs []QueueSpec, lens func(buf []int) []int) {
 	c.eng = eng
 	c.specs = specs
 	c.lens = lens
@@ -277,7 +277,7 @@ func (c *Checker) record(invariant string, reqID uint64, queue int, detail strin
 	}
 	var lens []int
 	if c.lens != nil {
-		lens = c.lens()
+		lens = c.lens(nil) // fresh: the Violation retains the snapshot
 	}
 	c.violations = append(c.violations, Violation{
 		Invariant: invariant,
@@ -359,10 +359,29 @@ func (c *Checker) OnEnqueue(r *rpcproto.Request, qid, qlen int) {
 	c.enqueue(r, qid, qlen, "OnEnqueue")
 }
 
+// requeueDuring pre-renders the expectState context per cause: the probe
+// fires on every transfer landing, so building the string with
+// concatenation here would be one allocation per queue mutation.
+var requeueDuring = [...]string{
+	sched.RequeueTransfer: "requeued (transfer)",
+	sched.RequeuePreempt:  "requeued (preempt)",
+	sched.RequeueMigrate:  "requeued (migrate)",
+	sched.RequeueNack:     "requeued (nack)",
+}
+
 // OnRequeue implements sched.Probe.
+//
+//altolint:hotpath
 func (c *Checker) OnRequeue(r *rpcproto.Request, qid int, cause sched.RequeueCause, qlen int) {
-	c.expectState(r, qid, stateTransit, "requeued ("+cause.String()+")")
+	during := "requeued (transfer)"
+	if int(cause) >= 0 && int(cause) < len(requeueDuring) {
+		during = requeueDuring[cause]
+	}
+	c.expectState(r, qid, stateTransit, during)
 	if cause == sched.RequeueMigrate {
+		for uint64(len(c.migrated)) <= r.ID {
+			c.migrated = append(c.migrated, 0) //altolint:allow hotalloc migrated slab is preallocated to Expected; growth only on ID overflow
+		}
 		c.migrated[r.ID]++
 		c.checks++
 		if n := c.migrated[r.ID]; n > 1 && !c.opt.AllowRemigration {
@@ -513,7 +532,8 @@ func (c *Checker) checkpoint() bool {
 	c.checkpoints++
 	var lens []int
 	if c.lens != nil {
-		lens = c.lens()
+		lens = c.lens(c.lensScratch)
+		c.lensScratch = lens
 	}
 	anyQueued := c.queued > 0
 	for _, sp := range c.specs {

@@ -30,7 +30,7 @@ func violationsOf(rep *Report, invariant string) []Violation {
 func scriptedChecker(opt Options) (*Checker, *sim.Engine) {
 	eng := sim.NewEngine()
 	c := New(opt)
-	c.Attach(eng, []QueueSpec{{ID: 0, Core: 0, Lens: 0}}, func() []int { return []int{c.queues[0].len()} })
+	c.Attach(eng, []QueueSpec{{ID: 0, Core: 0, Lens: 0}}, func([]int) []int { return []int{c.queues[0].len()} })
 	return c, eng
 }
 
@@ -312,7 +312,7 @@ func TestJBSQBoundOffByOneCaught(t *testing.T) {
 		for i := 0; i < cores; i++ {
 			specs = append(specs, QueueSpec{ID: 1 + i, Core: i, Lens: -1})
 		}
-		chk.Attach(eng, specs, s.QueueLens)
+		chk.Attach(eng, specs, s.QueueLensInto)
 
 		svc := dist.Exponential{M: sim.Microsecond}
 		arr := dist.Poisson{Rate: dist.LoadForRate(0.9, cores, svc)}

@@ -144,7 +144,7 @@ func RunDiff(c DiffCase, seed uint64) (*DiffResult, error) {
 		}
 	}
 	s.(interface{ SetObserver(sched.Observer) }).SetObserver(chk)
-	chk.Attach(eng, specs, s.QueueLens)
+	chk.Attach(eng, specs, s.QueueLensInto)
 
 	var schedule func(i int, at sim.Time)
 	schedule = func(i int, at sim.Time) {

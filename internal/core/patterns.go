@@ -40,6 +40,16 @@ func (p Pattern) String() string {
 // reach consistent decisions — the property §VI relies on ("each
 // manager's pattern classification gives the same pattern result").
 func Classify(view []int, self, bulk, conc int) (Pattern, []int) {
+	return ClassifyInto(view, self, bulk, conc, nil, nil)
+}
+
+// ClassifyInto is Classify with caller-provided scratch: order holds the
+// rank permutation, dests the returned destination set (both reused from
+// length 0). The every-Period manager tick uses scheduler-owned scratch
+// so classification allocates nothing.
+//
+//altolint:hotpath
+func ClassifyInto(view []int, self, bulk, conc int, order, dests []int) (Pattern, []int) {
 	n := len(view)
 	if n < 2 || self < 0 || self >= n {
 		return PatternNone, nil
@@ -50,7 +60,7 @@ func Classify(view []int, self, bulk, conc int) (Pattern, []int) {
 	if conc < 1 {
 		conc = 1
 	}
-	order := rankDescending(view)
+	order = rankDescendingInto(view, order)
 	longest, second := order[0], order[1]
 	shortest, secondShortest := order[n-1], order[n-2]
 
@@ -60,10 +70,10 @@ func Classify(view []int, self, bulk, conc int) (Pattern, []int) {
 		if self != longest {
 			return PatternHill, nil
 		}
-		dests := make([]int, 0, conc)
+		dests = dests[:0]
 		for i := n - 1; i >= 0 && len(dests) < conc; i-- {
 			if d := order[i]; d != self {
-				dests = append(dests, d)
+				dests = append(dests, d) //altolint:allow hotalloc scratch reuse: dests is caller scratch sized to Groups, grows once
 			}
 		}
 		return PatternHill, dests
@@ -73,7 +83,7 @@ func Classify(view []int, self, bulk, conc int) (Pattern, []int) {
 		if self == shortest {
 			return PatternValley, nil
 		}
-		return PatternValley, []int{shortest}
+		return PatternValley, append(dests[:0], shortest) //altolint:allow hotalloc scratch reuse: dests is caller scratch sized to Groups, grows once
 	case view[longest]-view[shortest] >= bulk:
 		// Pairing: top-i longest pairs with i-th shortest, i < conc.
 		for i := 0; i < conc && i < n/2; i++ {
@@ -82,7 +92,7 @@ func Classify(view []int, self, bulk, conc int) (Pattern, []int) {
 			}
 			d := order[n-1-i]
 			if d != self && view[self] > view[d] {
-				return PatternPairing, []int{d}
+				return PatternPairing, append(dests[:0], d) //altolint:allow hotalloc scratch reuse: dests is caller scratch sized to Groups, grows once
 			}
 			return PatternPairing, nil
 		}
@@ -91,13 +101,16 @@ func Classify(view []int, self, bulk, conc int) (Pattern, []int) {
 	return PatternNone, nil
 }
 
-// rankDescending returns queue indices ordered by length descending,
-// ties broken by lower index for cross-manager determinism.
-func rankDescending(view []int) []int {
+// rankDescendingInto writes queue indices ordered by length descending
+// into order (reused from length 0), ties broken by lower index for
+// cross-manager determinism.
+//
+//altolint:hotpath
+func rankDescendingInto(view, order []int) []int {
 	n := len(view)
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
+	order = order[:0]
+	for i := 0; i < n; i++ {
+		order = append(order, i) //altolint:allow hotalloc scratch reuse: order is caller scratch sized to Groups, grows once
 	}
 	for i := 1; i < n; i++ {
 		for j := i; j > 0; j-- {
@@ -115,11 +128,19 @@ func rankDescending(view []int) []int {
 // ShortestOthers returns up to k queue ids with the smallest lengths,
 // excluding self — the destination set for threshold-triggered sheds.
 func ShortestOthers(view []int, self, k int) []int {
-	order := rankDescending(view)
-	out := make([]int, 0, k)
+	return ShortestOthersInto(view, self, k, nil, nil)
+}
+
+// ShortestOthersInto is ShortestOthers with caller-provided scratch
+// (same contract as ClassifyInto).
+//
+//altolint:hotpath
+func ShortestOthersInto(view []int, self, k int, order, out []int) []int {
+	order = rankDescendingInto(view, order)
+	out = out[:0]
 	for i := len(order) - 1; i >= 0 && len(out) < k; i-- {
 		if d := order[i]; d != self {
-			out = append(out, d)
+			out = append(out, d) //altolint:allow hotalloc scratch reuse: out is caller scratch sized to Groups, grows once
 		}
 	}
 	return out

@@ -32,6 +32,23 @@ type group struct {
 	pr   hwmsg.ParamRegs
 
 	mgrFree sim.Time // manager-core busy-until (runtime ops + software dispatch)
+
+	// Callbacks bound once at construction so the per-request and
+	// per-tick paths never allocate closures: tickFn is this manager's
+	// Algorithm 1 iteration, landFns[w] the dispatch-landing arg-event
+	// trampoline for worker w, doneFns[w] worker w's completion callback.
+	tickFn  func()
+	landFns []func(any, int64)
+	doneFns []func(*rpcproto.Request)
+}
+
+// updateLand applies one UPDATE message landing at a manager: the
+// destination group's synchronized view of the sender refreshes. It is a
+// package-level arg-event trampoline (arg = destination group,
+// n = sender id in the high 32 bits, observed queue length in the low
+// 32), so the per-tick broadcast allocates nothing.
+func updateLand(arg any, n int64) {
+	arg.(*group).view[n>>32] = int(int32(n))
 }
 
 // Scheduler is the ALTOCUMULUS runtime: Algorithm 1 running on every
@@ -53,6 +70,11 @@ type Scheduler struct {
 	Stats   Stats
 	ticking bool
 	stopped bool
+
+	// Tick-time scratch (pre-sized to Groups so it never grows): rank
+	// permutation and destination set for the §VI pattern classification.
+	orderScratch []int
+	destScratch  []int
 }
 
 // New builds an ALTOCUMULUS scheduler. steer distributes arrivals across
@@ -76,6 +98,9 @@ func New(eng *sim.Engine, p Params, cost fabric.CostModel, steer *nic.Steerer, d
 		steer: steer,
 		done:  done,
 		obs:   sched.NopObserver{},
+
+		orderScratch: make([]int, 0, p.Groups),
+		destScratch:  make([]int, 0, p.Groups),
 	}
 	tilesPerGroup := p.WorkersPerGroup + 1
 	for gid := 0; gid < p.Groups; gid++ {
@@ -91,9 +116,22 @@ func New(eng *sim.Engine, p Params, cost fabric.CostModel, steer *nic.Steerer, d
 			recv:    hwmsg.NewFIFO(p.FIFOCapacity),
 		}
 		g.pr.Configure(p.Period, p.Bulk, p.Concurrency)
+		g.tickFn = func() { s.tick(g) }
+		g.landFns = make([]func(any, int64), p.WorkersPerGroup)
+		g.doneFns = make([]func(*rpcproto.Request), p.WorkersPerGroup)
 		for w := 0; w < p.WorkersPerGroup; w++ {
 			tile := g.tile + 1 + w
 			g.workers[w] = exec.NewCore(eng, gid*p.WorkersPerGroup+w, tile)
+			w := w
+			g.landFns[w] = func(arg any, _ int64) { s.dispatchLand(g, w, arg.(*rpcproto.Request)) }
+			g.doneFns[w] = func(r *rpcproto.Request) {
+				if s.probe != nil {
+					s.probe.OnComplete(r, g.workers[w].ID)
+				}
+				s.done(r)
+				s.tryStart(g, w)
+				s.dispatch(g)
+			}
 		}
 		s.groups = append(s.groups, g)
 	}
@@ -116,6 +154,8 @@ func (s *Scheduler) Name() string {
 }
 
 // Deliver implements sched.Scheduler.
+//
+//altolint:hotpath
 func (s *Scheduler) Deliver(r *rpcproto.Request) {
 	s.startTicks()
 	g := s.groups[s.steer.Steer(r)]
@@ -132,12 +172,17 @@ func (s *Scheduler) Deliver(r *rpcproto.Request) {
 func (s *Scheduler) Stop() { s.stopped = true }
 
 // QueueLens implements sched.Scheduler: the per-group NetRX lengths.
-func (s *Scheduler) QueueLens() []int {
-	out := make([]int, len(s.groups))
-	for i, g := range s.groups {
-		out[i] = g.netrx.Len()
+func (s *Scheduler) QueueLens() []int { return s.QueueLensInto(nil) }
+
+// QueueLensInto implements sched.Scheduler.
+//
+//altolint:hotpath
+func (s *Scheduler) QueueLensInto(buf []int) []int {
+	buf = buf[:0]
+	for _, g := range s.groups {
+		buf = append(buf, g.netrx.Len()) //altolint:allow hotalloc scratch reuse: buf grows to Groups once, then steady-state zero-alloc
 	}
-	return out
+	return buf
 }
 
 // Cores returns every worker core (managers excluded: they do not serve
@@ -161,6 +206,8 @@ func (s *Scheduler) GroupView(gid int) []int {
 // dispatch hands NetRX heads to workers below their depth bound. ACint
 // pushes in hardware at LLC speed; ACrss serializes each handoff on the
 // manager core through the coherence protocol.
+//
+//altolint:hotpath
 func (s *Scheduler) dispatch(g *group) {
 	for g.netrx.Len() > 0 {
 		w := s.freeWorker(g)
@@ -193,15 +240,21 @@ func (s *Scheduler) dispatch(g *group) {
 			// register messaging for message transfer).
 			delay = s.Cost.RegisterXfer
 		}
-		s.eng.After(delay, func() {
-			g.claimed[w]--
-			if s.probe != nil {
-				s.probe.OnRequeue(r, s.localQueueID(g.id, w), sched.RequeueTransfer, g.local[w].Len())
-			}
-			g.local[w].PushTail(r)
-			s.tryStart(g, w)
-		})
+		s.eng.AfterArg(delay, g.landFns[w], r, 0)
 	}
+}
+
+// dispatchLand completes a manager-to-worker handoff: the request joins
+// worker w's local queue.
+//
+//altolint:hotpath
+func (s *Scheduler) dispatchLand(g *group, w int, r *rpcproto.Request) {
+	g.claimed[w]--
+	if s.probe != nil {
+		s.probe.OnRequeue(r, s.localQueueID(g.id, w), sched.RequeueTransfer, g.local[w].Len())
+	}
+	g.local[w].PushTail(r)
+	s.tryStart(g, w)
 }
 
 // freeWorker returns the least-loaded worker with outstanding count
@@ -220,6 +273,7 @@ func (s *Scheduler) freeWorker(g *group) int {
 	return best
 }
 
+//altolint:hotpath
 func (s *Scheduler) tryStart(g *group, w int) {
 	if g.workers[w].Busy() || g.local[w].Len() == 0 {
 		return
@@ -229,14 +283,7 @@ func (s *Scheduler) tryStart(g *group, w int) {
 		s.probe.OnDequeue(r, s.localQueueID(g.id, w), false)
 		s.probe.OnRun(r, g.workers[w].ID)
 	}
-	g.workers[w].Start(r, 0, func(r *rpcproto.Request) {
-		if s.probe != nil {
-			s.probe.OnComplete(r, g.workers[w].ID)
-		}
-		s.done(r)
-		s.tryStart(g, w)
-		s.dispatch(g)
-	}, nil)
+	g.workers[w].Start(r, 0, g.doneFns[w], nil)
 }
 
 // msgSend computes the injection-complete and arrival delays of one
@@ -266,8 +313,7 @@ func (s *Scheduler) startTicks() {
 	}
 	s.ticking = true
 	for _, g := range s.groups {
-		g := g
-		s.eng.After(s.P.Period, func() { s.tick(g) })
+		s.eng.After(s.P.Period, g.tickFn)
 	}
 }
 
@@ -303,19 +349,20 @@ func (s *Scheduler) tick(g *group) {
 	if min := 2 * runtimeCost; next < min {
 		next = min
 	}
-	s.eng.After(next, func() { s.tick(g) })
+	s.eng.After(next, g.tickFn)
 
 	// Refresh own view entry and broadcast UPDATE to the other managers.
+	// Each UPDATE rides an arg-event (destination group + packed
+	// sender/qlen) so the broadcast allocates nothing.
 	qlen := g.netrx.Len()
 	g.view[g.id] = qlen
 	for _, h := range s.groups {
 		if h.id == g.id {
 			continue
 		}
-		h := h
 		_, arrive := s.msgSend(g, h.tile, hwmsg.UpdateWireSize)
 		s.Stats.UpdatesSent++
-		s.eng.At(now+arrive, func() { h.view[g.id] = qlen })
+		s.eng.AtArg(now+arrive, updateLand, h, int64(g.id)<<32|int64(qlen))
 	}
 
 	// Threshold from the analytical model under the measured load (or
@@ -360,7 +407,7 @@ func (s *Scheduler) decide(g *group, t, qlen int) []int {
 	// A pattern that assigns this manager a role takes precedence over
 	// the bare threshold trigger (predict() returns on either condition).
 	if !s.P.DisablePatterns {
-		pattern, dests := Classify(view, g.id, g.pr.Bulk, conc)
+		pattern, dests := ClassifyInto(view, g.id, g.pr.Bulk, conc, s.orderScratch, s.destScratch)
 		if len(dests) > 0 {
 			switch pattern {
 			case PatternHill:
@@ -378,7 +425,7 @@ func (s *Scheduler) decide(g *group, t, qlen int) []int {
 	// queues.
 	if qlen > t {
 		s.Stats.ThresholdEvts++
-		return ShortestOthers(view, g.id, conc)
+		return ShortestOthersInto(view, g.id, conc, s.orderScratch, s.destScratch)
 	}
 	return nil
 }

@@ -24,7 +24,20 @@ type Core struct {
 	busy     bool
 	busyTime sim.Time // accumulated busy time, for utilisation reporting
 	cur      *rpcproto.Request
+
+	// In-flight execution state for the pending fire event. Keeping it in
+	// the core (instead of a per-Start closure) makes Start allocation-free:
+	// the completion event is scheduled through sim.AfterArg against the
+	// package-level coreFire trampoline.
+	done      func(*rpcproto.Request)
+	preempted func(*rpcproto.Request)
+	slice     sim.Time
+	preempt   bool
 }
+
+// coreFire is the completion trampoline for Core.Start's scheduled event.
+// It is a package-level func value so scheduling it never allocates.
+func coreFire(arg any, _ int64) { arg.(*Core).fire() }
 
 // NewCore returns an idle, run-to-completion core bound to the engine.
 func NewCore(eng *sim.Engine, id, tile int) *Core {
@@ -49,6 +62,11 @@ func (c *Core) BusyTime() sim.Time { return c.busyTime }
 // again when the callback fires, so callbacks typically dispatch the next
 // request. Start panics if the core is already busy — double-dispatch is
 // a scheduler bug, not a runtime condition.
+//
+// Start itself never allocates: pass callbacks that are bound once per
+// core at scheduler construction, not fresh closures per request.
+//
+//altolint:hotpath
 func (c *Core) Start(r *rpcproto.Request, overhead sim.Time, done, preempted func(*rpcproto.Request)) {
 	if c.busy {
 		panic("exec: Start on busy core")
@@ -74,18 +92,34 @@ func (c *Core) Start(r *rpcproto.Request, overhead sim.Time, done, preempted fun
 		total += c.PreemptCost
 	}
 	c.busyTime += total
-	c.eng.After(total, func() {
-		c.busy = false
-		c.cur = nil
-		if preempt {
-			r.Remaining -= slice
-			preempted(r)
-			return
-		}
-		r.Remaining = 0
-		r.Finish = c.eng.Now()
-		done(r)
-	})
+	c.done = done
+	c.preempted = preempted
+	c.slice = slice
+	c.preempt = preempt
+	c.eng.AfterArg(total, coreFire, c, 0)
+}
+
+// fire completes or preempts the in-flight request. The core is idle and
+// its in-flight state cleared before either callback runs, so callbacks
+// may immediately Start the next request.
+//
+//altolint:hotpath
+func (c *Core) fire() {
+	r := c.cur
+	done, preempted := c.done, c.preempted
+	slice, preempt := c.slice, c.preempt
+	c.busy = false
+	c.cur = nil
+	c.done = nil
+	c.preempted = nil
+	if preempt {
+		r.Remaining -= slice
+		preempted(r)
+		return
+	}
+	r.Remaining = 0
+	r.Finish = c.eng.Now()
+	done(r)
 }
 
 // Deque is a slice-backed double-ended request queue. Schedulers enqueue

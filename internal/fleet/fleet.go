@@ -57,6 +57,19 @@ func SetParallelism(n int) {
 // workers — but they multiply goroutine counts, so parallelise the
 // innermost grid only.
 func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapWith(n, func() struct{} { return struct{}{} },
+		func(i int, _ struct{}) (T, error) { return fn(i) })
+}
+
+// MapWith is Map with per-worker context: newCtx runs once on each pool
+// worker (once total when execution is serial) and the resulting value
+// is passed to every fn call that worker executes. The context is how
+// workers own reusable scratch — e.g. a server.Scratch whose arena
+// slabs stay warm across the runs a worker picks up — without any
+// sharing across the pool boundary. fn must not let the context (or
+// anything reachable from it that fn may mutate) escape into its
+// result; results must remain pure functions of i.
+func MapWith[T, C any](n int, newCtx func() C, fn func(i int, ctx C) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -67,8 +80,9 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 		par = n
 	}
 	if par <= 1 {
+		ctx := newCtx()
 		for i := 0; i < n; i++ {
-			out[i], errs[i] = fn(i)
+			out[i], errs[i] = fn(i, ctx)
 		}
 	} else {
 		var next atomic.Int64
@@ -78,12 +92,13 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				ctx := newCtx()
 				for {
 					i := int(next.Add(1))
 					if i >= n {
 						return
 					}
-					out[i], errs[i] = fn(i)
+					out[i], errs[i] = fn(i, ctx)
 				}
 			}()
 		}
@@ -107,7 +122,8 @@ func Runs(cfgs []server.Config, wls []server.Workload) ([]*server.Result, error)
 	if len(cfgs) != len(wls) {
 		panic("fleet: Runs with mismatched config/workload lengths")
 	}
-	return Map(len(cfgs), func(i int) (*server.Result, error) {
-		return server.Run(cfgs[i], wls[i])
-	})
+	return MapWith(len(cfgs), server.NewScratch,
+		func(i int, sc *server.Scratch) (*server.Result, error) {
+			return server.RunWith(sc, cfgs[i], wls[i])
+		})
 }

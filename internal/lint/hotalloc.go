@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerHotAlloc flags allocation sites inside functions annotated
+// //altolint:hotpath — the per-request and per-tick paths that the
+// zero-alloc lifecycle work pinned to 0 allocs/op. Steady-state
+// allocation regressions in those functions show up as GC pressure
+// long before they show up as a failing figure, so the annotation
+// turns "this path must not allocate" into a compile-time-adjacent
+// check rather than a benchmark archaeology exercise.
+//
+// Flagged forms: make(...), append(...) (growth reallocates; annotate
+// genuinely amortized growth into reused scratch with an allow),
+// new(...), &T{...} composite-literal addresses, and func literals
+// (closure capture allocates per evaluation — bind callbacks once at
+// construction instead).
+var AnalyzerHotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag allocation in //altolint:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+// hotPathDirective marks a function as steady-state per-request code in
+// its doc comment.
+const hotPathDirective = "altolint:hotpath"
+
+func isHotPath(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text, ok := strings.CutPrefix(c.Text, "//")
+		if !ok {
+			continue
+		}
+		if strings.TrimSpace(text) == hotPathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotAlloc(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd.Doc) {
+				continue
+			}
+			name := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					id, ok := n.Fun.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					b, ok := pass.Pkg.Info.Uses[id].(*types.Builtin)
+					if !ok {
+						return true
+					}
+					switch b.Name() {
+					case "make":
+						pass.Reportf(n.Pos(),
+							"make in hotpath function %s; hoist the buffer into caller-owned scratch", name)
+					case "new":
+						pass.Reportf(n.Pos(),
+							"new in hotpath function %s; reuse a pre-allocated object", name)
+					case "append":
+						pass.Reportf(n.Pos(),
+							"append in hotpath function %s may grow its backing array; preallocate, or annotate genuinely amortized growth", name)
+					}
+				case *ast.UnaryExpr:
+					if n.Op == token.AND {
+						if _, ok := n.X.(*ast.CompositeLit); ok {
+							pass.Reportf(n.Pos(),
+								"composite-literal address in hotpath function %s escapes to the heap; reuse a pooled object", name)
+						}
+					}
+				case *ast.FuncLit:
+					pass.Reportf(n.Pos(),
+						"func literal in hotpath function %s allocates a closure per evaluation; bind it once at construction", name)
+				}
+				return true
+			})
+		}
+	}
+}

@@ -151,6 +151,7 @@ func All() []*Analyzer {
 		AnalyzerMapIter,
 		AnalyzerFloatCmp,
 		AnalyzerSimTime,
+		AnalyzerHotAlloc,
 	}
 }
 

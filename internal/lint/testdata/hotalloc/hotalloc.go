@@ -1,0 +1,50 @@
+// Package hotalloctest exercises the hotalloc analyzer: allocation
+// forms inside //altolint:hotpath functions are findings; the same
+// forms in unannotated functions are not, and a reasoned allow
+// suppresses an amortized-growth append.
+package hotalloctest
+
+type req struct {
+	id   uint64
+	next *req
+}
+
+type pool struct {
+	free *req
+	lens []int
+}
+
+// deliver is per-request steady state: every allocation form fires.
+//
+//altolint:hotpath
+func (p *pool) deliver(n int) *req {
+	buf := make([]int, n)       // want "make in hotpath function deliver"
+	p.lens = append(p.lens, n)  // want "append in hotpath function deliver"
+	r := &req{id: uint64(n)}    // want "composite-literal address in hotpath function deliver"
+	q := new(req)               // want "new in hotpath function deliver"
+	cb := func() { _ = buf[0] } // want "func literal in hotpath function deliver"
+	cb()
+	r.next = q
+	return r
+}
+
+// lensInto reuses caller scratch; the append is amortized growth and
+// carries a reasoned allow, so it is not a finding.
+//
+//altolint:hotpath
+func (p *pool) lensInto(buf []int) []int {
+	buf = buf[:0]
+	for range p.lens {
+		buf = append(buf, 0) //altolint:allow hotalloc scratch reuse: grows once, then steady-state zero-alloc
+	}
+	return buf
+}
+
+// construct is not annotated: constructors may allocate freely.
+func construct(n int) *pool {
+	p := &pool{lens: make([]int, 0, n)}
+	for i := 0; i < n; i++ {
+		p.free = &req{id: uint64(i), next: p.free}
+	}
+	return p
+}

@@ -215,3 +215,73 @@ func TestPredictViolation(t *testing.T) {
 		t.Fatal("above threshold should predict violation")
 	}
 }
+
+// TestThresholdTableAgreement pins the memoized table to the exact
+// Erlang-C evaluation within one threshold step, across the full stable
+// load range and across recalibration (the satellite acceptance bound;
+// in practice the breakpoint table reproduces the exact value).
+func TestThresholdTableAgreement(t *testing.T) {
+	for _, cfg := range []struct {
+		k int
+		l float64
+	}{{64, 10}, {16, 10}, {8, 5}, {2, 20}, {1, 3}} {
+		m := NewThresholdModel(cfg.k, cfg.l)
+		check := func() {
+			t.Helper()
+			for i := 0; i <= 4000; i++ {
+				a := float64(cfg.k) * float64(i) / 4000 * 1.05 // past saturation
+				table, exact := m.Threshold(a), m.ThresholdExact(a)
+				if d := table - exact; d < -1 || d > 1 {
+					t.Fatalf("k=%d L=%v A=%v: table %d vs exact %d",
+						cfg.k, cfg.l, a, table, exact)
+				}
+			}
+		}
+		check()
+		// Recalibration must invalidate the table.
+		m.A, m.B, m.C, m.D = 2.0, 30, 1.5, 0.25
+		check()
+		// Non-monotone constants fall back to exact evaluation.
+		m.A = -1
+		check()
+	}
+}
+
+// TestThresholdMemoRebuilds verifies the table is built once per
+// constant signature, not per call.
+func TestThresholdMemoRebuilds(t *testing.T) {
+	m := NewThresholdModel(64, 10)
+	for i := 0; i < 100; i++ {
+		m.Threshold(float64(i % 64))
+	}
+	if n := m.memo.thresholdRebuilt; n != 1 {
+		t.Fatalf("rebuilt %d times for one signature, want 1", n)
+	}
+	m.C = 0.9
+	m.Threshold(32)
+	m.Threshold(33)
+	if n := m.memo.thresholdRebuilt; n != 2 {
+		t.Fatalf("rebuilt %d times after one mutation, want 2", n)
+	}
+}
+
+func BenchmarkThreshold(b *testing.B) {
+	m := NewThresholdModel(64, 10)
+	loads := [8]float64{1, 10, 30, 50, 60, 62, 63, 63.9}
+	m.Threshold(1) // build the table outside the timed region
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Threshold(loads[i&7])
+	}
+}
+
+func BenchmarkThresholdExact(b *testing.B) {
+	m := NewThresholdModel(64, 10)
+	loads := [8]float64{1, 10, 30, 50, 60, 62, 63, 63.9}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ThresholdExact(loads[i&7])
+	}
+}

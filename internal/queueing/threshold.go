@@ -19,7 +19,34 @@ type ThresholdModel struct {
 	K          int     // worker cores behind the queue
 	L          float64 // SLO multiplier (SLO = L × mean service time)
 	A, B, C, D float64 // Eqn. 2 constants
+
+	// Memoized threshold table. E[T̂] is a monotone nondecreasing step
+	// function of the offered load (A·C > 0), so instead of re-summing
+	// the Erlang-C recurrence on every manager Period, Threshold builds
+	// — once per (K, L, A, B, C, D) signature — the load breakpoints at
+	// which the clamped threshold crosses each integer step, and answers
+	// queries with a binary search over them. The table reproduces the
+	// exact evaluation at every load (the breakpoints are bisected to
+	// float convergence), comfortably inside the one-threshold-step
+	// tolerance asserted by the table-agreement test.
+	memo thresholdMemo
 }
+
+// thresholdMemo caches the breakpoint table together with the model
+// signature it was built for; mutating any model field (directly or via
+// Calibrate) invalidates it on the next Threshold call.
+type thresholdMemo struct {
+	valid            bool
+	k                int
+	l, a, b, c, d    float64
+	cross            []float64 // cross[i] = least load with threshold >= i+2
+	exactOnly        bool      // non-monotone constants: fall back to exact
+	thresholdRebuilt uint64    // build count, exposed for tests
+}
+
+// maxMemoSteps bounds the table size; pathological K·L products fall
+// back to exact evaluation rather than building a huge table.
+const maxMemoSteps = 1 << 20
 
 // NewThresholdModel returns a model with the paper's default constants
 // (a=1.01, c=0.998, b=d=0), to be refined by Calibrate.
@@ -34,7 +61,40 @@ func (m *ThresholdModel) UpperBound() int { return int(float64(m.K)*m.L) + 1 }
 // Threshold returns E[T̂] for the given offered load in Erlangs. The
 // result is clamped to [1, UpperBound]: a threshold below 1 would migrate
 // everything, and above T_upper the prediction adds nothing.
+//
+// Steady-state calls are a table lookup (binary search over the memoized
+// breakpoints); the Erlang-C series is only evaluated when the model
+// constants change. See ThresholdExact for the uncached evaluation.
+//
+//altolint:hotpath
 func (m *ThresholdModel) Threshold(offered float64) int {
+	if !m.memo.matches(m) {
+		m.rebuildMemo()
+	}
+	if m.memo.exactOnly {
+		return m.ThresholdExact(offered)
+	}
+	if offered < 0 {
+		offered = 0 // ExpectedQueueLength treats any a <= 0 as an empty queue
+	}
+	// t = 1 + |{i : cross[i] <= offered}|; cross is sorted ascending.
+	cross := m.memo.cross
+	lo, hi := 0, len(cross)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cross[mid] <= offered {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return 1 + lo
+}
+
+// ThresholdExact evaluates Eqn. 2 directly (one full Erlang-C
+// recurrence), bypassing the memo table. The table-agreement test pins
+// Threshold to this within one step.
+func (m *ThresholdModel) ThresholdExact(offered float64) int {
 	nq := ExpectedQueueLength(m.K, offered)
 	if math.IsInf(nq, 1) {
 		return m.UpperBound()
@@ -48,6 +108,64 @@ func (m *ThresholdModel) Threshold(offered float64) int {
 		ti = ub
 	}
 	return ti
+}
+
+// matches reports whether the memo was built for the model's current
+// constants. The float comparisons are deliberately exact: this is a
+// cache-key identity check (any bit-level change to the constants must
+// force a rebuild), not a numeric-tolerance question.
+func (mm *thresholdMemo) matches(m *ThresholdModel) bool {
+	return mm.valid && mm.k == m.K && mm.l == m.L && //altolint:allow floatcmp cache-key identity: any bit change must invalidate the memo
+		mm.a == m.A && mm.b == m.B && mm.c == m.C && mm.d == m.D
+}
+
+// rebuildMemo recomputes the breakpoint table for the current constants.
+// For each threshold step t in [2, UpperBound] it bisects the least
+// offered load at which ThresholdExact reaches t; monotonicity of
+// E[N̂q] in the load (and A·C > 0) makes the bisection sound. The whole
+// build is O(UpperBound · 64 · K) — microseconds, paid once per
+// calibration instead of O(K) on every manager tick.
+func (m *ThresholdModel) rebuildMemo() {
+	mm := &m.memo
+	mm.valid = true
+	mm.k, mm.l = m.K, m.L
+	mm.a, mm.b, mm.c, mm.d = m.A, m.B, m.C, m.D
+	mm.thresholdRebuilt++
+	ub := m.UpperBound()
+	if m.A*m.C <= 0 || ub < 1 || ub > maxMemoSteps || m.K <= 0 {
+		// Non-monotone or degenerate constants: serve exact evaluations.
+		mm.exactOnly = true
+		mm.cross = nil
+		return
+	}
+	mm.exactOnly = false
+	if cap(mm.cross) < ub-1 {
+		mm.cross = make([]float64, 0, ub-1)
+	}
+	mm.cross = mm.cross[:0]
+	for t := 2; t <= ub; t++ {
+		// Invert the rounding and the linear map: threshold(a) >= t iff
+		// E[N̂q](a) >= nqT. The -0.5 un-rounds; dividing by A·C > 0
+		// preserves the inequality direction.
+		nqT := ((float64(t)-0.5)-m.B)/m.A - m.D
+		nqT /= m.C
+		if nqT <= 0 {
+			// Already reached at an empty queue; bisection would converge
+			// to an infinitesimally positive load and miss offered == 0.
+			mm.cross = append(mm.cross, 0)
+			continue
+		}
+		lo, hi := 0.0, float64(m.K)
+		for i := 0; i < 64 && lo < hi; i++ {
+			mid := lo + (hi-lo)/2
+			if ExpectedQueueLength(m.K, mid) >= nqT {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		mm.cross = append(mm.cross, hi)
+	}
 }
 
 // CalibrationPoint is one observation from a simulation sweep: at a given

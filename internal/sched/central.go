@@ -27,6 +27,14 @@ type Central struct {
 	probe    Probe
 	dispFree sim.Time // dispatcher busy-until
 
+	// Per-worker callbacks, bound once at construction so the dispatch
+	// path allocates no closures. landFns[w] is the arg-event trampoline
+	// for a dispatch landing on worker w (the request rides in the event's
+	// arg slot); doneFns/preemptFns are the core completion callbacks.
+	landFns    []func(any, int64)
+	doneFns    []func(*rpcproto.Request)
+	preemptFns []func(*rpcproto.Request)
+
 	preempted uint64
 }
 
@@ -44,10 +52,27 @@ func NewCentral(eng *sim.Engine, n int, dispatch, handoff, quantum, preemptCost 
 		done:         done,
 		obs:          NopObserver{},
 	}
+	s.landFns = make([]func(any, int64), n)
+	s.doneFns = make([]func(*rpcproto.Request), n)
+	s.preemptFns = make([]func(*rpcproto.Request), n)
 	for i := range s.workers {
 		s.workers[i] = exec.NewCore(eng, i, i)
 		s.workers[i].Quantum = quantum
 		s.workers[i].PreemptCost = preemptCost
+		i := i
+		s.landFns[i] = func(arg any, _ int64) { s.land(arg.(*rpcproto.Request), i) }
+		s.doneFns[i] = func(r *rpcproto.Request) {
+			if s.probe != nil {
+				s.probe.OnComplete(r, i)
+			}
+			s.onDone(r)
+		}
+		s.preemptFns[i] = func(r *rpcproto.Request) {
+			if s.probe != nil {
+				s.probe.OnPreempt(r, i)
+			}
+			s.onPreempt(r)
+		}
 	}
 	return s
 }
@@ -59,6 +84,8 @@ func (s *Central) SetObserver(o Observer) { s.obs, s.probe = o, ProbeOf(o) }
 func (s *Central) Name() string { return "shinjuku-central" }
 
 // Deliver implements Scheduler.
+//
+//altolint:hotpath
 func (s *Central) Deliver(r *rpcproto.Request) {
 	s.obs.OnEnqueue(r, 0, s.queue.Len())
 	r.Enq = s.eng.Now()
@@ -68,6 +95,8 @@ func (s *Central) Deliver(r *rpcproto.Request) {
 
 // pump dispatches the queue head to an idle worker, serializing on the
 // dispatcher core.
+//
+//altolint:hotpath
 func (s *Central) pump() {
 	for s.queue.Len() > 0 {
 		w := s.idleWorker()
@@ -85,25 +114,21 @@ func (s *Central) pump() {
 		}
 		s.dispFree = start + s.DispatchCost
 		wait := (start - now) + s.DispatchCost
-		worker := s.workers[w]
 		s.claimed[w] = true
-		s.eng.After(wait, func() {
-			s.claimed[worker.ID] = false
-			onDone, onPreempt := s.onDone, s.onPreempt
-			if s.probe != nil {
-				s.probe.OnRun(r, worker.ID)
-				onDone = func(r *rpcproto.Request) {
-					s.probe.OnComplete(r, worker.ID)
-					s.onDone(r)
-				}
-				onPreempt = func(r *rpcproto.Request) {
-					s.probe.OnPreempt(r, worker.ID)
-					s.onPreempt(r)
-				}
-			}
-			worker.Start(r, s.HandoffCost, onDone, onPreempt)
-		})
+		s.eng.AfterArg(wait, s.landFns[w], r, 0)
 	}
+}
+
+// land completes a dispatch on worker w: the request leaves the
+// dispatcher and begins executing (after the handoff cost).
+//
+//altolint:hotpath
+func (s *Central) land(r *rpcproto.Request, w int) {
+	s.claimed[w] = false
+	if s.probe != nil {
+		s.probe.OnRun(r, w)
+	}
+	s.workers[w].Start(r, s.HandoffCost, s.doneFns[w], s.preemptFns[w])
 }
 
 func (s *Central) onDone(r *rpcproto.Request) {
@@ -132,7 +157,14 @@ func (s *Central) idleWorker() int {
 }
 
 // QueueLens implements Scheduler.
-func (s *Central) QueueLens() []int { return []int{s.queue.Len()} }
+func (s *Central) QueueLens() []int { return s.QueueLensInto(nil) }
+
+// QueueLensInto implements Scheduler.
+//
+//altolint:hotpath
+func (s *Central) QueueLensInto(buf []int) []int {
+	return append(buf[:0], s.queue.Len()) //altolint:allow hotalloc scratch reuse: buf grows to one element once, then steady-state zero-alloc
+}
 
 // Cores exposes the worker array for utilisation reporting (the
 // dispatcher core is additional and always busy polling).

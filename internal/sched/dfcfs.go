@@ -23,6 +23,9 @@ type DFCFS struct {
 	done    Done
 	obs     Observer
 	probe   Probe
+	// doneFns[i] is core i's completion callback, bound once here so the
+	// per-request path never allocates a closure.
+	doneFns []func(*rpcproto.Request)
 }
 
 // NewDFCFS builds a d-FCFS scheduler over n cores.
@@ -37,8 +40,17 @@ func NewDFCFS(eng *sim.Engine, n int, steerer *nic.Steerer, pickup sim.Time, don
 		done:       done,
 		obs:        NopObserver{},
 	}
+	s.doneFns = make([]func(*rpcproto.Request), n)
 	for i := range s.cores {
 		s.cores[i] = exec.NewCore(eng, i, i)
+		i := i
+		s.doneFns[i] = func(r *rpcproto.Request) {
+			if s.probe != nil {
+				s.probe.OnComplete(r, i)
+			}
+			s.done(r)
+			s.tryStart(i)
+		}
 	}
 	return s
 }
@@ -50,6 +62,8 @@ func (s *DFCFS) SetObserver(o Observer) { s.obs, s.probe = o, ProbeOf(o) }
 func (s *DFCFS) Name() string { return s.Label }
 
 // Deliver implements Scheduler.
+//
+//altolint:hotpath
 func (s *DFCFS) Deliver(r *rpcproto.Request) {
 	q := s.steerer.Steer(r)
 	r.GroupHint = q
@@ -59,6 +73,7 @@ func (s *DFCFS) Deliver(r *rpcproto.Request) {
 	s.tryStart(q)
 }
 
+//altolint:hotpath
 func (s *DFCFS) tryStart(i int) {
 	if s.cores[i].Busy() || s.queues[i].Len() == 0 {
 		return
@@ -68,22 +83,21 @@ func (s *DFCFS) tryStart(i int) {
 		s.probe.OnDequeue(r, i, false)
 		s.probe.OnRun(r, i)
 	}
-	s.cores[i].Start(r, s.PickupCost, func(r *rpcproto.Request) {
-		if s.probe != nil {
-			s.probe.OnComplete(r, i)
-		}
-		s.done(r)
-		s.tryStart(i)
-	}, nil)
+	s.cores[i].Start(r, s.PickupCost, s.doneFns[i], nil)
 }
 
 // QueueLens implements Scheduler.
-func (s *DFCFS) QueueLens() []int {
-	out := make([]int, len(s.queues))
+func (s *DFCFS) QueueLens() []int { return s.QueueLensInto(nil) }
+
+// QueueLensInto implements Scheduler.
+//
+//altolint:hotpath
+func (s *DFCFS) QueueLensInto(buf []int) []int {
+	buf = buf[:0]
 	for i := range s.queues {
-		out[i] = s.queues[i].Len()
+		buf = append(buf, s.queues[i].Len()) //altolint:allow hotalloc scratch reuse: buf grows to core count once, then steady-state zero-alloc
 	}
-	return out
+	return buf
 }
 
 // Cores exposes the core array for utilisation reporting.

@@ -62,6 +62,16 @@ type JBSQ struct {
 	rr         int      // round-robin scan pointer over cores
 	engineFree sim.Time // central engine busy-until
 	draining   bool
+
+	// Callbacks bound once at construction so the per-request path never
+	// allocates a closure: landFns[i] is the NIC-push arg-event trampoline
+	// landing a request in core i's local queue, doneFns/preemptFns are
+	// core i's completion callbacks, resumeFn re-runs drain when the
+	// central engine frees.
+	landFns    []func(any, int64)
+	doneFns    []func(*rpcproto.Request)
+	preemptFns []func(*rpcproto.Request)
+	resumeFn   func()
 }
 
 // NewJBSQ builds a JBSQ(bound) hardware scheduler over n cores. quantum
@@ -83,10 +93,38 @@ func NewJBSQ(eng *sim.Engine, n int, variant JBSQVariant, bound int, xfer, engin
 		done:       done,
 		obs:        NopObserver{},
 	}
+	s.landFns = make([]func(any, int64), n)
+	s.doneFns = make([]func(*rpcproto.Request), n)
+	s.preemptFns = make([]func(*rpcproto.Request), n)
 	for i := range s.cores {
 		s.cores[i] = exec.NewCore(eng, i, i)
 		s.cores[i].Quantum = quantum
 		s.cores[i].PreemptCost = preemptCost
+		i := i
+		s.landFns[i] = func(arg any, _ int64) { s.land(arg.(*rpcproto.Request), i) }
+		s.doneFns[i] = func(r *rpcproto.Request) {
+			s.pending[i]--
+			if s.probe != nil {
+				s.probe.OnComplete(r, i)
+			}
+			s.done(r)
+			s.tryStart(i)
+			s.drain()
+		}
+		s.preemptFns[i] = func(r *rpcproto.Request) {
+			// Preemption (nanoPU): the remainder re-joins this core's
+			// local queue tail so queued shorts run next.
+			if s.probe != nil {
+				s.probe.OnPreempt(r, i)
+				s.probe.OnRequeue(r, 1+i, RequeuePreempt, s.local[i].Len())
+			}
+			s.local[i].PushTail(r)
+			s.tryStart(i)
+		}
+	}
+	s.resumeFn = func() {
+		s.draining = false
+		s.drain()
 	}
 	return s
 }
@@ -98,6 +136,8 @@ func (s *JBSQ) SetObserver(o Observer) { s.obs, s.probe = o, ProbeOf(o) }
 func (s *JBSQ) Name() string { return "jbsq-" + s.Variant.String() }
 
 // Deliver implements Scheduler.
+//
+//altolint:hotpath
 func (s *JBSQ) Deliver(r *rpcproto.Request) {
 	s.obs.OnEnqueue(r, 0, s.central.Len())
 	r.Enq = s.eng.Now()
@@ -113,6 +153,8 @@ func (s *JBSQ) Deliver(r *rpcproto.Request) {
 // view of what those cores are running. A short topped up behind a
 // long-running request is stuck there (the paper's head-of-line critique
 // of SLO-blind JBSQ).
+//
+//altolint:hotpath
 func (s *JBSQ) drain() {
 	for s.central.Len() > 0 {
 		c := s.pickCore()
@@ -125,10 +167,7 @@ func (s *JBSQ) drain() {
 		if s.engineFree > now {
 			if !s.draining {
 				s.draining = true
-				s.eng.At(s.engineFree, func() {
-					s.draining = false
-					s.drain()
-				})
+				s.eng.At(s.engineFree, s.resumeFn)
 			}
 			return
 		}
@@ -139,15 +178,19 @@ func (s *JBSQ) drain() {
 			s.probe.OnDequeue(r, 0, false)
 			s.probe.OnOutstanding(r, c, s.pending[c], s.Bound)
 		}
-		core := s.cores[c]
-		s.eng.After(s.EngineCost+s.XferCost, func() {
-			if s.probe != nil {
-				s.probe.OnRequeue(r, 1+core.ID, RequeueTransfer, s.local[core.ID].Len())
-			}
-			s.local[core.ID].PushTail(r)
-			s.tryStart(core.ID)
-		})
+		s.eng.AfterArg(s.EngineCost+s.XferCost, s.landFns[c], r, 0)
 	}
+}
+
+// land completes a NIC push: the request joins core i's local queue.
+//
+//altolint:hotpath
+func (s *JBSQ) land(r *rpcproto.Request, i int) {
+	if s.probe != nil {
+		s.probe.OnRequeue(r, 1+i, RequeueTransfer, s.local[i].Len())
+	}
+	s.local[i].PushTail(r)
+	s.tryStart(i)
 }
 
 // pickCore returns the next eligible core (outstanding < bound) with the
@@ -171,6 +214,7 @@ func (s *JBSQ) pickCore() int {
 	return best
 }
 
+//altolint:hotpath
 func (s *JBSQ) tryStart(i int) {
 	if s.cores[i].Busy() || s.local[i].Len() == 0 {
 		return
@@ -180,33 +224,19 @@ func (s *JBSQ) tryStart(i int) {
 		s.probe.OnDequeue(r, 1+i, false)
 		s.probe.OnRun(r, i)
 	}
-	s.cores[i].Start(r, 0, func(r *rpcproto.Request) {
-		s.pending[i]--
-		if s.probe != nil {
-			s.probe.OnComplete(r, i)
-		}
-		s.done(r)
-		s.tryStart(i)
-		s.drain()
-	}, func(r *rpcproto.Request) {
-		// Preemption (nanoPU): the remainder re-joins this core's local
-		// queue tail so queued shorts run next.
-		if s.probe != nil {
-			s.probe.OnPreempt(r, i)
-			s.probe.OnRequeue(r, 1+i, RequeuePreempt, s.local[i].Len())
-		}
-		s.local[i].PushTail(r)
-		s.tryStart(i)
-	})
+	s.cores[i].Start(r, 0, s.doneFns[i], s.preemptFns[i])
 }
 
 // QueueLens implements Scheduler: the central queue length followed by
 // per-core outstanding counts.
-func (s *JBSQ) QueueLens() []int {
-	out := make([]int, 0, len(s.pending)+1)
-	out = append(out, s.central.Len())
-	out = append(out, s.pending...)
-	return out
+func (s *JBSQ) QueueLens() []int { return s.QueueLensInto(nil) }
+
+// QueueLensInto implements Scheduler.
+//
+//altolint:hotpath
+func (s *JBSQ) QueueLensInto(buf []int) []int {
+	buf = append(buf[:0], s.central.Len()) //altolint:allow hotalloc scratch reuse: buf grows to 1+cores once, then steady-state zero-alloc
+	return append(buf, s.pending...)       //altolint:allow hotalloc scratch reuse: buf grows to 1+cores once, then steady-state zero-alloc
 }
 
 // Cores exposes the core array for utilisation reporting.

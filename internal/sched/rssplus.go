@@ -27,6 +27,13 @@ type RSSPlus struct {
 	obs     Observer
 	probe   Probe
 	stopped bool
+	// doneFns[i] is core i's completion callback, bound once at
+	// construction so the per-request path never allocates a closure;
+	// coreLoad is the rebalancer's per-core accumulator, reused across
+	// ticks for the same reason.
+	doneFns     []func(*rpcproto.Request)
+	coreLoad    []int
+	rebalanceFn func() // s.rebalance bound once (a method value allocates per evaluation)
 
 	Rebalances uint64
 	MovedBkts  uint64
@@ -50,14 +57,25 @@ func NewRSSPlus(eng *sim.Engine, n, buckets int, pickup, interval sim.Time, done
 		done:       done,
 		obs:        NopObserver{},
 	}
+	s.doneFns = make([]func(*rpcproto.Request), n)
+	s.coreLoad = make([]int, n)
 	for i := range s.cores {
 		s.cores[i] = exec.NewCore(eng, i, i)
+		i := i
+		s.doneFns[i] = func(r *rpcproto.Request) {
+			if s.probe != nil {
+				s.probe.OnComplete(r, i)
+			}
+			s.done(r)
+			s.tryStart(i)
+		}
 	}
 	for b := range s.table {
 		s.table[b] = b % n
 	}
+	s.rebalanceFn = s.rebalance
 	if interval > 0 {
-		eng.After(interval, s.rebalance)
+		eng.After(interval, s.rebalanceFn)
 	}
 	return s
 }
@@ -72,6 +90,8 @@ func (s *RSSPlus) Name() string { return "rss++" }
 func (s *RSSPlus) Stop() { s.stopped = true }
 
 // Deliver implements Scheduler.
+//
+//altolint:hotpath
 func (s *RSSPlus) Deliver(r *rpcproto.Request) {
 	b := int(hashConn(r.Conn)) % s.buckets
 	s.load[b]++
@@ -83,6 +103,7 @@ func (s *RSSPlus) Deliver(r *rpcproto.Request) {
 	s.tryStart(q)
 }
 
+//altolint:hotpath
 func (s *RSSPlus) tryStart(i int) {
 	if s.cores[i].Busy() || s.queues[i].Len() == 0 {
 		return
@@ -92,13 +113,7 @@ func (s *RSSPlus) tryStart(i int) {
 		s.probe.OnDequeue(r, i, false)
 		s.probe.OnRun(r, i)
 	}
-	s.cores[i].Start(r, s.PickupCost, func(r *rpcproto.Request) {
-		if s.probe != nil {
-			s.probe.OnComplete(r, i)
-		}
-		s.done(r)
-		s.tryStart(i)
-	}, nil)
+	s.cores[i].Start(r, s.PickupCost, s.doneFns[i], nil)
 }
 
 // rebalance rewrites the indirection table: buckets are reassigned from
@@ -109,7 +124,7 @@ func (s *RSSPlus) rebalance() {
 		return
 	}
 	defer func() {
-		s.eng.After(s.Interval, s.rebalance)
+		s.eng.After(s.Interval, s.rebalanceFn)
 	}()
 	s.Rebalances++
 	defer func() {
@@ -120,8 +135,12 @@ func (s *RSSPlus) rebalance() {
 
 	// Measured per-core load over the last interval (RSS++ balances on
 	// load estimates, not instantaneous queue depth, which is noisy and
-	// drifts buckets under churn).
-	coreLoad := make([]int, len(s.cores))
+	// drifts buckets under churn). The accumulator is scheduler-owned
+	// scratch so the every-20µs rebalance tick allocates nothing.
+	coreLoad := s.coreLoad
+	for i := range coreLoad {
+		coreLoad[i] = 0
+	}
 	total := 0
 	for b, c := range s.table {
 		coreLoad[c] += s.load[b]
@@ -169,12 +188,17 @@ func (s *RSSPlus) rebalance() {
 }
 
 // QueueLens implements Scheduler.
-func (s *RSSPlus) QueueLens() []int {
-	out := make([]int, len(s.queues))
+func (s *RSSPlus) QueueLens() []int { return s.QueueLensInto(nil) }
+
+// QueueLensInto implements Scheduler.
+//
+//altolint:hotpath
+func (s *RSSPlus) QueueLensInto(buf []int) []int {
+	buf = buf[:0]
 	for i := range s.queues {
-		out[i] = s.queues[i].Len()
+		buf = append(buf, s.queues[i].Len()) //altolint:allow hotalloc scratch reuse: buf grows to core count once, then steady-state zero-alloc
 	}
-	return out
+	return buf
 }
 
 // Cores exposes the core array for utilisation reporting.

@@ -27,6 +27,10 @@ type Steal struct {
 	obs     Observer
 	probe   Probe
 
+	// doneFns[i] is core i's completion callback, bound once at
+	// construction so the per-request path never allocates a closure.
+	doneFns []func(*rpcproto.Request)
+
 	// Stats.
 	Stolen    uint64 // requests moved across cores
 	Delivered uint64
@@ -45,8 +49,17 @@ func NewSteal(eng *sim.Engine, n int, steerer *nic.Steerer, pickup, steal sim.Ti
 		done:       done,
 		obs:        NopObserver{},
 	}
+	s.doneFns = make([]func(*rpcproto.Request), n)
 	for i := range s.cores {
 		s.cores[i] = exec.NewCore(eng, i, i)
+		i := i
+		s.doneFns[i] = func(r *rpcproto.Request) {
+			if s.probe != nil {
+				s.probe.OnComplete(r, i)
+			}
+			s.done(r)
+			s.tryStart(i)
+		}
 	}
 	return s
 }
@@ -58,6 +71,8 @@ func (s *Steal) SetObserver(o Observer) { s.obs, s.probe = o, ProbeOf(o) }
 func (s *Steal) Name() string { return "zygos-steal" }
 
 // Deliver implements Scheduler.
+//
+//altolint:hotpath
 func (s *Steal) Deliver(r *rpcproto.Request) {
 	s.Delivered++
 	q := s.steerer.Steer(r)
@@ -81,6 +96,8 @@ func (s *Steal) Deliver(r *rpcproto.Request) {
 
 // tryStart makes core i pull work: first from its own queue, then by
 // stealing from a random victim.
+//
+//altolint:hotpath
 func (s *Steal) tryStart(i int) {
 	if s.cores[i].Busy() {
 		return
@@ -115,26 +132,26 @@ func (s *Steal) tryStart(i int) {
 	}
 }
 
+//altolint:hotpath
 func (s *Steal) run(i int, r *rpcproto.Request, overhead sim.Time) {
 	if s.probe != nil {
 		s.probe.OnRun(r, i)
 	}
-	s.cores[i].Start(r, overhead, func(r *rpcproto.Request) {
-		if s.probe != nil {
-			s.probe.OnComplete(r, i)
-		}
-		s.done(r)
-		s.tryStart(i)
-	}, nil)
+	s.cores[i].Start(r, overhead, s.doneFns[i], nil)
 }
 
 // QueueLens implements Scheduler.
-func (s *Steal) QueueLens() []int {
-	out := make([]int, len(s.queues))
+func (s *Steal) QueueLens() []int { return s.QueueLensInto(nil) }
+
+// QueueLensInto implements Scheduler.
+//
+//altolint:hotpath
+func (s *Steal) QueueLensInto(buf []int) []int {
+	buf = buf[:0]
 	for i := range s.queues {
-		out[i] = s.queues[i].Len()
+		buf = append(buf, s.queues[i].Len()) //altolint:allow hotalloc scratch reuse: buf grows to core count once, then steady-state zero-alloc
 	}
-	return out
+	return buf
 }
 
 // Cores exposes the core array for utilisation reporting.

@@ -8,11 +8,6 @@ import (
 	"path/filepath"
 	"testing"
 
-	"repro/internal/core"
-	"repro/internal/dist"
-	"repro/internal/nic"
-	"repro/internal/rpcproto"
-	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -28,31 +23,9 @@ var updateGolden = flag.Bool("update", false, "rewrite golden trace files")
 //
 // and review the diff like any other code change.
 func TestGoldenTraces(t *testing.T) {
-	const (
-		cores = 4
-		n     = 250
-	)
-	svc := dist.Exponential{M: sim.Microsecond}
-	rate := dist.LoadForRate(0.7, cores, svc)
-
-	kinds := []SchedulerKind{
-		SchedRSS, SchedIX, SchedZygOS, SchedShinjuku,
-		SchedRPCValet, SchedNebula, SchedNanoPU,
-		SchedAltocumulus, SchedRSSPlus,
-	}
-	for _, kind := range kinds {
+	for _, kind := range goldenKinds() {
 		t.Run(kind.String(), func(t *testing.T) {
-			cfg := Config{
-				Kind: kind, Cores: cores, Stack: rpcproto.StackNanoRPC,
-				Steer: nic.SteerConnection, Seed: 7,
-			}
-			if kind == SchedAltocumulus {
-				cfg.AC = core.DefaultParams(2, 2)
-			}
-			res, err := Run(cfg, Workload{
-				Arrivals: dist.Poisson{Rate: rate}, Service: svc,
-				N: n, Warmup: 0, Conns: 8,
-			})
+			res, err := Run(goldenConfig(kind), goldenWorkload())
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -8,6 +8,7 @@ package server
 import (
 	"fmt"
 
+	"repro/internal/arena"
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/dist"
@@ -92,7 +93,39 @@ type Config struct {
 	// deterministic, so results are identical either way; opt out only
 	// for micro-benchmarks where its bookkeeping overhead matters.
 	NoCheck bool
+
+	// NoArena opts this run out of the request arena: every request is
+	// heap-allocated for its whole lifetime, as in the original
+	// implementation. Results are byte-identical either way (the arena
+	// only changes where request records live); the escape hatch exists
+	// so allocation-sensitive regressions can be bisected against the
+	// plain-heap path (altobench -noarena).
+	NoArena bool
 }
+
+// arenaEnabled is the process-wide default, written once at startup
+// (the altobench -noarena flag) before any run begins — the same
+// contract as check.SetEnabled.
+var arenaEnabled = true
+
+// SetArenaEnabled flips the process-wide arena default. Call it only
+// before runs start (flag parsing); per-run opt-out is Config.NoArena.
+func SetArenaEnabled(on bool) { arenaEnabled = on }
+
+// ArenaEnabled reports the process-wide default.
+func ArenaEnabled() bool { return arenaEnabled }
+
+// Scratch holds per-worker reusable state for a sequence of runs: the
+// request arena (slabs stay warm across runs) and the handle table.
+// A Scratch must not be shared between concurrent runs — internal/fleet
+// gives each pool worker its own via fleet.MapWith.
+type Scratch struct {
+	arena   *arena.Arena
+	handles []arena.RequestID
+}
+
+// NewScratch returns an empty Scratch; slabs grow on first use.
+func NewScratch() *Scratch { return &Scratch{arena: arena.New()} }
 
 // App lets an application bind real work to requests.
 type App interface {
@@ -138,8 +171,95 @@ type Snapshot struct {
 	Lens []int
 }
 
-// Run executes the workload against the configured server.
+// gen drives the lazily-generated arrival chain. All callbacks are
+// bound once at run start and requests ride through the engine as
+// AtArg/AfterArg payloads, so steady-state generation, arrival, and
+// delivery allocate nothing beyond the request records themselves —
+// and with the arena enabled, not even those.
+type gen struct {
+	eng    *sim.Engine
+	s      sched.Scheduler
+	rx     nic.RXModel
+	wl     *Workload
+	arrRNG *sim.RNG
+	svcRNG *sim.RNG
+	res    *Result
+
+	// Arena mode: requests live in ar's slots while in flight and are
+	// copied into the records value slab (which backs res.Requests) at
+	// completion, when every field is final. Heap mode: ar is nil and
+	// each request is a plain allocation kept forever.
+	ar      *arena.Arena
+	handles []arena.RequestID
+	records []rpcproto.Request
+
+	meanSvcSum float64
+	arriveFn   func(arg any, n int64)
+	deliverFn  func(arg any, n int64)
+}
+
+// schedule generates request i (drawing Conn, then Service, then the
+// arrival gap — the RNG order the golden traces lock down) and books
+// its arrival event. Request i+1 is generated inside i's arrival
+// callback, so at most one undelivered request exists at a time.
+//
+//altolint:hotpath
+func (g *gen) schedule(i int, at sim.Time) {
+	if i >= g.wl.N {
+		return
+	}
+	var r *rpcproto.Request
+	if g.ar != nil {
+		r, g.handles[i] = g.ar.Acquire()
+		g.res.Requests[i] = &g.records[i]
+	} else {
+		r = &rpcproto.Request{} //altolint:allow hotalloc the NoArena escape hatch heap-allocates by design
+		g.res.Requests[i] = r
+	}
+	r.ID = uint64(i)
+	r.Conn = uint32(g.arrRNG.Intn(g.wl.Conns))
+	r.Size = 300
+	if g.wl.App != nil {
+		g.wl.App.Prepare(r, g.svcRNG)
+	} else {
+		r.Service = g.wl.Service.Sample(g.svcRNG)
+	}
+	g.meanSvcSum += r.Service.Seconds()
+	// Software stacks charge per-request processing on the core.
+	r.Service += g.rx.CoreStackCost(r.Size)
+	gap := g.wl.Arrivals.NextGap(g.arrRNG)
+	g.eng.AtArg(at, g.arriveFn, r, int64(gap))
+}
+
+// arrive is the bound arrival callback: stamp the arrival, book the
+// NIC delivery, and generate the next request. The event creation
+// order (delivery before next arrival) matches the original closure
+// chain exactly.
+//
+//altolint:hotpath
+func (g *gen) arrive(arg any, gapN int64) {
+	r := arg.(*rpcproto.Request)
+	now := g.eng.Now()
+	r.Arrival = now
+	g.eng.AfterArg(g.rx.Delay(r.Size), g.deliverFn, r, 0)
+	g.schedule(int(r.ID)+1, now+sim.Time(gapN))
+}
+
+//altolint:hotpath
+func (g *gen) deliver(arg any, _ int64) {
+	g.s.Deliver(arg.(*rpcproto.Request))
+}
+
+// Run executes the workload against the configured server with a
+// private, throwaway Scratch.
 func Run(cfg Config, wl Workload) (*Result, error) {
+	return RunWith(nil, cfg, wl)
+}
+
+// RunWith executes the workload reusing sc's arena and buffers across
+// runs (sc == nil allocates a fresh Scratch; pass one only from a
+// single goroutine at a time). Results are independent of sc.
+func RunWith(sc *Scratch, cfg Config, wl Workload) (*Result, error) {
 	if wl.N <= 0 {
 		return nil, fmt.Errorf("server: workload N = %d", wl.N)
 	}
@@ -166,7 +286,25 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 		Requests: make([]*rpcproto.Request, wl.N),
 	}
 
+	g := &gen{eng: eng, wl: &wl, arrRNG: arrRNG, svcRNG: svcRNG, res: res}
+	liveBefore := 0
+	if !cfg.NoArena && ArenaEnabled() {
+		if sc == nil {
+			sc = NewScratch()
+		}
+		g.ar = sc.arena
+		liveBefore = g.ar.Live()
+		if cap(sc.handles) < wl.N {
+			sc.handles = make([]arena.RequestID, wl.N)
+		}
+		g.handles = sc.handles[:wl.N]
+		// The records slab is retained by the Result, so it cannot live
+		// in the Scratch: one allocation per run, not per request.
+		g.records = make([]rpcproto.Request, wl.N)
+	}
+
 	nDone := 0
+	var arenaErr error
 	done := func(r *rpcproto.Request) {
 		nDone++
 		if int(r.ID) >= wl.Warmup {
@@ -174,6 +312,16 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 		}
 		if r.Finish > res.Duration {
 			res.Duration = r.Finish
+		}
+		if g.ar != nil {
+			// Every field is final at completion; snapshot the record,
+			// then recycle the slot. A stale handle here means a request
+			// completed twice — remember the first occurrence and fail
+			// the run after the loop (the checker reports it too).
+			g.records[r.ID] = *r
+			if !g.ar.Release(g.handles[r.ID]) && arenaErr == nil {
+				arenaErr = fmt.Errorf("server: request %d released with stale arena handle", r.ID)
+			}
 		}
 	}
 
@@ -193,43 +341,19 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 	}
 	if chk != nil {
 		s.(interface{ SetObserver(sched.Observer) }).SetObserver(chk)
-		chk.Attach(eng, checkSpecs(cfg), s.QueueLens)
+		chk.Attach(eng, checkSpecs(cfg), s.QueueLensInto)
 	}
 	res.Name = s.Name()
 	if cfg.Kind == SchedAltocumulus {
 		res.Name = "Altocumulus"
 	}
 
-	// Lazily-generated arrival chain: one event in flight at a time.
-	var meanSvcSum float64
-	var schedule func(i int, at sim.Time)
-	schedule = func(i int, at sim.Time) {
-		if i >= wl.N {
-			return
-		}
-		r := &rpcproto.Request{
-			ID:   uint64(i),
-			Conn: uint32(arrRNG.Intn(wl.Conns)),
-			Size: 300,
-		}
-		if wl.App != nil {
-			wl.App.Prepare(r, svcRNG)
-		} else {
-			r.Service = wl.Service.Sample(svcRNG)
-		}
-		meanSvcSum += r.Service.Seconds()
-		// Software stacks charge per-request processing on the core.
-		r.Service += rx.CoreStackCost(r.Size)
-		res.Requests[i] = r
-		gap := wl.Arrivals.NextGap(arrRNG)
-		eng.At(at, func() {
-			r.Arrival = eng.Now()
-			d := rx.Delay(r.Size)
-			eng.After(d, func() { s.Deliver(r) })
-			schedule(i+1, eng.Now()+gap)
-		})
-	}
-	schedule(0, 0)
+	// Lazily-generated arrival chain: one event in flight at a time,
+	// driven by the pre-bound gen callbacks.
+	g.s, g.rx = s, rx
+	g.arriveFn = g.arrive
+	g.deliverFn = g.deliver
+	g.schedule(0, 0)
 
 	if cfg.SnapshotEvery > 0 {
 		var snap func()
@@ -252,6 +376,13 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 				res.Name, wl.N, hardCap, nDone)
 		}
 		eng.Run(eng.Now() + chunk)
+	}
+	if arenaErr != nil {
+		return nil, arenaErr
+	}
+	if g.ar != nil && g.ar.Live() != liveBefore {
+		return nil, fmt.Errorf("server: %s leaked %d arena requests",
+			res.Name, g.ar.Live()-liveBefore)
 	}
 	if ac, ok := s.(*core.Scheduler); ok {
 		ac.Stop()
@@ -281,7 +412,7 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 
 	res.SLO = cfg.SLO
 	if res.SLO == 0 {
-		meanSvc := sim.FromSeconds(meanSvcSum / float64(wl.N))
+		meanSvc := sim.FromSeconds(g.meanSvcSum / float64(wl.N))
 		res.SLO = sim.Time(cfg.SLOMult * float64(meanSvc))
 	}
 	res.Summary = res.Lat.Summarize(res.SLO)

@@ -8,12 +8,23 @@ package sim
 // index, not pointer: scheduling recycles slots through a free list, so
 // the steady-state event loop allocates nothing. The generation counter
 // guards recycled slots against stale EventIDs.
+//
+// An event carries either a plain thunk (act) or an argument-taking
+// callback (actArg) with its payload (arg, argN). The second form exists
+// so hot paths can schedule work against a callback allocated once at
+// construction time instead of closing over per-request state: a
+// `func(){ use(r) }` literal heap-allocates a closure every call, while
+// AtArg(t, boundFn, r, 0) writes the request pointer into the recycled
+// event slot and allocates nothing.
 type event struct {
-	at   Time
-	seq  uint64
-	act  func()
-	gen  uint32
-	dead bool
+	at     Time
+	seq    uint64
+	act    func()
+	actArg func(arg any, n int64)
+	arg    any
+	argN   int64
+	gen    uint32
+	dead   bool
 }
 
 // EventID identifies a scheduled event so it can be cancelled. The zero
@@ -39,6 +50,8 @@ func (id EventID) Cancel() {
 	}
 	ev.dead = true
 	ev.act = nil
+	ev.actArg = nil
+	ev.arg = nil
 	e.pending--
 	// Compact once dead entries dominate, so cancellation-heavy
 	// schedulers (JBSQ re-arms, manager period timers) cannot grow the
@@ -100,6 +113,27 @@ func (e *Engine) alloc(t Time, f func()) int32 {
 	return i
 }
 
+// allocArg is alloc for argument-carrying events.
+func (e *Engine) allocArg(t Time, f func(any, int64), arg any, n int64) int32 {
+	var i int32
+	if fl := len(e.free); fl > 0 {
+		i = e.free[fl-1]
+		e.free = e.free[:fl-1]
+	} else {
+		e.events = append(e.events, event{})
+		i = int32(len(e.events) - 1)
+	}
+	ev := &e.events[i]
+	ev.at = t
+	ev.seq = e.seq
+	ev.actArg = f
+	ev.arg = arg
+	ev.argN = n
+	ev.dead = false
+	e.seq++
+	return i
+}
+
 // release recycles a slab slot after its event fired, was cancelled, or
 // was dropped by compaction. The generation bump invalidates outstanding
 // EventIDs for the slot.
@@ -107,6 +141,8 @@ func (e *Engine) release(i int32) {
 	ev := &e.events[i]
 	ev.gen++
 	ev.act = nil
+	ev.actArg = nil
+	ev.arg = nil // drop the payload reference so the GC can reclaim it
 	ev.dead = false
 	e.free = append(e.free, i)
 }
@@ -132,6 +168,31 @@ func (e *Engine) After(d Time, f func()) EventID {
 	return e.At(e.now+d, f)
 }
 
+// AtArg schedules f(arg, n) at absolute time t. Unlike At, the callback
+// and its payload travel in the event slot itself, so a callback bound
+// once at construction time can be scheduled repeatedly with per-call
+// state and no closure allocation. Pass pointers through arg — storing a
+// pointer in an interface does not allocate, while non-pointer values
+// (including ints ≥ 256) would box. Small integers ride in n.
+func (e *Engine) AtArg(t Time, f func(arg any, n int64), arg any, n int64) EventID {
+	if t < e.now {
+		t = e.now
+	}
+	i := e.allocArg(t, f, arg, n)
+	gen := e.events[i].gen
+	e.push(i)
+	e.pending++
+	return EventID{eng: e, gen: gen, idx: i}
+}
+
+// AfterArg schedules f(arg, n) to run d after the current time.
+func (e *Engine) AfterArg(d Time, f func(arg any, n int64), arg any, n int64) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return e.AtArg(e.now+d, f, arg, n)
+}
+
 // Stop makes Run return after the current event completes.
 func (e *Engine) Stop() { e.stop = true }
 
@@ -154,11 +215,15 @@ func (e *Engine) Run(until Time) uint64 {
 		}
 		e.pending--
 		e.now = ev.at
-		act := ev.act
-		// Recycle before running: act may schedule new events into this
-		// very slot, and ev is invalid once the slab grows.
+		act, actArg, arg, argN := ev.act, ev.actArg, ev.arg, ev.argN
+		// Recycle before running: the callback may schedule new events into
+		// this very slot, and ev is invalid once the slab grows.
 		e.release(i)
-		act()
+		if act != nil {
+			act()
+		} else {
+			actArg(arg, argN)
+		}
 		n++
 		e.nEvent++
 	}
@@ -183,9 +248,13 @@ func (e *Engine) RunAll() uint64 {
 		}
 		e.pending--
 		e.now = ev.at
-		act := ev.act
+		act, actArg, arg, argN := ev.act, ev.actArg, ev.arg, ev.argN
 		e.release(i)
-		act()
+		if act != nil {
+			act()
+		} else {
+			actArg(arg, argN)
+		}
 		n++
 		e.nEvent++
 	}

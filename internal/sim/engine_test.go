@@ -426,3 +426,108 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 	}
 	e.RunAll()
 }
+
+func TestEngineArgEvents(t *testing.T) {
+	e := NewEngine()
+	type rec struct {
+		at  Time
+		tag string
+		n   int64
+	}
+	var got []rec
+	payload := &struct{ name string }{"p"}
+	record := func(arg any, n int64) {
+		got = append(got, rec{e.Now(), arg.(*struct{ name string }).name, n})
+	}
+	// Arg events interleave with plain events in strict (time, seq) order.
+	e.AtArg(20*Nanosecond, record, payload, 2)
+	e.At(10*Nanosecond, func() { got = append(got, rec{e.Now(), "plain", 0}) })
+	e.AfterArg(10*Nanosecond, record, payload, 1) // same time as the plain event, later seq
+	e.AfterArg(-5*Nanosecond, record, payload, 0) // negative delay clamps to now
+	n := e.RunAll()
+	if n != 4 {
+		t.Fatalf("RunAll processed %d events, want 4", n)
+	}
+	want := []rec{
+		{0, "p", 0},
+		{10 * Nanosecond, "plain", 0},
+		{10 * Nanosecond, "p", 1},
+		{20 * Nanosecond, "p", 2},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if e.Processed() != 4 {
+		t.Fatalf("Processed = %d, want 4", e.Processed())
+	}
+}
+
+func TestEngineArgPastClamped(t *testing.T) {
+	e := NewEngine()
+	var at Time = -1
+	e.At(10*Nanosecond, func() {
+		e.AtArg(Nanosecond, func(any, int64) { at = e.Now() }, nil, 0)
+	})
+	e.RunAll()
+	if at != 10*Nanosecond {
+		t.Fatalf("past arg event ran at %v, want clamped to 10ns", at)
+	}
+}
+
+func TestEngineArgCancelDropsPayload(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	payload := &struct{ x int }{1}
+	id := e.AtArg(10*Nanosecond, func(any, int64) { fired = true }, payload, 7)
+	idx := id.idx
+	id.Cancel()
+	if e.events[idx].arg != nil || e.events[idx].actArg != nil {
+		t.Fatal("cancel must drop the payload and callback references")
+	}
+	e.RunAll()
+	if fired {
+		t.Fatal("cancelled arg event fired")
+	}
+	// The released slot must recycle cleanly into a plain event.
+	ran := false
+	id2 := e.After(Nanosecond, func() { ran = true })
+	if id2.idx != idx {
+		t.Fatalf("expected slot %d to recycle, got %d", idx, id2.idx)
+	}
+	e.RunAll()
+	if !ran {
+		t.Fatal("recycled slot did not fire")
+	}
+}
+
+func TestEngineArgFiringClearsSlot(t *testing.T) {
+	e := NewEngine()
+	payload := &struct{ x int }{1}
+	id := e.AtArg(Nanosecond, func(any, int64) {}, payload, 0)
+	idx := id.idx
+	e.RunAll()
+	if ev := &e.events[idx]; ev.arg != nil || ev.actArg != nil || ev.act != nil {
+		t.Fatal("fired arg event must not retain its payload or callbacks")
+	}
+}
+
+func TestEngineArgEventsDoNotAllocate(t *testing.T) {
+	// The whole point of AtArg/AfterArg: a bound callback plus a pointer
+	// payload plus an int64 side channel schedules with zero allocations
+	// (pointers in `any` do not box; the slab recycles slots).
+	e := NewEngine()
+	f := func(any, int64) {}
+	payload := &struct{ x int }{1}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.AfterArg(Nanosecond, f, payload, 300)
+		e.RunAll()
+	})
+	if allocs != 0 {
+		t.Fatalf("arg event schedule+fire allocates %v times per op, want 0", allocs)
+	}
+}

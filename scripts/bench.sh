@@ -3,12 +3,17 @@
 #
 # Runs the benchmarks that gate the two perf-critical paths:
 #
-#   EngineEvents   bare event-loop push/pop cost; allocs/op must be 0
-#                  (the slab + free-list heap recycles every event slot)
-#   Fig10Serial    full Fig. 10 quick regeneration at fleet width 1
-#   Fig10Par4      same at fleet width 4; the derived
-#                  fig10_par4_speedup ratio records cross-run scaling
-#                  (~1.0 on a single core, >=2 expected on 4+ cores)
+#   EngineEvents      bare event-loop push/pop cost; allocs/op must be 0
+#                     (the slab + free-list heap recycles every event slot)
+#   RequestLifecycle  the steady-state per-request path end to end on a
+#                     warm Scratch; ns/req and the (per-run, amortized)
+#                     allocs/op record the zero-alloc lifecycle
+#   QueueLens/*       scratch-buffer queue snapshots per scheduler;
+#                     allocs/op must be 0
+#   Fig10Serial       full Fig. 10 quick regeneration at fleet width 1
+#   Fig10Par4         same at fleet width 4; the derived
+#                     fig10_par4_speedup ratio records cross-run scaling
+#                     (~1.0 on a single core, >=2 expected on 4+ cores)
 #
 # The text output is converted to JSON by cmd/benchjson. CI runs this as
 # a non-gating step: the numbers land in the job log and the committed
@@ -23,7 +28,7 @@ raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' \
-    -bench 'BenchmarkEngineEvents$|BenchmarkFig10Serial$|BenchmarkFig10Par4$' \
+    -bench 'BenchmarkEngineEvents$|BenchmarkRequestLifecycle$|BenchmarkQueueLens|BenchmarkFig10Serial$|BenchmarkFig10Par4$' \
     -benchmem -benchtime "${BENCHTIME:-1s}" . | tee "$raw"
 
 go run ./cmd/benchjson <"$raw" >BENCH_sim.json

@@ -18,6 +18,11 @@
 #                      scale with the online invariant checker attached
 #                      (runs through the cross-run fleet at GOMAXPROCS
 #                      width, so this is fast on CI runners)
+#   9. alloc guard     a quick run of the zero-alloc benchmarks compared
+#                      against the committed BENCH_sim.json; any hot
+#                      path that regresses from 0 allocs/op prints a
+#                      WARNING (non-gating: timing noise never blocks a
+#                      merge, but new steady-state allocation is loud)
 #
 # Fails fast on the first broken step.
 #
@@ -76,6 +81,19 @@ go test ./internal/trace -run '^$' -fuzz '^FuzzTraceRoundTrip$' -fuzztime 15s >/
 
 echo "== altobench smoke (all experiments, quick scale, invariant checker on)"
 go run ./cmd/altobench -exp all -scale quick -check >/dev/null
+
+echo "== zero-alloc regression guard (non-gating)"
+if [[ -f BENCH_sim.json ]]; then
+    allocraw=$(mktemp)
+    go test -run '^$' -bench 'BenchmarkEngineEvents$|BenchmarkQueueLens' \
+        -benchmem -benchtime 10000x . >"$allocraw" 2>&1 || true
+    if ! go run ./cmd/benchjson -regress BENCH_sim.json <"$allocraw"; then
+        echo "WARNING: steady-state alloc regression (see above); refresh BENCH_sim.json via scripts/bench.sh if intended" >&2
+    fi
+    rm -f "$allocraw"
+else
+    echo "   BENCH_sim.json missing; skipping"
+fi
 
 if [[ "${CHECK_FULL_PARITY:-0}" == "1" ]]; then
     echo "== full-registry serial/parallel parity"
