@@ -10,6 +10,7 @@ package altocumulus
 // b.ReportMetric where meaningful.
 
 import (
+	"net"
 	"testing"
 	"time"
 
@@ -18,7 +19,9 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fabric"
 	"repro/internal/fleet"
+	"repro/internal/live"
 	"repro/internal/nic"
+	"repro/internal/policy"
 	"repro/internal/rpcproto"
 	"repro/internal/sched"
 	"repro/internal/server"
@@ -196,6 +199,111 @@ func BenchmarkQueueLens(b *testing.B) {
 			}
 			_ = buf
 		})
+	}
+}
+
+// policyTick runs one manager's complete per-tick decision sequence —
+// threshold from the Erlang-C model, Decide over the view, batch sizing,
+// the Algorithm 1 guard and migrate-once counting for every planned
+// destination — on warm caller scratch. Both engines run exactly this
+// sequence every Period, so it must not allocate.
+func policyTick(model *policy.ThresholdModel, view []int, self int, offered float64, order, dests []int) int {
+	t := model.Threshold(offered)
+	_, _, plan := policy.Decide(view, self, t, 16, 3, true, order, dests)
+	planned := 0
+	batch := policy.BatchSize(16, len(plan))
+	for _, dst := range plan {
+		if !policy.GuardAllows(view[self], view[dst], batch) {
+			continue
+		}
+		planned += policy.MigratableCount(view[self], batch, func(i int) bool { return false })
+	}
+	return planned
+}
+
+// BenchmarkPolicyTick measures the engine-agnostic decision core's
+// per-tick cost. Watch allocs/op: it must be 0 (TestPolicyTickZeroAlloc
+// is the hard gate; this records the ns/op trend in BENCH_sim.json).
+func BenchmarkPolicyTick(b *testing.B) {
+	model := policy.NewThresholdModel(15, 10)
+	views := [4][]int{
+		{42, 3, 7, 1, 9, 2, 5, 4},       // hill
+		{12, 14, 0, 13, 15, 12, 14, 13}, // valley
+		{29, 25, 20, 16, 11, 7, 4, 1},   // pairing staircase
+		{6, 5, 6, 5, 6, 5, 6, 5},        // balanced: threshold path only
+	}
+	order := make([]int, 0, 8)
+	dests := make([]int, 0, 8)
+	sink := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := views[i%4]
+		sink += policyTick(model, v, i%len(v), 0.5+float64(i%8), order, dests)
+	}
+	_ = sink
+}
+
+// TestPolicyTickZeroAlloc is the hard zero-allocation gate on the
+// policy core's per-tick path (the benchmark only records the trend).
+func TestPolicyTickZeroAlloc(t *testing.T) {
+	model := policy.NewThresholdModel(15, 10)
+	view := []int{42, 3, 7, 1, 9, 2, 5, 4}
+	order := make([]int, 0, len(view))
+	dests := make([]int, 0, len(view))
+	// Warm the scratch and the threshold memo outside the measurement.
+	policyTick(model, view, 0, 3.5, order, dests)
+	if avg := testing.AllocsPerRun(100, func() {
+		policyTick(model, view, 0, 3.5, order, dests)
+	}); avg != 0 {
+		t.Fatalf("policy tick allocates %.1f times per run, want 0", avg)
+	}
+}
+
+// BenchmarkLiveLoopback measures the real goroutine runtime end to end:
+// TCP loopback, rpcproto framing, manager dispatch, policy-driven
+// migration, response matching. One iteration is a full 20k-request
+// open-loop run; RPS is the headline metric.
+func BenchmarkLiveLoopback(b *testing.B) {
+	const n = 20000
+	for i := 0; i < b.N; i++ {
+		rt, err := live.New(live.Config{
+			Groups: 2, WorkersPerGroup: 2, Expected: n,
+		}, live.EchoHandler{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt.Start()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		wait := live.NewServer(rt).ServeBackground(ln)
+		res, err := live.RunLoadgen(live.LoadgenConfig{
+			Addr: ln.Addr().String(), Conns: 8, Requests: n,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rt.Drain(30 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+		rt.Close()
+		rep := rt.Report()
+		if err := wait(); err != nil {
+			b.Fatal(err)
+		}
+		if err := rep.Check.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if res.Received != n {
+			b.Fatalf("received %d of %d", res.Received, n)
+		}
+	}
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)*n/elapsed, "rpc/s")
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/n, "ns/rpc")
 	}
 }
 

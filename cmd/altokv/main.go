@@ -36,11 +36,10 @@ func main() {
 	)
 	flag.Parse()
 
-	groups := *cores / 16
-	if groups < 1 {
-		groups = 1
+	groups, wpg, err := core.GroupLayout(*cores)
+	if err != nil {
+		fail("%v", err)
 	}
-	wpg := *cores/groups - 1
 
 	store, err := mica.NewStore(mica.Config{
 		Partitions:       groups,

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestCoresMustTile runs main with -cores 65 in a subprocess and checks
+// that the flag is rejected with a nonzero exit and an error naming the
+// leftover core, instead of silently stranding it.
+func TestCoresMustTile(t *testing.T) {
+	if os.Getenv("ALTOKV_TEST_MAIN") == "1" {
+		os.Args = []string{"altokv", "-cores", "65"}
+		main()
+		return
+	}
+	cmd := exec.Command(os.Args[0], "-test.run", "TestCoresMustTile")
+	cmd.Env = append(os.Environ(), "ALTOKV_TEST_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("main accepted -cores 65; output:\n%s", out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("subprocess failed to run: %v", err)
+	}
+	if ee.ExitCode() != 2 {
+		t.Fatalf("exit code %d, want 2; output:\n%s", ee.ExitCode(), out)
+	}
+	msg := string(out)
+	if !strings.Contains(msg, "1 cores left over") {
+		t.Fatalf("error does not name the remainder:\n%s", msg)
+	}
+	if !strings.Contains(msg, "65 cores") {
+		t.Fatalf("error does not name the offending flag value:\n%s", msg)
+	}
+}

@@ -1,0 +1,181 @@
+// Command altoserve runs the live ALTOCUMULUS runtime end to end on
+// this machine: a TCP server scheduling real goroutine groups with the
+// same policy core the simulator uses (threshold, patterns, guarded
+// MIGRATE batches), a MICA-backed key-value service, and an open-loop
+// load generator. It reports achieved throughput, client-side
+// p50/p99/p99.9 latency, the runtime's migration counters, and the
+// conservation verdict.
+//
+// Usage:
+//
+//	altoserve -groups 2 -workers 4 -n 200000 -rate 300000
+//	altoserve -service spin:500 -groups 4 -conns 16 -n 500000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/live"
+	"repro/internal/mica"
+	"repro/internal/rpcproto"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:0", "listen address")
+		groups  = flag.Int("groups", 2, "manager groups")
+		workers = flag.Int("workers", 4, "workers per group")
+		depth   = flag.Int("depth", 2, "bounded outstanding requests per worker")
+		period  = flag.Duration("period", 200*time.Microsecond, "manager tick period")
+		bulk    = flag.Int("bulk", 16, "migration bulk B")
+		conc    = flag.Int("concurrency", 0, "migration concurrency (default groups-1)")
+		sloMult = flag.Float64("slo-mult", 10, "SLO multiplier L of the threshold model")
+		fifo    = flag.Int("fifo", 4, "inbound migration FIFO capacity (batches)")
+		noPat   = flag.Bool("no-patterns", false, "disable Hill/Valley/Pairing triggering")
+		noGuard = flag.Bool("no-guard", false, "disable the q[src]-S >= q[dst]+S guard")
+
+		service = flag.String("service", "kv", "service: kv | echo | spin:<iters>")
+		keys    = flag.Int("keys", 10000, "preloaded keys (kv service)")
+		valLen  = flag.Int("vallen", 128, "value size in bytes (kv service)")
+		setFrac = flag.Int("sets", 10, "SET percentage of the kv mix (rest GET)")
+
+		n     = flag.Int("n", 200000, "requests to offer")
+		conns = flag.Int("conns", 8, "load-generator connections")
+		rate  = flag.Float64("rate", 0, "offered RPCs/sec (0 = as fast as possible)")
+	)
+	flag.Parse()
+
+	handler, prepare, err := buildService(*service, *keys, *valLen, *setFrac, *groups)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	rt, err := live.New(live.Config{
+		Groups:          *groups,
+		WorkersPerGroup: *workers,
+		WorkerDepth:     *depth,
+		Period:          *period,
+		Bulk:            *bulk,
+		Concurrency:     *conc,
+		SLOMult:         *sloMult,
+		MigrateFIFO:     *fifo,
+		DisablePatterns: *noPat,
+		DisableGuard:    *noGuard,
+		Expected:        *n,
+	}, handler)
+	if err != nil {
+		fail("%v", err)
+	}
+	rt.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail("%v", err)
+	}
+	srv := live.NewServer(rt)
+	wait := srv.ServeBackground(ln)
+
+	res, err := live.RunLoadgen(live.LoadgenConfig{
+		Addr:     ln.Addr().String(),
+		Conns:    *conns,
+		Requests: *n,
+		RateRPS:  *rate,
+		Prepare:  prepare,
+	})
+	if err != nil {
+		fail("loadgen: %v", err)
+	}
+	if err := rt.Drain(30 * time.Second); err != nil {
+		fail("%v", err)
+	}
+	rt.Close()
+	rep := rt.Report()
+	if err := wait(); err != nil {
+		fail("serve: %v", err)
+	}
+
+	fmt.Printf("altoserve: %d groups x %d workers (depth %d), period %v, service %s\n",
+		*groups, *workers, *depth, *period, *service)
+	fmt.Printf("client      %d requests over %d conns in %v (%.0f RPS achieved)\n",
+		res.Received, *conns, res.Elapsed.Round(time.Millisecond), res.AchievedRPS)
+	fmt.Printf("latency     p50=%v p99=%v p99.9=%v max=%v\n", res.P50, res.P99, res.P999, res.Max)
+	fmt.Printf("runtime     ticks=%d migrations=%d migrated=%d nacked=%d guard-skips=%d\n",
+		rep.Stats.Ticks, rep.Stats.Migrations, rep.Stats.MigratedReqs,
+		rep.Stats.NackedReqs, rep.Stats.GuardSkips)
+	fmt.Printf("patterns    hill=%d valley=%d pairing=%d threshold=%d\n",
+		rep.Stats.HillEvents, rep.Stats.ValleyEvents, rep.Stats.PairingEvents, rep.Stats.ThresholdEvts)
+	if err := rep.Check.Err(); err != nil {
+		fail("invariants: %v", err)
+	}
+	fmt.Printf("invariants  conservation + migrate-once clean (%d checks, delivered=%d completed=%d)\n",
+		rep.Check.Checks, rep.Check.Delivered, rep.Check.Completed)
+	if res.BadStatus > 0 {
+		fail("%d requests returned an error status", res.BadStatus)
+	}
+}
+
+// buildService constructs the handler and the matching loadgen request
+// mix for the -service flag.
+func buildService(spec string, keys, valLen, setFrac, partitions int) (live.Handler, func(*rpcproto.Request, int, int), error) {
+	name, arg, _ := strings.Cut(spec, ":")
+	switch name {
+	case "echo":
+		return live.EchoHandler{}, nil, nil
+	case "spin":
+		iters := 200
+		if arg != "" {
+			v, err := strconv.Atoi(arg)
+			if err != nil || v < 0 {
+				return nil, nil, fmt.Errorf("bad spin iteration count %q", arg)
+			}
+			iters = v
+		}
+		return live.SpinHandler{Iters: iters}, nil, nil
+	case "kv":
+		store, err := mica.NewStore(mica.Config{
+			Partitions:       partitions,
+			BucketsPerPart:   1 << 12,
+			EntriesPerBucket: 8,
+			LogBytesPerPart:  64 << 20 / int64(partitions),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		val := make([]byte, valLen)
+		for i := range val {
+			val[i] = byte('a' + i%26)
+		}
+		key := func(i int) []byte { return []byte(fmt.Sprintf("key-%08d", i)) }
+		for i := 0; i < keys; i++ {
+			if err := store.Set(key(i), val); err != nil {
+				return nil, nil, err
+			}
+		}
+		prepare := func(r *rpcproto.Request, conn, seq int) {
+			// Deterministic mix: no RNG so two runs offer identical
+			// request streams.
+			k := key((seq*2654435761 + conn*40503) % keys)
+			if setFrac > 0 && seq%100 < setFrac {
+				r.Op = rpcproto.OpSet
+				r.Payload = live.EncodeSet(k, val)
+			} else {
+				r.Op = rpcproto.OpGet
+				r.Payload = k
+			}
+		}
+		return live.NewKVHandler(store), prepare, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown service %q (want kv, echo, or spin:<iters>)", spec)
+	}
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "altoserve: "+format+"\n", args...)
+	os.Exit(2)
+}

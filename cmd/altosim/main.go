@@ -45,7 +45,7 @@ func main() {
 		load      = flag.Float64("load", 0.8, "offered load fraction of worker capacity")
 		n         = flag.Int("n", 100000, "requests to simulate")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
-		groups    = flag.Int("groups", 0, "altocumulus groups (default cores/16, min 1)")
+		groups    = flag.Int("groups", 0, "altocumulus groups (default: tile cores into 16-core groups)")
 		period    = flag.Duration("period", 200*time.Nanosecond, "altocumulus migration period")
 		bulk      = flag.Int("bulk", 16, "altocumulus migration bulk")
 		conc      = flag.Int("concurrency", 8, "altocumulus migration concurrency")
@@ -67,16 +67,9 @@ func main() {
 		Steer: nic.SteerConnection, Seed: *seed}
 	workers := *cores
 	if kind == server.SchedAltocumulus {
-		g := *groups
-		if g <= 0 {
-			g = *cores / 16
-			if g < 1 {
-				g = 1
-			}
-		}
-		wpg := *cores/g - 1
-		if wpg < 1 {
-			fail("cores=%d cannot host %d groups with at least one worker each", *cores, g)
+		g, wpg, err := acLayout(*cores, *groups)
+		if err != nil {
+			fail("%v", err)
 		}
 		p := core.DefaultParams(g, wpg)
 		p.Period = sim.Time(period.Nanoseconds()) * sim.Nanosecond
@@ -187,6 +180,20 @@ func parseDist(spec string) (dist.ServiceDist, error) {
 	default:
 		return nil, fmt.Errorf("unknown distribution %q", name)
 	}
+}
+
+// acLayout resolves the -cores/-groups pair for the ALTOCUMULUS
+// scheduler. An explicit -groups overrides the tiling; otherwise cores
+// must split into the paper's 16-core groups exactly.
+func acLayout(cores, groups int) (g, wpg int, err error) {
+	if groups > 0 {
+		wpg = cores/groups - 1
+		if wpg < 1 {
+			return 0, 0, fmt.Errorf("cores=%d cannot host %d groups with at least one worker each", cores, groups)
+		}
+		return groups, wpg, nil
+	}
+	return core.GroupLayout(cores)
 }
 
 func fail(format string, args ...interface{}) {

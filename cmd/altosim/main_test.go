@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestACLayout pins the -cores/-groups resolution: the 16-core tiling
+// by default, explicit -groups as an override, and loud failures for
+// both bad shapes.
+func TestACLayout(t *testing.T) {
+	g, wpg, err := acLayout(64, 0)
+	if err != nil || g != 4 || wpg != 15 {
+		t.Fatalf("acLayout(64, 0) = (%d, %d, %v), want (4, 15, nil)", g, wpg, err)
+	}
+	g, wpg, err = acLayout(64, 2)
+	if err != nil || g != 2 || wpg != 31 {
+		t.Fatalf("acLayout(64, 2) = (%d, %d, %v), want (2, 31, nil)", g, wpg, err)
+	}
+	if _, _, err = acLayout(100, 0); err == nil || !strings.Contains(err.Error(), "4 cores left over") {
+		t.Fatalf("acLayout(100, 0) = %v, want remainder-naming error", err)
+	}
+	if _, _, err = acLayout(8, 0); err == nil {
+		t.Fatal("acLayout(8, 0) accepted fewer cores than one group")
+	}
+	if _, _, err = acLayout(4, 4); err == nil {
+		t.Fatal("acLayout(4, 4) accepted groups with zero workers")
+	}
+}
+
+// TestCoresMustTile runs main with -cores 100 in a subprocess: the flag
+// must be rejected through the real flag path with the remainder named.
+func TestCoresMustTile(t *testing.T) {
+	if os.Getenv("ALTOSIM_TEST_MAIN") == "1" {
+		os.Args = []string{"altosim", "-sched", "altocumulus", "-cores", "100"}
+		main()
+		return
+	}
+	cmd := exec.Command(os.Args[0], "-test.run", "TestCoresMustTile")
+	cmd.Env = append(os.Environ(), "ALTOSIM_TEST_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("main accepted -cores 100; output:\n%s", out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("subprocess failed to run: %v", err)
+	}
+	if ee.ExitCode() != 2 {
+		t.Fatalf("exit code %d, want 2; output:\n%s", ee.ExitCode(), out)
+	}
+	if msg := string(out); !strings.Contains(msg, "4 cores left over") {
+		t.Fatalf("error does not name the remainder:\n%s", msg)
+	}
+}

@@ -87,6 +87,27 @@ type Params struct {
 	NaiveThreshold    bool // predict with T = k*L+1 instead of the Erlang-C model (§IV's naive baseline)
 }
 
+// GroupWidth is the paper's tile width: one manager core plus fifteen
+// workers per group (§III). Machine sizes are expressed in multiples of
+// it.
+const GroupWidth = 16
+
+// GroupLayout resolves a total core count into (groups,
+// workersPerGroup) under the paper's fixed 16-core tiling. Counts that
+// do not tile evenly are rejected with the remainder named, so a bad
+// -cores flag fails loudly instead of silently stranding cores.
+func GroupLayout(cores int) (groups, workersPerGroup int, err error) {
+	if cores < GroupWidth {
+		return 0, 0, fmt.Errorf("core: %d cores cannot form a %d-core group (need a positive multiple of %d)",
+			cores, GroupWidth, GroupWidth)
+	}
+	if rem := cores % GroupWidth; rem != 0 {
+		return 0, 0, fmt.Errorf("core: %d cores does not tile into %d-core groups: %d cores left over (use a multiple of %d)",
+			cores, GroupWidth, rem, GroupWidth)
+	}
+	return cores / GroupWidth, GroupWidth - 1, nil
+}
+
 // DefaultParams returns the configuration the paper found robust for
 // synthetic traffic (§VIII-C): Period 200 ns, Bulk 16, Concurrency 8.
 func DefaultParams(groups, workersPerGroup int) Params {

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGroupLayout pins the 16-core tiling and its failure modes: every
+// rejection must name the remainder (or the shortfall) so the -cores
+// flag error is actionable.
+func TestGroupLayout(t *testing.T) {
+	cases := []struct {
+		cores       int
+		groups, wpg int
+		errContains string
+	}{
+		{16, 1, 15, ""},
+		{32, 2, 15, ""},
+		{64, 4, 15, ""},
+		{1024, 64, 15, ""},
+		{0, 0, 0, "cannot form"},
+		{15, 0, 0, "cannot form"},
+		{-16, 0, 0, "cannot form"},
+		{17, 0, 0, "1 cores left over"},
+		{65, 0, 0, "1 cores left over"},
+		{100, 0, 0, "4 cores left over"},
+		{255, 0, 0, "15 cores left over"},
+	}
+	for _, c := range cases {
+		g, wpg, err := GroupLayout(c.cores)
+		if c.errContains == "" {
+			if err != nil || g != c.groups || wpg != c.wpg {
+				t.Errorf("GroupLayout(%d) = (%d, %d, %v), want (%d, %d, nil)",
+					c.cores, g, wpg, err, c.groups, c.wpg)
+			}
+			if g*(wpg+1) != c.cores {
+				t.Errorf("GroupLayout(%d): %d groups x %d cores loses cores", c.cores, g, wpg+1)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.errContains) {
+			t.Errorf("GroupLayout(%d) err = %v, want mention of %q", c.cores, err, c.errContains)
+		}
+	}
+}

@@ -1,147 +1,49 @@
 package core
 
+import "repro/internal/policy"
+
+// The §VI queue-vector classification moved to the engine-agnostic
+// internal/policy package so the live runtime shares the exact decision
+// bytes with the simulator. These aliases keep core's historical surface
+// for tests and experiments; new code should import policy directly.
+
 // Pattern is the queue-length-vector classification of §VI.
-type Pattern int
+type Pattern = policy.Pattern
 
 const (
 	// PatternNone: no imbalance pattern detected.
-	PatternNone Pattern = iota
+	PatternNone = policy.PatternNone
 	// PatternHill: one queue towers over the rest; its owner fans work
 	// out to the shortest queues.
-	PatternHill
+	PatternHill = policy.PatternHill
 	// PatternValley: one queue is far below the rest; every other
 	// manager sends one MIGRATE toward it.
-	PatternValley
+	PatternValley = policy.PatternValley
 	// PatternPairing: a gradual imbalance; the i-th longest queue pairs
 	// with the i-th shortest.
-	PatternPairing
+	PatternPairing = policy.PatternPairing
 )
 
-func (p Pattern) String() string {
-	switch p {
-	case PatternHill:
-		return "hill"
-	case PatternValley:
-		return "valley"
-	case PatternPairing:
-		return "pairing"
-	default:
-		return "none"
-	}
-}
-
 // Classify runs the §VI pattern classification for manager `self` over
-// the synchronized queue-length vector. It returns the detected pattern
-// and the destination queue ids this manager should send MIGRATEs to
-// (empty when the pattern assigns this manager no role). bulk is the
-// imbalance threshold; conc caps the fan-out.
-//
-// The function is pure so that all managers, seeing the same vector,
-// reach consistent decisions — the property §VI relies on ("each
-// manager's pattern classification gives the same pattern result").
+// the synchronized queue-length vector. See policy.Classify.
 func Classify(view []int, self, bulk, conc int) (Pattern, []int) {
-	return ClassifyInto(view, self, bulk, conc, nil, nil)
+	return policy.Classify(view, self, bulk, conc)
 }
 
-// ClassifyInto is Classify with caller-provided scratch: order holds the
-// rank permutation, dests the returned destination set (both reused from
-// length 0). The every-Period manager tick uses scheduler-owned scratch
-// so classification allocates nothing.
-//
-//altolint:hotpath
+// ClassifyInto is Classify with caller-provided scratch. See
+// policy.ClassifyInto.
 func ClassifyInto(view []int, self, bulk, conc int, order, dests []int) (Pattern, []int) {
-	n := len(view)
-	if n < 2 || self < 0 || self >= n {
-		return PatternNone, nil
-	}
-	if conc > n-1 {
-		conc = n - 1
-	}
-	if conc < 1 {
-		conc = 1
-	}
-	order = rankDescendingInto(view, order)
-	longest, second := order[0], order[1]
-	shortest, secondShortest := order[n-1], order[n-2]
-
-	switch {
-	case view[longest] >= view[second]+bulk:
-		// Hill: only the peak's owner acts.
-		if self != longest {
-			return PatternHill, nil
-		}
-		dests = dests[:0]
-		for i := n - 1; i >= 0 && len(dests) < conc; i-- {
-			if d := order[i]; d != self {
-				dests = append(dests, d) //altolint:allow hotalloc scratch reuse: dests is caller scratch sized to Groups, grows once
-			}
-		}
-		return PatternHill, dests
-	case view[shortest]+bulk <= view[secondShortest]:
-		// Valley: everyone except the dip's owner sends one MIGRATE
-		// toward it.
-		if self == shortest {
-			return PatternValley, nil
-		}
-		return PatternValley, append(dests[:0], shortest) //altolint:allow hotalloc scratch reuse: dests is caller scratch sized to Groups, grows once
-	case view[longest]-view[shortest] >= bulk:
-		// Pairing: top-i longest pairs with i-th shortest, i < conc.
-		for i := 0; i < conc && i < n/2; i++ {
-			if order[i] != self {
-				continue
-			}
-			d := order[n-1-i]
-			if d != self && view[self] > view[d] {
-				return PatternPairing, append(dests[:0], d) //altolint:allow hotalloc scratch reuse: dests is caller scratch sized to Groups, grows once
-			}
-			return PatternPairing, nil
-		}
-		return PatternPairing, nil
-	}
-	return PatternNone, nil
-}
-
-// rankDescendingInto writes queue indices ordered by length descending
-// into order (reused from length 0), ties broken by lower index for
-// cross-manager determinism.
-//
-//altolint:hotpath
-func rankDescendingInto(view, order []int) []int {
-	n := len(view)
-	order = order[:0]
-	for i := 0; i < n; i++ {
-		order = append(order, i) //altolint:allow hotalloc scratch reuse: order is caller scratch sized to Groups, grows once
-	}
-	for i := 1; i < n; i++ {
-		for j := i; j > 0; j-- {
-			a, b := order[j-1], order[j]
-			if view[b] > view[a] || (view[b] == view[a] && b < a) {
-				order[j-1], order[j] = order[j], order[j-1]
-			} else {
-				break
-			}
-		}
-	}
-	return order
+	return policy.ClassifyInto(view, self, bulk, conc, order, dests)
 }
 
 // ShortestOthers returns up to k queue ids with the smallest lengths,
-// excluding self — the destination set for threshold-triggered sheds.
+// excluding self. See policy.ShortestOthers.
 func ShortestOthers(view []int, self, k int) []int {
-	return ShortestOthersInto(view, self, k, nil, nil)
+	return policy.ShortestOthers(view, self, k)
 }
 
-// ShortestOthersInto is ShortestOthers with caller-provided scratch
-// (same contract as ClassifyInto).
-//
-//altolint:hotpath
+// ShortestOthersInto is ShortestOthers with caller-provided scratch.
+// See policy.ShortestOthersInto.
 func ShortestOthersInto(view []int, self, k int, order, out []int) []int {
-	order = rankDescendingInto(view, order)
-	out = out[:0]
-	for i := len(order) - 1; i >= 0 && len(out) < k; i-- {
-		if d := order[i]; d != self {
-			out = append(out, d) //altolint:allow hotalloc scratch reuse: out is caller scratch sized to Groups, grows once
-		}
-	}
-	return out
+	return policy.ShortestOthersInto(view, self, k, order, out)
 }

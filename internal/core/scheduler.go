@@ -7,7 +7,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/hwmsg"
 	"repro/internal/nic"
-	"repro/internal/queueing"
+	"repro/internal/policy"
 	"repro/internal/rpcproto"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -56,7 +56,7 @@ func updateLand(arg any, n int64) {
 type Scheduler struct {
 	P     Params
 	Cost  fabric.CostModel
-	Model *queueing.ThresholdModel
+	Model *policy.ThresholdModel
 	Meter *LoadMeter
 
 	eng    *sim.Engine
@@ -91,7 +91,7 @@ func New(eng *sim.Engine, p Params, cost fabric.CostModel, steer *nic.Steerer, d
 	s := &Scheduler{
 		P:     p,
 		Cost:  cost,
-		Model: queueing.NewThresholdModel(p.WorkersPerGroup, p.SLOMultiplier),
+		Model: policy.NewThresholdModel(p.WorkersPerGroup, p.SLOMultiplier),
 		Meter: NewLoadMeter(),
 		eng:   eng,
 		noc:   topo.NewNoC(mesh),
@@ -331,9 +331,9 @@ func (s *Scheduler) tick(g *group) {
 
 	// Charge the runtime's software/hardware interface cost on the
 	// manager core: one register read per remote queue length, a status
-	// read, a config write, plus the threshold computation.
-	ops := s.P.Groups + 2
-	runtimeCost := sim.Time(ops)*s.Cost.InterfaceOp(s.P.Iface) + s.Cost.PredictCost()
+	// read, a config write, plus the threshold computation. The cost
+	// arithmetic lives in policy so the live runtime charges identically.
+	runtimeCost := sim.Time(policy.TickCost(s.P.Groups, s.Cost.Policy(), s.P.Iface))
 	now := s.eng.Now()
 	if g.mgrFree < now {
 		g.mgrFree = now
@@ -345,10 +345,7 @@ func (s *Scheduler) tick(g *group) {
 	// shorter than the runtime cost (e.g. MSR ops at a 100 ns period) the
 	// effective period stretches, capping the runtime's manager-core duty
 	// cycle at 50% so request dispatch is never starved.
-	next := g.pr.Period
-	if min := 2 * runtimeCost; next < min {
-		next = min
-	}
+	next := sim.Time(policy.EffectivePeriod(policy.Duration(g.pr.Period), policy.Duration(runtimeCost)))
 	s.eng.After(next, g.tickFn)
 
 	// Refresh own view entry and broadcast UPDATE to the other managers.
@@ -393,41 +390,29 @@ func (s *Scheduler) tick(g *group) {
 	}
 }
 
-// decide implements predict(): returns the migration destination queue
-// ids per the threshold condition and the Hill/Valley/Pairing pattern
-// classification of §VI.
+// decide implements predict() by delegating to policy.Decide: the
+// migration destination queue ids per the threshold condition and the
+// Hill/Valley/Pairing pattern classification of §VI. core's only job is
+// feeding the synchronized view and folding the outcome into Stats.
 func (s *Scheduler) decide(g *group, t, qlen int) []int {
 	view := g.view
 	view[g.id] = qlen
-	conc := g.pr.Concurrency
-	if conc > len(s.groups)-1 {
-		conc = len(s.groups) - 1
-	}
-
-	// A pattern that assigns this manager a role takes precedence over
-	// the bare threshold trigger (predict() returns on either condition).
-	if !s.P.DisablePatterns {
-		pattern, dests := ClassifyInto(view, g.id, g.pr.Bulk, conc, s.orderScratch, s.destScratch)
-		if len(dests) > 0 {
-			switch pattern {
-			case PatternHill:
-				s.Stats.HillEvents++
-			case PatternValley:
-				s.Stats.ValleyEvents++
-			case PatternPairing:
-				s.Stats.PairingEvents++
-			}
-			return dests
+	trigger, pattern, dests := policy.Decide(view, g.id, t, g.pr.Bulk, g.pr.Concurrency,
+		!s.P.DisablePatterns, s.orderScratch, s.destScratch)
+	switch trigger {
+	case policy.TriggerPattern:
+		switch pattern {
+		case PatternHill:
+			s.Stats.HillEvents++
+		case PatternValley:
+			s.Stats.ValleyEvents++
+		case PatternPairing:
+			s.Stats.PairingEvents++
 		}
-	}
-
-	// Threshold condition: local queue beyond T sheds to the shortest
-	// queues.
-	if qlen > t {
+	case policy.TriggerThreshold:
 		s.Stats.ThresholdEvts++
-		return ShortestOthersInto(view, g.id, conc, s.orderScratch, s.destScratch)
 	}
-	return nil
+	return dests
 }
 
 // sendMigrate builds and injects one MIGRATE of up to batch requests from
@@ -439,36 +424,37 @@ func (s *Scheduler) sendMigrate(g, dst *group, batch int) {
 	// Algorithm 1 line 8: forbid migrations that would leave the
 	// destination no better off.
 	srcLen, dstView := g.netrx.Len(), g.view[dst.id]
-	if !s.P.DisableGuard {
-		if srcLen-batch < dstView+batch {
-			s.Stats.GuardSkips++
-			return
-		}
+	if !s.P.DisableGuard && !policy.GuardAllows(srcLen, dstView, batch) {
+		s.Stats.GuardSkips++
+		return
 	}
 	if s.probe != nil {
 		s.probe.OnMigrate(g.id, dst.id, srcLen, dstView, batch, !s.P.DisableGuard)
 	}
 	// Collect migratable requests. The paper's policy takes them from
 	// the tail (deepest-queued: the predicted violators); SelectHead is
-	// the ablation counterpoint. The migrate-once restriction stops
-	// collection at the first already-migrated candidate.
+	// the ablation counterpoint. policy.MigratableCount applies the
+	// migrate-once restriction: collection stops at the first
+	// already-migrated candidate.
 	fromTail := s.P.Select != SelectHead
-	reqs := make([]*rpcproto.Request, 0, batch)
-	for len(reqs) < batch {
+	count := policy.MigratableCount(srcLen, batch, func(i int) bool {
 		var r *rpcproto.Request
 		if fromTail {
-			r = g.netrx.PeekTail()
+			r = g.netrx.At(srcLen - 1 - i)
 		} else {
-			r = g.netrx.PeekHead()
+			r = g.netrx.At(i)
 		}
-		if r == nil || (r.Migrated && !s.P.AllowRemigration) {
-			break
-		}
+		return r.Migrated && !s.P.AllowRemigration
+	})
+	reqs := make([]*rpcproto.Request, 0, batch)
+	for len(reqs) < count {
+		var r *rpcproto.Request
 		if fromTail {
-			reqs = append(reqs, g.netrx.PopTail())
+			r = g.netrx.PopTail()
 		} else {
-			reqs = append(reqs, g.netrx.PopHead())
+			r = g.netrx.PopHead()
 		}
+		reqs = append(reqs, r)
 		if s.probe != nil {
 			s.probe.OnDequeue(r, g.id, fromTail)
 		}

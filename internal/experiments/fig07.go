@@ -6,6 +6,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/exec"
 	"repro/internal/fleet"
+	"repro/internal/policy"
 	"repro/internal/queueing"
 	"repro/internal/report"
 	"repro/internal/rpcproto"
@@ -90,14 +91,14 @@ func runFig07(scale Scale, seed uint64) ([]report.Table, error) {
 		"violations begin at moderate occupancy and saturate well below k*L+1, matching Fig. 7(a-c)")
 
 	// (d): measured first-violation T across loads vs the linear
-	// transformation of E[Nq], fitted by queueing.Calibrate.
-	model := queueing.NewThresholdModel(cores, l)
+	// transformation of E[Nq], fitted by policy.Calibrate.
+	model := policy.NewThresholdModel(cores, l)
 	fitT := report.Table{
 		ID:    "fig07",
 		Title: "E[T] model vs measured first-violation T (Bi-modal distribution)",
 		Cols:  []string{"load", "E[Nq]", "measured-T", "model-T"},
 	}
-	var pts []queueing.CalibrationPoint
+	var pts []policy.CalibrationPoint
 	// Loads where violation onset is actually reachable in finite runs;
 	// the bimodal's dispersion gives a load-dependent onset suitable for
 	// fitting Eqn. 2 (the paper fits per distribution).
@@ -112,7 +113,7 @@ func runFig07(scale Scale, seed uint64) ([]report.Table, error) {
 	}
 	for i, load := range loads {
 		if measured[i] > 0 { // a zero means no violation was observed at this load
-			pts = append(pts, queueing.CalibrationPoint{Offered: load * cores, ObservedT: float64(measured[i])})
+			pts = append(pts, policy.CalibrationPoint{Offered: load * cores, ObservedT: float64(measured[i])})
 		}
 	}
 	if err := model.Calibrate(pts); err != nil {

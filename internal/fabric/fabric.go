@@ -7,27 +7,25 @@
 // run ablations.
 package fabric
 
-import "repro/internal/sim"
+import (
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
 
 // Interface selects how the software runtime talks to the scheduling
-// hardware (§VI "Software-Hardware Interface").
-type Interface int
+// hardware (§VI "Software-Hardware Interface"). It is an alias of the
+// engine-agnostic policy.Iface so the simulator and the live runtime
+// share one cost model.
+type Interface = policy.Iface
 
 const (
 	// InterfaceISA uses the custom altom_* instructions: direct
 	// register-level micro-ops, ~2 cycles each.
-	InterfaceISA Interface = iota
+	InterfaceISA = policy.IfaceISA
 	// InterfaceMSR uses rdmsr/wrmsr syscalls, ~100 cycles each on
 	// Sandybridge-EP per the paper.
-	InterfaceMSR
+	InterfaceMSR = policy.IfaceMSR
 )
-
-func (i Interface) String() string {
-	if i == InterfaceMSR {
-		return "MSR"
-	}
-	return "ISA"
-}
 
 // Attach selects how the NIC reaches the cores.
 type Attach int
@@ -125,17 +123,27 @@ func (c CostModel) NICTransfer(a Attach, size int) sim.Time {
 	return c.PCIeTransfer(size)
 }
 
+// Policy returns the engine-agnostic slice of the cost model: the
+// software/hardware interface constants shared with internal/policy.
+// policy.Cycles mirrors sim.Cycles bit-for-bit, so delegating through
+// it changes no simulated timestamp.
+func (c CostModel) Policy() policy.CostModel {
+	return policy.CostModel{
+		ClockHz:       c.ClockHz,
+		ISAOpCycles:   c.ISAOpCycles,
+		MSROpCycles:   c.MSROpCycles,
+		PredictCycles: c.PredictCycles,
+	}
+}
+
 // InterfaceOp returns the cost of one software/hardware interface
 // operation (a register read or write of the scheduling hardware).
 func (c CostModel) InterfaceOp(i Interface) sim.Time {
-	if i == InterfaceMSR {
-		return sim.Cycles(c.MSROpCycles, c.ClockHz)
-	}
-	return sim.Cycles(c.ISAOpCycles, c.ClockHz)
+	return sim.Time(c.Policy().InterfaceOp(i))
 }
 
 // PredictCost returns the per-period cost of running the SLO-violation
 // prediction (threshold computation + comparisons, §VIII-E).
 func (c CostModel) PredictCost() sim.Time {
-	return sim.Cycles(c.PredictCycles, c.ClockHz)
+	return sim.Time(c.Policy().PredictCost())
 }

@@ -11,6 +11,7 @@ package hwmsg
 import (
 	"errors"
 
+	"repro/internal/policy"
 	"repro/internal/rpcproto"
 	"repro/internal/sim"
 )
@@ -193,14 +194,8 @@ func (p *ParamRegs) Configure(period sim.Time, bulk, concurrency int) {
 }
 
 // BatchSize returns S = Bulk/Concurrency, the per-MIGRATE request count
-// (§V-A), at least 1.
+// (§V-A), at least 1. The arithmetic lives in policy.BatchSize so both
+// runtime consumers size batches identically.
 func (p *ParamRegs) BatchSize() int {
-	if p.Concurrency <= 0 {
-		return p.Bulk
-	}
-	s := p.Bulk / p.Concurrency
-	if s < 1 {
-		s = 1
-	}
-	return s
+	return policy.BatchSize(p.Bulk, p.Concurrency)
 }

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// AnalyzerEngineFree enforces the contract of internal/policy: the
+// engine-agnostic decision core must be callable from both the
+// discrete-event simulator and the live goroutine runtime, so it may
+// depend on neither execution engine. Concretely the package must not
+//
+//   - import internal/sim (directly or transitively) or any other
+//     repo-internal engine package except internal/queueing, the pure
+//     math it is built on;
+//   - read the wall clock (time is a caller-supplied argument or a
+//     policy.Clock);
+//   - use goroutines, channels, or sync primitives (the callers own
+//     their concurrency models);
+//   - draw randomness (decisions are a pure function of their inputs).
+//
+// The simulator consumes policy under sim.Time, the live runtime under
+// the monotonic clock; any engine dependency here would silently couple
+// the two or make one consumer's determinism claims unverifiable.
+var AnalyzerEngineFree = &Analyzer{
+	Name: "enginefree",
+	Doc:  "forbid engine, clock, concurrency, and randomness dependencies in internal/policy",
+	Applies: func(p *Package) bool {
+		return strings.HasSuffix(p.Path, "/internal/policy")
+	},
+	Run: runEngineFree,
+}
+
+// engineFreeImportAllowed lists the repo-internal import suffixes the
+// policy core may use: only the closed-form queueing math.
+var engineFreeImportAllowed = map[string]bool{
+	"/internal/queueing": true,
+}
+
+func runEngineFree(pass *Pass) {
+	// Imports: no engine packages, directly or transitively. The direct
+	// check anchors the finding to the offending import line; the
+	// transitive walk catches sim arriving through an intermediary.
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if !strings.Contains(path, "/internal/") {
+				continue // stdlib
+			}
+			suffix := path[strings.LastIndex(path, "/internal/"):]
+			if !engineFreeImportAllowed[suffix] {
+				pass.Reportf(imp.Pos(),
+					"import of %s in the engine-free policy core; only internal/queueing (pure math) is allowed", path)
+			}
+		}
+	}
+	if importsSimTransitively(pass.Pkg) {
+		pass.Reportf(pass.Pkg.Files[0].Name.Pos(),
+			"package transitively imports internal/sim; the policy core must stay engine-free")
+	}
+
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement in the engine-free policy core; callers own their concurrency model")
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send in the engine-free policy core; return values instead")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive in the engine-free policy core; take inputs as arguments")
+				}
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select statement in the engine-free policy core; decisions must be pure functions")
+			case *ast.SelectorExpr:
+				pn := pass.PkgNameOf(n.X)
+				if pn == nil {
+					return true
+				}
+				switch pn.Imported().Path() {
+				case "sync", "sync/atomic":
+					pass.Reportf(n.Pos(),
+						"%s.%s in the engine-free policy core; both consumers serialize policy calls themselves",
+						pn.Imported().Name(), n.Sel.Name)
+				case "time":
+					if obj := pass.Pkg.Info.Uses[n.Sel]; obj != nil {
+						if _, isFunc := obj.(*types.Func); isFunc && timeForbidden[n.Sel.Name] {
+							pass.Reportf(n.Pos(),
+								"time.%s in the engine-free policy core; time is a caller-supplied argument (policy.Duration / policy.Clock)",
+								n.Sel.Name)
+						}
+					}
+				case "math/rand", "math/rand/v2":
+					pass.Reportf(n.Pos(),
+						"rand.%s in the engine-free policy core; decisions must be a pure function of their inputs",
+						n.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// importsSimTransitively reports whether the package reaches
+// internal/sim through any import chain. Unlike Package.ImportsSim it
+// does not treat the policy package's own path as sim.
+func importsSimTransitively(p *Package) bool {
+	if p.Types == nil {
+		return false
+	}
+	seen := make(map[string]bool)
+	var walk func(t *types.Package) bool
+	walk = func(t *types.Package) bool {
+		for _, imp := range t.Imports() {
+			path := imp.Path()
+			if seen[path] {
+				continue
+			}
+			seen[path] = true
+			if strings.HasSuffix(path, "/internal/sim") {
+				return true
+			}
+			if walk(imp) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(p.Types)
+}

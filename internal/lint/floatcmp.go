@@ -8,7 +8,8 @@ import (
 )
 
 // AnalyzerFloatCmp flags == and != between floating-point operands in
-// the math-heavy packages (internal/queueing, internal/stats). Queueing
+// the math-heavy packages (internal/queueing, internal/stats, and
+// internal/policy, which hosts the Erlang-C threshold model). Queueing
 // formulas chain divisions and exponentials, so two mathematically
 // equal quantities rarely compare bit-equal; an exact comparison there
 // is almost always a latent bug that manifests as a plateau or
@@ -19,7 +20,8 @@ var AnalyzerFloatCmp = &Analyzer{
 	Doc:  "flag exact floating-point equality in numeric packages",
 	Applies: func(p *Package) bool {
 		return strings.HasSuffix(p.Path, "/internal/queueing") ||
-			strings.HasSuffix(p.Path, "/internal/stats")
+			strings.HasSuffix(p.Path, "/internal/stats") ||
+			strings.HasSuffix(p.Path, "/internal/policy")
 	},
 	Run: runFloatCmp,
 }

@@ -77,6 +77,45 @@ func TestFleetBoundary(t *testing.T) {
 	}
 }
 
+// TestLiveBoundary covers the second sanctioned simsync opt-in, the
+// live goroutine runtime, with the same three-way split as the fleet
+// boundary: sanctioned path + reasoned directive is exempt, a copycat
+// keeps its findings plus the directive finding, and a reason-less
+// directive is a finding.
+func TestLiveBoundary(t *testing.T) {
+	loader := testLoader(t)
+
+	ok, err := loader.LoadDir(filepath.Join("testdata", "liveboundary", "internal", "live"))
+	if err != nil {
+		t.Fatalf("loading boundary testdata: %v", err)
+	}
+	checkExpectations(t, ok, RunAnalyzer(AnalyzerSimSync, ok))
+
+	copycat, err := loader.LoadDir(filepath.Join("testdata", "livecopycat"))
+	if err != nil {
+		t.Fatalf("loading copycat testdata: %v", err)
+	}
+	checkExpectations(t, copycat, RunAnalyzer(AnalyzerSimSync, copycat))
+
+	noreason, err := loader.LoadDir(filepath.Join("testdata", "livenoreason"))
+	if err != nil {
+		t.Fatalf("loading noreason testdata: %v", err)
+	}
+	diags := RunAnalyzer(AnalyzerSimSync, noreason)
+	var gotMissing, gotGo bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "live-boundary directive is missing a reason") {
+			gotMissing = true
+		}
+		if strings.Contains(d.Message, "go statement") {
+			gotGo = true
+		}
+	}
+	if !gotMissing || !gotGo || len(diags) != 2 {
+		t.Fatalf("reason-less live-boundary directive: got %v, want the missing-reason finding plus the go-statement finding", diags)
+	}
+}
+
 var wantRE = regexp.MustCompile(`// want (".*")\s*$`)
 var wantStrRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
 

@@ -148,6 +148,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		AnalyzerDetNow,
 		AnalyzerSimSync,
+		AnalyzerEngineFree,
 		AnalyzerMapIter,
 		AnalyzerFloatCmp,
 		AnalyzerSimTime,

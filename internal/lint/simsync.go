@@ -14,14 +14,17 @@ import (
 // engine state or injects OS-scheduler ordering into what must be a
 // strict (time, seq) event order — both break reproducibility.
 //
-// One package is allowed to cross the boundary: internal/fleet, the
+// Two packages are allowed to cross the boundary: internal/fleet, the
 // cross-run worker pool, whose concurrency is strictly BETWEEN whole
-// simulations (each owning a private engine and RNG tree). The opt-in
-// is explicit and double-keyed: the package must carry a
-// //altolint:fleet-boundary <reason> directive AND live at
-// internal/fleet. A directive anywhere else is itself a finding, and
-// its package's concurrency findings still stand — the boundary cannot
-// be claimed by a copycat.
+// simulations (each owning a private engine and RNG tree), and
+// internal/live, the real goroutine runtime, whose concurrency IS the
+// system under study and which never touches a sim.Engine. Each opt-in
+// is explicit and double-keyed: the package must carry its boundary
+// directive (//altolint:fleet-boundary <reason> or
+// //altolint:live-boundary <reason>) AND live at the matching path. A
+// directive anywhere else is itself a finding, and its package's
+// concurrency findings still stand — a boundary cannot be claimed by a
+// copycat.
 var AnalyzerSimSync = &Analyzer{
 	Name:    "simsync",
 	Doc:     "forbid goroutines, channel ops, and sync primitives in sim-driven packages",
@@ -29,11 +32,30 @@ var AnalyzerSimSync = &Analyzer{
 	Run:     runSimSync,
 }
 
-const fleetBoundaryPrefix = "altolint:fleet-boundary"
+// simBoundary is one sanctioned concurrency opt-out of the simsync
+// contract.
+type simBoundary struct {
+	directive  string // comment prefix after "//"
+	pathSuffix string // required import-path suffix
+	outsideMsg string // finding when the directive appears elsewhere
+}
 
-// fleetBoundaryDirective returns the position and reason of the first
-// //altolint:fleet-boundary directive in the package, or token.NoPos.
-func fleetBoundaryDirective(pkg *Package) (token.Pos, string) {
+var simBoundaries = []simBoundary{
+	{
+		directive:  "altolint:fleet-boundary",
+		pathSuffix: "/internal/fleet",
+		outsideMsg: "fleet-boundary directive outside internal/fleet: only the cross-run worker pool may use concurrency",
+	},
+	{
+		directive:  "altolint:live-boundary",
+		pathSuffix: "/internal/live",
+		outsideMsg: "live-boundary directive outside internal/live: only the live goroutine runtime may use concurrency",
+	},
+}
+
+// boundaryDirective returns the position and reason of the first
+// //<directive> comment in the package, or token.NoPos.
+func boundaryDirective(pkg *Package, directive string) (token.Pos, string) {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -41,7 +63,7 @@ func fleetBoundaryDirective(pkg *Package) (token.Pos, string) {
 				if !ok {
 					continue
 				}
-				rest, ok := strings.CutPrefix(strings.TrimSpace(text), fleetBoundaryPrefix)
+				rest, ok := strings.CutPrefix(strings.TrimSpace(text), directive)
 				if !ok {
 					continue
 				}
@@ -52,25 +74,29 @@ func fleetBoundaryDirective(pkg *Package) (token.Pos, string) {
 	return token.NoPos, ""
 }
 
-// isFleetBoundaryPath reports whether the import path is the sanctioned
-// worker-pool package. Golden-test packages under
-// testdata/.../internal/fleet qualify by the same suffix rule.
-func isFleetBoundaryPath(path string) bool {
-	return strings.HasSuffix(path, "/internal/fleet")
-}
-
 func runSimSync(pass *Pass) {
-	if pos, reason := fleetBoundaryDirective(pass.Pkg); pos != token.NoPos {
+	exempt := false
+	for _, b := range simBoundaries {
+		pos, reason := boundaryDirective(pass.Pkg, b.directive)
+		if pos == token.NoPos {
+			continue
+		}
+		// Golden-test packages under testdata/.../internal/<name>
+		// qualify by the same suffix rule as the real package.
 		switch {
 		case reason == "":
-			pass.Reportf(pos, "fleet-boundary directive is missing a reason")
-		case !isFleetBoundaryPath(pass.Pkg.Path):
-			pass.Reportf(pos, "fleet-boundary directive outside internal/fleet: only the cross-run worker pool may use concurrency")
+			pass.Reportf(pos, "%s directive is missing a reason", strings.TrimPrefix(b.directive, "altolint:"))
+		case !strings.HasSuffix(pass.Pkg.Path, b.pathSuffix):
+			pass.Reportf(pos, "%s", b.outsideMsg)
 		default:
-			// The sanctioned boundary: concurrency between runs is
-			// legal here, so the package is exempt from simsync.
-			return
+			// The sanctioned boundary: the package is exempt from
+			// simsync, though a malformed second directive above still
+			// reports.
+			exempt = true
 		}
+	}
+	if exempt {
+		return
 	}
 	for _, f := range pass.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {

@@ -1,0 +1,45 @@
+// Package enginefreetest exercises the enginefree analyzer: the policy
+// core may not depend on an execution engine — no sim import, no wall
+// clock, no concurrency, no randomness.
+package enginefreetest // want "transitively imports internal/sim"
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/queueing"
+	"repro/internal/sim" // want "import of repro/internal/sim in the engine-free policy core"
+)
+
+type decider struct {
+	mu   sync.Mutex // want "sync.Mutex in the engine-free policy core"
+	last sim.Time
+}
+
+func (d *decider) decide(view []int) int {
+	now := time.Now() // want "time.Now in the engine-free policy core"
+	_ = now
+	// Pure duration arithmetic stays legal: only clock reads are engine
+	// dependencies.
+	var pause time.Duration = time.Millisecond
+	_ = pause
+	jitter := rand.Intn(8) // want "rand.Intn in the engine-free policy core"
+	return len(view) + jitter + int(queueing.ExpectedQueueLength(4, 2))
+}
+
+func (d *decider) fanout(ch chan int) {
+	go d.drain(ch) // want "go statement in the engine-free policy core"
+	ch <- 1        // want "channel send in the engine-free policy core"
+	<-ch           // want "channel receive in the engine-free policy core"
+	select {       // want "select statement in the engine-free policy core"
+	case v := <-ch: // want "channel receive in the engine-free policy core"
+		_ = v
+	default:
+	}
+}
+
+func (d *decider) drain(ch chan int) {
+	for range ch {
+	}
+}

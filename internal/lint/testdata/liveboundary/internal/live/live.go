@@ -1,0 +1,34 @@
+// Package live mirrors the real goroutine runtime for the golden test:
+// a correctly placed, correctly reasoned live-boundary directive
+// exempts the package from simsync, so none of the concurrency below is
+// a finding.
+package live
+
+//altolint:live-boundary real scheduling runtime; concurrency is the subject under test
+
+import "sync"
+
+func serve(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	work := make(chan int, n)
+	stop := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				case i := <-work:
+					fn(i)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(stop)
+	wg.Wait()
+}

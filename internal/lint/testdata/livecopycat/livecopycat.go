@@ -1,0 +1,12 @@
+// Package livecopycat claims the live-boundary exemption from the
+// wrong place: the directive names a reason but the package is not
+// internal/live, so the directive is a finding and the concurrency
+// findings all stand.
+package livecopycat
+
+//altolint:live-boundary we also run goroutines // want "live-boundary directive outside internal/live"
+
+func sneak(ch chan int) {
+	go func() { ch <- 1 }() // want "go statement in a sim-driven package" "channel send in a sim-driven package"
+	<-ch                    // want "channel receive in a sim-driven package"
+}

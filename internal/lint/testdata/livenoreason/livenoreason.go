@@ -1,0 +1,12 @@
+// Package livenoreason carries a reason-less live-boundary directive:
+// an exemption without a recorded justification is itself a finding,
+// and the concurrency findings stand. (Expectations for this package
+// live in TestLiveBoundary, not in want comments: a trailing want
+// comment here would itself read as the directive's reason.)
+package livenoreason
+
+//altolint:live-boundary
+
+func leak() {
+	go func() {}()
+}

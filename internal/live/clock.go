@@ -1,0 +1,54 @@
+package live
+
+import (
+	"time"
+
+	"repro/internal/policy"
+)
+
+// This file is the live runtime's only wall-clock surface: every
+// time.Now / time.Since / timer / sleep in the package lives here,
+// behind the policy.Clock seam, so the rest of the runtime (and the
+// policy core it calls) stays clock-free and the detnow lint exceptions
+// are confined to one reviewable place.
+
+// wallClock implements policy.Clock over the host monotonic clock,
+// reporting picoseconds since its construction epoch.
+type wallClock struct {
+	base time.Time
+}
+
+func newWallClock() *wallClock {
+	return &wallClock{base: time.Now()} //altolint:allow detnow live-runtime epoch; all wall-clock reads are confined to clock.go
+}
+
+// Now returns the monotonic elapsed time since the epoch.
+func (c *wallClock) Now() policy.Duration {
+	ns := time.Since(c.base).Nanoseconds() //altolint:allow detnow monotonic read behind the policy.Clock seam
+	return policy.Duration(ns) * policy.Nanosecond
+}
+
+// wallDuration converts a policy duration to the host representation,
+// rounding up to 1ns so a positive policy duration never becomes a
+// zero timer.
+func wallDuration(d policy.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	ns := int64(d / policy.Nanosecond)
+	if ns < 1 {
+		ns = 1
+	}
+	return time.Duration(ns) * time.Nanosecond
+}
+
+// newTickTimer returns a running timer for the manager's period pacing.
+func newTickTimer(d time.Duration) *time.Timer {
+	return time.NewTimer(d) //altolint:allow detnow manager tick pacing; the period timer is the live runtime's clock edge
+}
+
+// sleepBriefly backs off a polling loop (Drain, connection teardown)
+// without burning a core.
+func sleepBriefly() {
+	time.Sleep(100 * time.Microsecond) //altolint:allow detnow bounded poll backoff in drain paths
+}

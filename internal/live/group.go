@@ -1,0 +1,287 @@
+package live
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/policy"
+)
+
+// migBatch is a MIGRATE message: a batch of tasks moving from one
+// group's NetRX tail to another's. The bounded migIn channel it travels
+// on is the receive FIFO of §V; a full channel is a NACK and the batch
+// returns to the source tail without replay.
+type migBatch struct {
+	src   int
+	tasks []*task
+}
+
+// lgroup is one scheduling group: a run queue, one manager goroutine
+// and W workers. All fields below the counters comment are owned by the
+// manager goroutine; the run queue is shared under mu; metering fields
+// are atomics fed by producers and workers.
+type lgroup struct {
+	rt *Runtime
+	id int
+
+	mu sync.Mutex
+	q  taskDeque // NetRX: producers push tail, manager pops head/tail
+
+	wake  chan struct{} // capacity 1: work arrived or worker freed
+	migIn chan *migBatch
+
+	workers []*worker
+
+	// Metering (written outside the manager).
+	arrivals atomic.Uint64 // total requests steered here
+	svcSumNS atomic.Int64  // total handler time executed by this group's workers
+	svcCount atomic.Int64
+
+	// Manager-owned policy state and scratch.
+	model        *policy.ThresholdModel
+	periodPS     policy.Duration
+	view         []int // queue-length vector, rebuilt each tick from the board
+	order, dests []int // policy.Decide scratch
+	lastTickAt   policy.Duration
+	lastArrivals uint64
+	nextWorker   int // round-robin dispatch cursor among equally-loaded workers
+
+	// Counters, manager-owned; read by Report after Close.
+	ticks         uint64
+	migrations    uint64
+	migratedReqs  uint64
+	nackedReqs    uint64
+	guardSkips    uint64
+	hill          uint64
+	valley        uint64
+	pairing       uint64
+	thresholdEvts uint64
+}
+
+func newLGroup(rt *Runtime, id int) *lgroup {
+	cfg := rt.cfg
+	g := &lgroup{
+		rt:       rt,
+		id:       id,
+		wake:     make(chan struct{}, 1),
+		migIn:    make(chan *migBatch, cfg.MigrateFIFO),
+		model:    policy.NewThresholdModel(cfg.WorkersPerGroup, cfg.SLOMult),
+		periodPS: policy.Duration(cfg.Period.Nanoseconds()) * policy.Nanosecond,
+		view:     make([]int, cfg.Groups),
+		order:    make([]int, 0, cfg.Groups),
+		dests:    make([]int, 0, cfg.Groups),
+	}
+	for w := 0; w < cfg.WorkersPerGroup; w++ {
+		g.workers = append(g.workers, newWorker(g, id*cfg.WorkersPerGroup+w))
+	}
+	return g
+}
+
+// poke wakes the manager without blocking; a pending wake is enough.
+func (g *lgroup) poke() {
+	select {
+	case g.wake <- struct{}{}:
+	default:
+	}
+}
+
+// run is the manager goroutine: the select loop stands in for the
+// hardware manager tile, multiplexing arrivals, inbound MIGRATEs and
+// the period tick.
+func (g *lgroup) run() {
+	defer g.rt.wg.Done()
+	g.lastTickAt = g.rt.clock.Now()
+	timer := newTickTimer(wallDuration(g.periodPS))
+	defer timer.Stop()
+	for {
+		select {
+		case <-g.rt.stop:
+			return
+		case <-g.wake:
+			g.dispatch()
+		case b := <-g.migIn:
+			g.land(b)
+			g.dispatch()
+		case <-timer.C:
+			eff := g.tick()
+			timer.Reset(wallDuration(eff))
+			g.dispatch()
+		}
+	}
+}
+
+// pickWorker returns the least-loaded worker with spare depth, or nil.
+// Ties break round-robin so depth>1 does not pile onto worker 0.
+func (g *lgroup) pickWorker() *worker {
+	var best *worker
+	bestLoad := int32(g.rt.cfg.WorkerDepth)
+	n := len(g.workers)
+	for i := 0; i < n; i++ {
+		w := g.workers[(g.nextWorker+i)%n]
+		if load := w.outstanding.Load(); load < bestLoad {
+			best, bestLoad = w, load
+			if load == 0 {
+				break
+			}
+		}
+	}
+	if best != nil {
+		g.nextWorker = (best.id % n) + 1
+	}
+	return best
+}
+
+// dispatch drains the run queue into workers up to their depth bound.
+// Only the manager dispatches, so the outstanding check makes the
+// channel send non-blocking by construction.
+func (g *lgroup) dispatch() {
+	for {
+		w := g.pickWorker()
+		if w == nil {
+			return
+		}
+		g.mu.Lock()
+		t := g.q.popHead()
+		n := g.q.len()
+		g.mu.Unlock()
+		g.rt.qlens[g.id].Store(int64(n))
+		if t == nil {
+			return
+		}
+		w.outstanding.Add(1)
+		w.ch <- t
+	}
+}
+
+// land accepts an inbound MIGRATE batch onto the local tail and records
+// the migrate-once landings.
+func (g *lgroup) land(b *migBatch) {
+	g.mu.Lock()
+	for _, t := range b.tasks {
+		t.req.Migrated = true
+		g.q.pushTail(t)
+	}
+	n := g.q.len()
+	g.mu.Unlock()
+	g.rt.qlens[g.id].Store(int64(n))
+	g.rt.ledgerMu.Lock()
+	for _, t := range b.tasks {
+		g.rt.ledger.MigrateLanded(t.req.ID)
+	}
+	g.rt.ledgerMu.Unlock()
+}
+
+// offered estimates the group's offered load A in Erlangs: the arrival
+// rate over the last tick window times the cumulative mean service
+// time, both measured — the live analogue of the simulator's load
+// meter.
+func (g *lgroup) offered(now policy.Duration) float64 {
+	arr := g.arrivals.Load()
+	dArr := arr - g.lastArrivals
+	dt := now - g.lastTickAt
+	g.lastArrivals = arr
+	g.lastTickAt = now
+	if dArr == 0 || dt <= 0 {
+		return 0
+	}
+	cnt := g.svcCount.Load()
+	if cnt == 0 {
+		return 0
+	}
+	meanNS := float64(g.svcSumNS.Load()) / float64(cnt)
+	lambdaPerNS := float64(dArr) / float64(dt/policy.Nanosecond)
+	return lambdaPerNS * meanNS
+}
+
+// tick is Algorithm 1: refresh the threshold from the measured load,
+// read the queue-length board (the UPDATE view), classify, and send
+// MIGRATE batches. Returns the effective period for the next tick,
+// clamped by the measured tick cost.
+func (g *lgroup) tick() policy.Duration {
+	g.ticks++
+	start := g.rt.clock.Now()
+	cfg := &g.rt.cfg
+
+	threshold := g.model.Threshold(g.offered(start))
+
+	g.mu.Lock()
+	qlen := g.q.len()
+	g.mu.Unlock()
+	g.rt.qlens[g.id].Store(int64(qlen))
+	for i := range g.view {
+		g.view[i] = int(g.rt.qlens[i].Load())
+	}
+	g.view[g.id] = qlen
+
+	trigger, pattern, plan := policy.Decide(g.view, g.id, threshold,
+		cfg.Bulk, cfg.Concurrency, !cfg.DisablePatterns, g.order, g.dests)
+	switch trigger {
+	case policy.TriggerPattern:
+		switch pattern {
+		case policy.PatternHill:
+			g.hill++
+		case policy.PatternValley:
+			g.valley++
+		case policy.PatternPairing:
+			g.pairing++
+		}
+	case policy.TriggerThreshold:
+		g.thresholdEvts++
+	}
+	for _, dst := range plan {
+		g.sendMigrate(dst)
+	}
+
+	cost := g.rt.clock.Now() - start
+	return policy.EffectivePeriod(g.periodPS, cost)
+}
+
+// sendMigrate builds one MIGRATE batch for dst and offers it to the
+// destination FIFO. Guard, batch sizing and migrate-once all go through
+// the shared policy core.
+func (g *lgroup) sendMigrate(dst int) {
+	cfg := &g.rt.cfg
+	batch := policy.BatchSize(cfg.Bulk, cfg.Concurrency)
+
+	g.mu.Lock()
+	srcLen := g.q.len()
+	dstView := int(g.rt.qlens[dst].Load())
+	if !cfg.DisableGuard && !policy.GuardAllows(srcLen, dstView, batch) {
+		g.mu.Unlock()
+		g.guardSkips++
+		return
+	}
+	count := policy.MigratableCount(srcLen, batch, func(i int) bool {
+		t := g.q.at(srcLen - 1 - i)
+		return t.req.Migrated && !cfg.AllowRemigration
+	})
+	if count == 0 {
+		g.mu.Unlock()
+		return
+	}
+	tasks := make([]*task, count)
+	for i := 0; i < count; i++ {
+		tasks[i] = g.q.popTail()
+	}
+	n := g.q.len()
+	g.mu.Unlock()
+	g.rt.qlens[g.id].Store(int64(n))
+
+	b := &migBatch{src: g.id, tasks: tasks}
+	select {
+	case g.rt.groups[dst].migIn <- b:
+		g.migrations++
+		g.migratedReqs += uint64(count)
+	default:
+		// NACK: the destination FIFO is full. Restore the tasks to the
+		// source tail in their original order (tasks[0] was the newest).
+		g.nackedReqs += uint64(count)
+		g.mu.Lock()
+		for i := count - 1; i >= 0; i-- {
+			g.q.pushTail(tasks[i])
+		}
+		n := g.q.len()
+		g.mu.Unlock()
+		g.rt.qlens[g.id].Store(int64(n))
+	}
+}

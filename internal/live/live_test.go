@@ -1,0 +1,280 @@
+package live
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mica"
+	"repro/internal/rpcproto"
+)
+
+// drainCloseReport drains, closes and verifies conservation, failing
+// the test on any invariant violation.
+func drainCloseReport(t *testing.T, rt *Runtime) *Report {
+	t.Helper()
+	if err := rt.Drain(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rt.Close()
+	rep := rt.Report()
+	if err := rep.Check.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestRuntimeDirectSoak drives the runtime without a network: many
+// producer goroutines delivering straight into Deliver, all steered to
+// group 0 so the managers must migrate to spread the load. Conservation
+// and migrate-at-most-once must hold over the full run.
+func TestRuntimeDirectSoak(t *testing.T) {
+	const producers = 4
+	n := 100000
+	if testing.Short() {
+		n = 20000
+	}
+	rt, err := New(Config{
+		Groups:          4,
+		WorkersPerGroup: 2,
+		Period:          100 * time.Microsecond,
+		Expected:        n,
+		// Skew: everything lands on group 0; only migration can move it.
+		Steer: func(r *rpcproto.Request) int { return 0 },
+	}, SpinHandler{Iters: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+
+	var completed sync.WaitGroup
+	completed.Add(n)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := p; i < n; i += producers {
+				rt.Deliver(&rpcproto.Request{ID: uint64(i), Conn: uint32(p)},
+					func(r *rpcproto.Request, payload []byte, st rpcproto.Status) {
+						completed.Done()
+					})
+			}
+		}(p)
+	}
+	wg.Wait()
+	completed.Wait()
+	rep := drainCloseReport(t, rt)
+
+	if rep.Stats.Delivered != uint64(n) || rep.Stats.Completed != uint64(n) {
+		t.Fatalf("delivered %d completed %d, want %d", rep.Stats.Delivered, rep.Stats.Completed, n)
+	}
+	if rep.Stats.Migrations == 0 {
+		t.Fatal("fully skewed steering produced no migrations; Algorithm 1 never fired")
+	}
+	if rep.Samples != n {
+		t.Fatalf("latency samples %d, want %d", rep.Samples, n)
+	}
+	t.Logf("direct soak: %s", rep)
+}
+
+// TestLiveLoopbackTCP is the acceptance soak: altoserve's full stack —
+// TCP loopback, rpcproto frames, open-loop load generator — sustaining
+// the required request count with conservation and migrate-once
+// verified and tail percentiles reported.
+func TestLiveLoopbackTCP(t *testing.T) {
+	n := 100000
+	if testing.Short() {
+		n = 20000
+	}
+	rt, err := New(Config{
+		Groups:          2,
+		WorkersPerGroup: 2,
+		Period:          200 * time.Microsecond,
+		Expected:        n,
+	}, EchoHandler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(rt)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	res, err := RunLoadgen(LoadgenConfig{
+		Addr:     ln.Addr().String(),
+		Conns:    8,
+		Requests: n,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := drainCloseReport(t, rt)
+	srv.Close()
+	if err := <-serveErr; err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Received != uint64(n) {
+		t.Fatalf("received %d of %d responses", res.Received, n)
+	}
+	if res.BadStatus != 0 {
+		t.Fatalf("%d error responses", res.BadStatus)
+	}
+	if rep.Stats.Delivered != uint64(n) || rep.Stats.Completed != uint64(n) {
+		t.Fatalf("server delivered %d completed %d, want %d", rep.Stats.Delivered, rep.Stats.Completed, n)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 || res.P999 < res.P99 {
+		t.Fatalf("implausible percentiles: p50=%v p99=%v p99.9=%v", res.P50, res.P99, res.P999)
+	}
+	t.Logf("loopback: client %s", res)
+	t.Logf("loopback: server %s", rep)
+}
+
+// TestKVLoopback runs the MICA service over the live stack: preload,
+// then a GET-heavy mix with SETs, checking per-op status correctness
+// end to end.
+func TestKVLoopback(t *testing.T) {
+	n := 20000
+	if testing.Short() {
+		n = 5000
+	}
+	store, err := mica.NewStore(mica.Config{
+		Partitions: 4, BucketsPerPart: 1 << 10, EntriesPerBucket: 8, LogBytesPerPart: 1 << 22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 512
+	key := func(i int) []byte { return []byte(fmt.Sprintf("key-%04d", i)) }
+	for i := 0; i < keys; i++ {
+		if err := store.Set(key(i), []byte(fmt.Sprintf("val-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rt, err := New(Config{Groups: 2, WorkersPerGroup: 2, Expected: n}, NewKVHandler(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(rt)
+	go srv.Serve(ln)
+
+	res, err := RunLoadgen(LoadgenConfig{
+		Addr:     ln.Addr().String(),
+		Conns:    4,
+		Requests: n,
+		Prepare: func(r *rpcproto.Request, conn, seq int) {
+			k := key((conn*7919 + seq) % keys)
+			if seq%10 == 0 {
+				r.Op = rpcproto.OpSet
+				r.Payload = EncodeSet(k, []byte(fmt.Sprintf("new-%06d", seq)))
+			} else {
+				r.Op = rpcproto.OpGet
+				r.Payload = k
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := drainCloseReport(t, rt)
+	srv.Close()
+
+	if res.Received != uint64(n) || res.BadStatus != 0 {
+		t.Fatalf("received %d bad %d, want %d clean responses", res.Received, res.BadStatus, n)
+	}
+	st := store.Stats()
+	if st.Gets == 0 || st.Sets == 0 {
+		t.Fatalf("store never exercised: %+v", st)
+	}
+	_ = rep
+}
+
+// TestNackRestoresOrder forces a NACK by filling a destination's
+// migration FIFO while its manager is wedged behind a slow handler,
+// then checks nothing is lost: every request still completes exactly
+// once (the ledger would flag duplicates or drops).
+func TestNackRestoresOrder(t *testing.T) {
+	n := 20000
+	rt, err := New(Config{
+		Groups:          3,
+		WorkersPerGroup: 1,
+		WorkerDepth:     1,
+		Period:          50 * time.Microsecond,
+		MigrateFIFO:     1, // tiny receive FIFO: NACKs under pressure
+		Expected:        n,
+		Steer:           func(r *rpcproto.Request) int { return 0 },
+	}, SpinHandler{Iters: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	var completed sync.WaitGroup
+	completed.Add(n)
+	for i := 0; i < n; i++ {
+		rt.Deliver(&rpcproto.Request{ID: uint64(i)},
+			func(r *rpcproto.Request, payload []byte, st rpcproto.Status) { completed.Done() })
+	}
+	completed.Wait()
+	rep := drainCloseReport(t, rt)
+	if rep.Stats.Completed != uint64(n) {
+		t.Fatalf("completed %d, want %d", rep.Stats.Completed, n)
+	}
+	t.Logf("nack soak: %s", rep)
+}
+
+// TestConfigDefaults pins the default sizing and the steer fallback.
+func TestConfigDefaults(t *testing.T) {
+	rt, err := New(Config{}, EchoHandler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.groups) != 2 || len(rt.groups[0].workers) != 4 {
+		t.Fatalf("defaults: %d groups x %d workers", len(rt.groups), len(rt.groups[0].workers))
+	}
+	if g := rt.steer(&rpcproto.Request{Conn: 5}); g != 1 {
+		t.Fatalf("conn-hash steer = %d, want 1", g)
+	}
+	if _, err := New(Config{}, nil); err == nil {
+		t.Fatal("nil handler must be rejected")
+	}
+}
+
+// TestDequeFIFO pins the run-queue semantics dispatch and migration
+// rely on: head pops oldest, tail pops newest, at() indexes from head.
+func TestDequeFIFO(t *testing.T) {
+	var q taskDeque
+	mk := func(id int) *task { return &task{req: &rpcproto.Request{ID: uint64(id)}} }
+	for i := 0; i < 200; i++ {
+		q.pushTail(mk(i))
+	}
+	for i := 0; i < 100; i++ {
+		if got := q.popHead(); got.req.ID != uint64(i) {
+			t.Fatalf("popHead %d = %d", i, got.req.ID)
+		}
+	}
+	if q.at(0).req.ID != 100 || q.at(q.len()-1).req.ID != 199 {
+		t.Fatalf("at() misindexed: head %d tail %d", q.at(0).req.ID, q.at(q.len()-1).req.ID)
+	}
+	for i := 199; i >= 100; i-- {
+		if got := q.popTail(); got.req.ID != uint64(i) {
+			t.Fatalf("popTail = %d, want %d", got.req.ID, i)
+		}
+	}
+	if q.popHead() != nil || q.popTail() != nil || q.len() != 0 {
+		t.Fatal("emptied deque not empty")
+	}
+}

@@ -1,0 +1,230 @@
+package live
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/rpcproto"
+)
+
+// LoadgenConfig drives RunLoadgen: an open-loop generator (arrivals are
+// scheduled by wall time, not by response arrival, so queueing delay is
+// visible instead of self-throttled) over C connections.
+type LoadgenConfig struct {
+	Addr     string
+	Conns    int     // parallel connections (default 4)
+	Requests int     // total requests across all connections
+	RateRPS  float64 // aggregate offered rate; <=0 means send as fast as possible
+
+	// Prepare fills Op/Payload for one request before it is marshalled;
+	// nil leaves every request an ECHO with a 16-byte payload. conn and
+	// seq identify the request; Prepare must be safe for concurrent
+	// calls with distinct conn values.
+	Prepare func(r *rpcproto.Request, conn, seq int)
+}
+
+// LoadgenResult is the client-side view of a run.
+type LoadgenResult struct {
+	Sent, Received uint64
+	BadStatus      uint64 // responses with Status != OK (NOT_FOUND counts as OK for KV)
+	Elapsed        time.Duration
+	AchievedRPS    float64
+	P50, P99, P999 time.Duration
+	Mean, Max      time.Duration
+}
+
+func (r *LoadgenResult) String() string {
+	return fmt.Sprintf("sent=%d recv=%d %.0f RPS; p50=%v p99=%v p99.9=%v max=%v",
+		r.Sent, r.Received, r.AchievedRPS, r.P50, r.P99, r.P999, r.Max)
+}
+
+// RunLoadgen runs the generator to completion and reports client-side
+// latency percentiles (send to response, per request id).
+func RunLoadgen(cfg LoadgenConfig) (*LoadgenResult, error) {
+	if cfg.Conns <= 0 {
+		cfg.Conns = 4
+	}
+	if cfg.Requests <= 0 {
+		return nil, fmt.Errorf("live: loadgen needs Requests > 0")
+	}
+	clock := newWallClock()
+	res := &LoadgenResult{}
+	var mu sync.Mutex
+	var all []int64 // latencies, ns
+	errs := make(chan error, cfg.Conns)
+	var wg sync.WaitGroup
+	startAt := clock.Now()
+	for c := 0; c < cfg.Conns; c++ {
+		n := cfg.Requests / cfg.Conns
+		if c < cfg.Requests%cfg.Conns {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(c, n int) {
+			defer wg.Done()
+			lats, bad, err := runConn(&cfg, clock, c, n)
+			if err != nil {
+				errs <- err
+				return
+			}
+			mu.Lock()
+			all = append(all, lats...)
+			res.BadStatus += bad
+			mu.Unlock()
+		}(c, n)
+	}
+	wg.Wait()
+	res.Elapsed = wallDuration(clock.Now() - startAt)
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+	res.Sent = uint64(cfg.Requests)
+	res.Received = uint64(len(all))
+	if res.Elapsed > 0 {
+		res.AchievedRPS = float64(res.Received) / res.Elapsed.Seconds()
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		pick := func(q float64) time.Duration {
+			i := int(q*float64(len(all))+0.5) - 1
+			if i < 0 {
+				i = 0
+			}
+			if i >= len(all) {
+				i = len(all) - 1
+			}
+			return time.Duration(all[i])
+		}
+		res.P50, res.P99, res.P999 = pick(0.50), pick(0.99), pick(0.999)
+		res.Max = time.Duration(all[len(all)-1])
+		var sum int64
+		for _, v := range all {
+			sum += v
+		}
+		res.Mean = time.Duration(sum / int64(len(all)))
+	}
+	return res, nil
+}
+
+// runConn drives one connection: a paced sender plus a receiver that
+// matches responses to send timestamps by request id. IDs are
+// seq*Conns+conn — unique across the run and dense in [0, Requests),
+// which the server's conservation ledger indexes by.
+func runConn(cfg *LoadgenConfig, clock *wallClock, c, n int) ([]int64, uint64, error) {
+	conn, err := net.Dial("tcp", cfg.Addr)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer conn.Close()
+
+	// Send timestamps cross the sender/receiver goroutine boundary
+	// through the server, which the race detector cannot see; atomics
+	// give the handoff a real happens-before edge.
+	sendNS := make([]atomic.Int64, n)
+	var bad uint64
+	lats := make([]int64, 0, n)
+	recvErr := make(chan error, 1)
+	go func() {
+		br := bufio.NewReaderSize(conn, 64<<10)
+		hdr := make([]byte, rpcproto.ResponseHeaderSize)
+		frame := make([]byte, rpcproto.ResponseHeaderSize)
+		for got := 0; got < n; got++ {
+			if _, err := io.ReadFull(br, hdr); err != nil {
+				recvErr <- fmt.Errorf("live: loadgen conn %d: read after %d responses: %w", c, got, err)
+				return
+			}
+			flen, err := rpcproto.ResponseFrameSize(hdr)
+			if err != nil {
+				recvErr <- err
+				return
+			}
+			if cap(frame) < flen {
+				frame = make([]byte, flen)
+			}
+			frame = frame[:flen]
+			copy(frame, hdr)
+			if _, err := io.ReadFull(br, frame[rpcproto.ResponseHeaderSize:]); err != nil {
+				recvErr <- err
+				return
+			}
+			resp, _, err := rpcproto.DecodeResponse(frame)
+			if err != nil {
+				recvErr <- err
+				return
+			}
+			if int(resp.ID)%cfg.Conns != c {
+				recvErr <- fmt.Errorf("live: loadgen conn %d: stray response id %#x", c, resp.ID)
+				return
+			}
+			seq := int(resp.ID) / cfg.Conns
+			if seq >= n {
+				recvErr <- fmt.Errorf("live: loadgen conn %d: response seq %d out of range", c, seq)
+				return
+			}
+			if resp.Status == rpcproto.StatusError {
+				bad++
+			}
+			lats = append(lats, int64((clock.Now()-policy.Duration(sendNS[seq].Load())*policy.Nanosecond)/policy.Nanosecond))
+		}
+		recvErr <- nil
+	}()
+
+	var interval policy.Duration // per-request gap on this connection
+	if cfg.RateRPS > 0 {
+		interval = policy.Duration(float64(cfg.Conns) / cfg.RateRPS * 1e9 * float64(policy.Nanosecond))
+	}
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	buf := make([]byte, 0, 4096)
+	start := clock.Now()
+	for i := 0; i < n; i++ {
+		if interval > 0 {
+			target := start + policy.Duration(i)*interval
+			if d := target - clock.Now(); d > 0 {
+				time.Sleep(wallDuration(d)) //altolint:allow detnow open-loop pacing sleep; the loadgen is wall-clock by definition
+			}
+		}
+		r := rpcproto.Request{ID: uint64(i*cfg.Conns + c), Conn: uint32(c), Op: rpcproto.OpEcho}
+		if cfg.Prepare != nil {
+			cfg.Prepare(&r, c, i)
+		} else {
+			var p [16]byte
+			r.Payload = p[:]
+		}
+		buf, err = rpcproto.AppendRequest(buf[:0], &r)
+		if err != nil {
+			return nil, 0, err
+		}
+		sendNS[i].Store(int64(clock.Now() / policy.Nanosecond))
+		if _, err := bw.Write(buf); err != nil {
+			return nil, 0, fmt.Errorf("live: loadgen conn %d: write: %w", c, err)
+		}
+		if interval > 0 {
+			if err := bw.Flush(); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, 0, err
+	}
+	// Half-close: the server drains in-flight work then closes the
+	// response stream after the receiver has everything.
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+	if err := <-recvErr; err != nil {
+		return nil, 0, err
+	}
+	return lats, bad, nil
+}

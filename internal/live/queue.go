@@ -1,0 +1,42 @@
+package live
+
+// taskDeque is the per-group run queue (the NetRX stand-in): tasks
+// arrive at the tail, dispatch pops the head (FIFO), migration pops the
+// tail — the same ends the simulator's exec.Deque exposes. It is a
+// plain slice ring with head compaction; the owning lgroup's mutex
+// serializes access (multi-producer Deliver, single-consumer manager).
+type taskDeque struct {
+	buf  []*task
+	head int
+}
+
+func (q *taskDeque) len() int { return len(q.buf) - q.head }
+
+func (q *taskDeque) pushTail(t *task) { q.buf = append(q.buf, t) }
+
+func (q *taskDeque) popHead() *task {
+	if q.len() == 0 {
+		return nil
+	}
+	t := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		q.buf = append(q.buf[:0], q.buf[q.head:]...)
+		q.head = 0
+	}
+	return t
+}
+
+func (q *taskDeque) popTail() *task {
+	if q.len() == 0 {
+		return nil
+	}
+	t := q.buf[len(q.buf)-1]
+	q.buf[len(q.buf)-1] = nil
+	q.buf = q.buf[:len(q.buf)-1]
+	return t
+}
+
+// at indexes from the head (0 = oldest). The caller keeps i < len().
+func (q *taskDeque) at(i int) *task { return q.buf[q.head+i] }

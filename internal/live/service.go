@@ -1,0 +1,112 @@
+package live
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"repro/internal/mica"
+	"repro/internal/rpcproto"
+)
+
+// EchoHandler answers every request with its own payload. It is the
+// loopback workload of the soak tests: zero service time beyond the
+// scheduling path itself.
+type EchoHandler struct{}
+
+func (EchoHandler) Serve(r *rpcproto.Request) ([]byte, rpcproto.Status) {
+	return r.Payload, rpcproto.StatusOK
+}
+
+// SpinHandler burns roughly Iters arithmetic iterations per request
+// before echoing, a stand-in for a fixed service time without sleeping
+// (sleep would free the worker's OS thread and hide queueing).
+type SpinHandler struct {
+	Iters int
+}
+
+func (h SpinHandler) Serve(r *rpcproto.Request) ([]byte, rpcproto.Status) {
+	acc := uint64(r.ID)
+	for i := 0; i < h.Iters; i++ {
+		acc = acc*6364136223846793005 + 1442695040888963407
+	}
+	if acc == 0 { // defeat dead-code elimination; never taken in practice
+		return nil, rpcproto.StatusError
+	}
+	return r.Payload, rpcproto.StatusOK
+}
+
+// KVHandler serves GET/SET/SCAN against a MICA store. The store's
+// concurrency model is EREW — one core per partition — so the handler
+// serializes per partition with a mutex, the software analogue of the
+// paper's exclusive partition ownership; cross-partition requests still
+// run fully in parallel.
+type KVHandler struct {
+	store *mica.Store
+	locks []sync.Mutex
+	// ScanMax bounds entries visited per SCAN (default 128).
+	ScanMax int
+}
+
+// NewKVHandler wraps a store for live serving.
+func NewKVHandler(store *mica.Store) *KVHandler {
+	return &KVHandler{
+		store:   store,
+		locks:   make([]sync.Mutex, store.Partitions()),
+		ScanMax: 128,
+	}
+}
+
+func (h *KVHandler) Serve(r *rpcproto.Request) ([]byte, rpcproto.Status) {
+	switch r.Op {
+	case rpcproto.OpGet:
+		p := h.store.Partition(r.Payload)
+		h.locks[p].Lock()
+		v, ok := h.store.Get(r.Payload)
+		h.locks[p].Unlock()
+		if !ok {
+			return nil, rpcproto.StatusNotFound
+		}
+		return v, rpcproto.StatusOK
+	case rpcproto.OpSet:
+		// SET payload: 2-byte key length, key, value.
+		if len(r.Payload) < 2 {
+			return nil, rpcproto.StatusError
+		}
+		klen := int(binary.LittleEndian.Uint16(r.Payload[0:2]))
+		if 2+klen > len(r.Payload) {
+			return nil, rpcproto.StatusError
+		}
+		key, val := r.Payload[2:2+klen], r.Payload[2+klen:]
+		p := h.store.Partition(key)
+		h.locks[p].Lock()
+		err := h.store.Set(key, val)
+		h.locks[p].Unlock()
+		if err != nil {
+			return nil, rpcproto.StatusError
+		}
+		return nil, rpcproto.StatusOK
+	case rpcproto.OpScan:
+		// SCAN payload: 1-byte partition index hint.
+		p := 0
+		if len(r.Payload) > 0 {
+			p = int(r.Payload[0]) % len(h.locks)
+		}
+		h.locks[p].Lock()
+		n := h.store.Scan(p, h.ScanMax, nil)
+		h.locks[p].Unlock()
+		var out [4]byte
+		binary.LittleEndian.PutUint32(out[:], uint32(n))
+		return out[:], rpcproto.StatusOK
+	default:
+		return r.Payload, rpcproto.StatusOK
+	}
+}
+
+// EncodeSet builds the SET payload for key/value.
+func EncodeSet(key, value []byte) []byte {
+	out := make([]byte, 2+len(key)+len(value))
+	binary.LittleEndian.PutUint16(out[0:2], uint16(len(key)))
+	copy(out[2:], key)
+	copy(out[2+len(key):], value)
+	return out
+}

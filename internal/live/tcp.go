@@ -1,0 +1,156 @@
+package live
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rpcproto"
+)
+
+// Server serves the rpcproto stream protocol over TCP, delivering each
+// decoded request to a Runtime and writing the response frame when the
+// completion callback fires. One reader goroutine and one writer
+// goroutine per connection; responses may leave out of request order
+// (they are matched by id), exactly like a real nanosecond-RPC server.
+type Server struct {
+	rt *Runtime
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// NewServer wraps a started Runtime.
+func NewServer(rt *Runtime) *Server { return &Server{rt: rt} }
+
+// respMsg is one completed request on its way to the connection writer.
+type respMsg struct {
+	id      uint64
+	st      rpcproto.Status
+	payload []byte
+}
+
+// Serve accepts connections until the listener closes. It returns nil
+// on a clean Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.ln = ln
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// ServeBackground runs Serve on its own goroutine and returns a wait
+// function that closes the server and reports Serve's error. It exists
+// so sim-linked callers (cmd/altoserve, examples) need no concurrency
+// syntax of their own: the goroutine and channel stay inside the
+// sanctioned live boundary.
+func (s *Server) ServeBackground(ln net.Listener) (wait func() error) {
+	errs := make(chan error, 1)
+	go func() { errs <- s.Serve(ln) }()
+	return func() error {
+		s.Close()
+		return <-errs
+	}
+}
+
+// Close stops accepting and waits for connection handlers to finish.
+// Clients are expected to half-close after their last request; Drain
+// the runtime first for a loss-free shutdown.
+func (s *Server) Close() {
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+
+	out := make(chan respMsg, 512)
+	var pending atomic.Int64
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		writeResponses(conn, out)
+	}()
+
+	br := bufio.NewReaderSize(conn, 64<<10)
+	hdr := make([]byte, rpcproto.RequestHeaderSize)
+	frame := make([]byte, rpcproto.RequestHeaderSize)
+	for {
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			break // EOF or reset: the client is done sending
+		}
+		flen, err := rpcproto.RequestFrameSize(hdr)
+		if err != nil {
+			break
+		}
+		if cap(frame) < flen {
+			frame = make([]byte, flen)
+		}
+		frame = frame[:flen]
+		copy(frame, hdr)
+		if _, err := io.ReadFull(br, frame[rpcproto.RequestHeaderSize:]); err != nil {
+			break
+		}
+		req, err := rpcproto.Unmarshal(frame)
+		if err != nil {
+			break
+		}
+		pending.Add(1)
+		s.rt.Deliver(req, func(r *rpcproto.Request, payload []byte, st rpcproto.Status) {
+			// Worker goroutine. The writer always drains out, so this
+			// send blocks only on TCP backpressure from the client.
+			out <- respMsg{id: r.ID, st: st, payload: payload}
+			pending.Add(-1)
+		})
+	}
+
+	// The client half-closed: let in-flight requests respond, then
+	// release the writer.
+	for pending.Load() > 0 {
+		sleepBriefly()
+	}
+	close(out)
+	writerWG.Wait()
+}
+
+// writeResponses is the per-connection writer goroutine. After a write
+// error it keeps draining out (dropping frames) so completion callbacks
+// never block on a dead connection.
+func writeResponses(conn net.Conn, out <-chan respMsg) {
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	buf := make([]byte, 0, 4096)
+	failed := false
+	for m := range out {
+		if failed {
+			continue
+		}
+		var err error
+		buf, err = rpcproto.AppendResponse(buf[:0], m.id, m.st, m.payload)
+		if err == nil {
+			_, err = bw.Write(buf)
+		}
+		if err == nil && len(out) == 0 {
+			err = bw.Flush() // batch while the channel has backlog
+		}
+		if err != nil {
+			failed = true
+		}
+	}
+	if !failed {
+		bw.Flush()
+	}
+}

@@ -1,0 +1,61 @@
+package live
+
+import (
+	"sync/atomic"
+
+	"repro/internal/policy"
+)
+
+// worker is one execution goroutine. The manager is the sole sender on
+// ch and never exceeds WorkerDepth outstanding, so its sends cannot
+// block; the worker decrements outstanding after the completion
+// callback and pokes the manager, closing the dispatch loop.
+type worker struct {
+	g  *lgroup
+	id int // global worker id
+
+	ch          chan *task
+	outstanding atomic.Int32
+
+	// latencies are delivery-to-completion times in picoseconds,
+	// worker-owned while running, read by Report after Close.
+	latencies []int64
+}
+
+func newWorker(g *lgroup, id int) *worker {
+	return &worker{g: g, id: id, ch: make(chan *task, g.rt.cfg.WorkerDepth)}
+}
+
+func (w *worker) run() {
+	rt := w.g.rt
+	defer rt.wg.Done()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case t := <-w.ch:
+			w.serve(t)
+		}
+	}
+}
+
+func (w *worker) serve(t *task) {
+	rt := w.g.rt
+	start := rt.clock.Now()
+	payload, st := rt.handler.Serve(t.req)
+	end := rt.clock.Now()
+
+	w.g.svcSumNS.Add(int64((end - start) / policy.Nanosecond))
+	w.g.svcCount.Add(1)
+	w.latencies = append(w.latencies, int64(end-t.arrival))
+
+	rt.ledgerMu.Lock()
+	rt.ledger.Completed(t.req.ID)
+	rt.ledgerMu.Unlock()
+	if t.done != nil {
+		t.done(t.req, payload, st)
+	}
+	w.outstanding.Add(-1)
+	rt.inflight.Add(-1)
+	w.g.poke()
+}

@@ -1,0 +1,67 @@
+package policy
+
+// Iface selects how the software runtime talks to the scheduling
+// hardware (§VI "Software-Hardware Interface").
+type Iface int
+
+const (
+	// IfaceISA uses the custom altom_* instructions: direct
+	// register-level micro-ops, ~2 cycles each.
+	IfaceISA Iface = iota
+	// IfaceMSR uses rdmsr/wrmsr syscalls, ~100 cycles each on
+	// Sandybridge-EP per the paper.
+	IfaceMSR
+)
+
+func (i Iface) String() string {
+	if i == IfaceMSR {
+		return "MSR"
+	}
+	return "ISA"
+}
+
+// CostModel holds the engine-agnostic cost constants of the runtime's
+// software/hardware interface (Table III / §VI). internal/fabric embeds
+// these in its full latency model and delegates here, so the simulator
+// and the live runtime charge identical per-tick costs.
+type CostModel struct {
+	ClockHz       float64 // core clock (paper evaluates 2 GHz)
+	ISAOpCycles   int     // cycles per altom_* op
+	MSROpCycles   int     // cycles per rdmsr/wrmsr op
+	PredictCycles int     // threshold computation: 2 mul + 2 add + 3 cmp ≈ 18 ns @2GHz
+}
+
+// Cycles converts a CPU cycle count at the given clock frequency (Hz)
+// to a Duration. The float path mirrors sim.Cycles exactly (round to
+// the nearest picosecond), so costs are bit-identical across the two
+// consumers.
+func Cycles(n int, hz float64) Duration {
+	ns := float64(n) / hz * 1e9
+	if ns < 0 {
+		return 0
+	}
+	return Duration(ns*1000 + 0.5)
+}
+
+// InterfaceOp returns the cost of one software/hardware interface
+// operation (a register read or write of the scheduling hardware).
+func (c CostModel) InterfaceOp(i Iface) Duration {
+	if i == IfaceMSR {
+		return Cycles(c.MSROpCycles, c.ClockHz)
+	}
+	return Cycles(c.ISAOpCycles, c.ClockHz)
+}
+
+// PredictCost returns the per-period cost of running the SLO-violation
+// prediction (threshold computation + comparisons, §VIII-E).
+func (c CostModel) PredictCost() Duration {
+	return Cycles(c.PredictCycles, c.ClockHz)
+}
+
+// TickCost returns the modelled per-tick cost of one Algorithm 1
+// iteration on a manager core: one interface op per remote queue
+// length, a status read, a config write, plus the threshold
+// computation.
+func TickCost(groups int, c CostModel, i Iface) Duration {
+	return Duration(groups+2)*c.InterfaceOp(i) + c.PredictCost()
+}

@@ -1,0 +1,58 @@
+package policy
+
+// Trigger identifies which Algorithm 1 condition selected the migration
+// destinations for a tick.
+type Trigger int
+
+const (
+	// TriggerNone: neither condition fired; no migrations this tick.
+	TriggerNone Trigger = iota
+	// TriggerPattern: the §VI pattern classification assigned this
+	// manager a role.
+	TriggerPattern
+	// TriggerThreshold: the local queue exceeded the predicted SLO
+	// threshold and sheds to the shortest queues.
+	TriggerThreshold
+)
+
+func (t Trigger) String() string {
+	switch t {
+	case TriggerPattern:
+		return "pattern"
+	case TriggerThreshold:
+		return "threshold"
+	default:
+		return "none"
+	}
+}
+
+// Decide implements predict(): one manager's per-tick migration decision
+// over the synchronized queue-length vector. view[self] must already
+// hold the manager's own (fresh) queue length; threshold is the Eqn. 2
+// prediction for the current load; bulk and conc are the PR-configured
+// imbalance threshold and fan-out cap; patterns gates the §VI
+// classification (false under the DisablePatterns ablation).
+//
+// A pattern that assigns this manager a role takes precedence over the
+// bare threshold trigger (predict() returns on either condition). The
+// returned destination slice aliases dests (caller scratch, same
+// contract as ClassifyInto); it is empty or nil when nothing fired.
+//
+//altolint:hotpath
+func Decide(view []int, self, threshold, bulk, conc int, patterns bool, order, dests []int) (Trigger, Pattern, []int) {
+	if conc > len(view)-1 {
+		conc = len(view) - 1
+	}
+	if patterns {
+		pattern, d := ClassifyInto(view, self, bulk, conc, order, dests)
+		if len(d) > 0 {
+			return TriggerPattern, pattern, d
+		}
+	}
+	// Threshold condition: local queue beyond T sheds to the shortest
+	// queues.
+	if view[self] > threshold {
+		return TriggerThreshold, PatternNone, ShortestOthersInto(view, self, conc, order, dests)
+	}
+	return TriggerNone, PatternNone, nil
+}

@@ -1,0 +1,101 @@
+// Package policy holds the engine-agnostic decision core of the
+// ALTOCUMULUS runtime: the Erlang-C threshold model (Eqn. 2), the §VI
+// Hill/Valley/Pairing queue-vector classification, migration planning
+// (batch sizing, the Algorithm 1 line-8 guard, migrate-once candidate
+// counting) and the MSR-vs-ISA software/hardware interface cost model.
+//
+// Everything here is a pure function of its inputs: no engine, no wall
+// clock, no goroutines, no channels. The same bytes drive two consumers
+// with opposite execution models —
+//
+//   - internal/core, the discrete-event simulator, feeds the policy with
+//     sim-time queue snapshots and replays its MIGRATE/UPDATE plan
+//     through internal/hwmsg and internal/fabric; and
+//   - internal/live, the real goroutine runtime, feeds it wall-clock
+//     queue snapshots behind the Clock seam and replays the plan over
+//     channels.
+//
+// The altolint `enginefree` analyzer certifies the boundary: this
+// package must never import internal/sim (directly or transitively),
+// read the wall clock, or touch goroutines/channels.
+package policy
+
+// Duration is an engine-agnostic span of time in integer picoseconds —
+// the same tick the simulator's sim.Time uses, so conversions between
+// the two are exact integer casts and cost computations are
+// bit-identical across consumers.
+type Duration int64
+
+// Time units.
+const (
+	Picosecond  Duration = 1
+	Nanosecond           = 1000 * Picosecond
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Nanoseconds returns the duration as float64 nanoseconds.
+func (d Duration) Nanoseconds() float64 { return float64(d) / float64(Nanosecond) }
+
+// Clock is the seam between the policy layer and its consumer's notion
+// of time. The simulator adapts sim.Engine.Now; the live runtime adapts
+// a monotonic wall-clock reading. Implementations must be monotone
+// nondecreasing; the zero instant is arbitrary (only differences are
+// meaningful).
+type Clock interface {
+	Now() Duration
+}
+
+// BatchSize returns S = Bulk/Concurrency, the per-MIGRATE request count
+// (§V-A), at least 1. A non-positive concurrency degenerates to the
+// full bulk.
+func BatchSize(bulk, concurrency int) int {
+	if concurrency <= 0 {
+		return bulk
+	}
+	s := bulk / concurrency
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// GuardAllows implements Algorithm 1 line 8: a migration of batch
+// requests from a source with srcLen queued toward a destination whose
+// synchronized view shows dstView queued proceeds only when it leaves
+// the source no shorter than it makes the destination —
+// q[src]−S ≥ q[dst]+S. Migrations failing the guard would bounce load
+// back and forth without improving tail latency.
+func GuardAllows(srcLen, dstView, batch int) bool {
+	return srcLen-batch >= dstView+batch
+}
+
+// MigratableCount returns how many requests a MIGRATE may collect from
+// a queue of length qlen, walking candidates from the chosen end
+// (i = 0 is the first candidate) and stopping at the batch size, the
+// end of the queue, or the first candidate rejected by blocked —
+// typically the migrate-once restriction (§V-B restriction 4): a
+// request that has already migrated pins itself and everything behind
+// it.
+//
+//altolint:hotpath
+func MigratableCount(qlen, batch int, blocked func(i int) bool) int {
+	n := 0
+	for n < batch && n < qlen && !blocked(n) {
+		n++
+	}
+	return n
+}
+
+// EffectivePeriod stretches the configured manager period so a software
+// runtime never iterates faster than its own execution: when the period
+// is shorter than twice the per-tick runtime cost (e.g. MSR ops at a
+// 100 ns period), the effective period is 2×cost, capping the runtime's
+// manager-core duty cycle at 50% so request dispatch is never starved.
+func EffectivePeriod(period, runtimeCost Duration) Duration {
+	if min := 2 * runtimeCost; period < min {
+		return min
+	}
+	return period
+}

@@ -1,0 +1,336 @@
+package policy
+
+import "testing"
+
+// lcg is the deterministic generator for every property test here: no
+// global RNG (altolint detnow) and identical corpora on every run.
+func lcg(s *uint64) uint64 {
+	*s = *s*6364136223846793005 + 1442695040888963407
+	return *s
+}
+
+// genView fills a fresh queue vector: size 2..9, lengths drawn from a
+// spread that rotates between tight (many ties), moderate, and wide.
+func genView(s *uint64) []int {
+	n := 2 + int(lcg(s)%8)
+	spreads := [4]uint64{3, 12, 60, 1000}
+	spread := spreads[lcg(s)%4]
+	view := make([]int, n)
+	for i := range view {
+		view[i] = int(lcg(s) % spread)
+	}
+	return view
+}
+
+// edgeViews are hand-picked shapes: exact ties, single spikes, dips,
+// staircases, and degenerate sizes — the places rank order and the
+// >= / <= boundaries in the classification can silently flip.
+var edgeViews = [][]int{
+	{0, 0},
+	{5, 5},
+	{16, 0},
+	{0, 16},
+	{7, 7, 7, 7},
+	{48, 0, 0, 0},
+	{0, 48, 48, 48},
+	{10, 10, 10, 42},
+	{42, 10, 10, 10},
+	{1, 2, 3, 4, 5, 6, 7, 8},
+	{8, 7, 6, 5, 4, 3, 2, 1},
+	{100, 100, 0, 0},
+	{31, 16, 16, 1},
+	{17, 16, 15, 16, 17},
+	{0, 1, 0, 1, 0, 1},
+	{1000, 999, 2, 1},
+}
+
+// TestDifferentialClassify checks the extracted classification against
+// the vendored pre-refactor implementation across the edge corpus and a
+// large generated corpus: every (view, self, bulk, conc) must agree on
+// both the pattern and the destination list.
+func TestDifferentialClassify(t *testing.T) {
+	seed := uint64(1)
+	check := func(view []int, bulk, conc int) {
+		t.Helper()
+		for self := 0; self < len(view); self++ {
+			gotP, gotD := Classify(view, self, bulk, conc)
+			refP, refD := refClassify(view, self, bulk, conc)
+			if gotP != refP || !sameInts(gotD, refD) {
+				t.Fatalf("Classify(%v, self=%d, bulk=%d, conc=%d) = (%v, %v); pre-refactor gives (%v, %v)",
+					view, self, bulk, conc, gotP, gotD, refP, refD)
+			}
+		}
+	}
+	for _, view := range edgeViews {
+		for _, bulk := range []int{1, 8, 16, 48} {
+			for _, conc := range []int{1, 2, 7, 100} {
+				check(view, bulk, conc)
+			}
+		}
+	}
+	for trial := 0; trial < 5000; trial++ {
+		view := genView(&seed)
+		bulk := 1 + int(lcg(&seed)%48)
+		conc := 1 + int(lcg(&seed)%8)
+		check(view, bulk, conc)
+	}
+}
+
+// TestDifferentialDecide extends the differential to the full per-tick
+// decision (pattern precedence plus the threshold trigger), including
+// the DisablePatterns ablation.
+func TestDifferentialDecide(t *testing.T) {
+	seed := uint64(2)
+	order := make([]int, 0, 16)
+	dests := make([]int, 0, 16)
+	for trial := 0; trial < 5000; trial++ {
+		view := genView(&seed)
+		bulk := 1 + int(lcg(&seed)%48)
+		conc := 1 + int(lcg(&seed)%8)
+		threshold := int(lcg(&seed) % 64)
+		patterns := lcg(&seed)%4 != 0
+		for self := 0; self < len(view); self++ {
+			gotT, gotP, gotD := Decide(view, self, threshold, bulk, conc, patterns, order, dests)
+			refT, refP, refD := refDecide(view, self, threshold, bulk, conc, patterns)
+			if gotT != refT || gotP != refP || !sameInts(gotD, refD) {
+				t.Fatalf("Decide(%v, self=%d, t=%d, bulk=%d, conc=%d, patterns=%v) = (%v, %v, %v); pre-refactor gives (%v, %v, %v)",
+					view, self, threshold, bulk, conc, patterns, gotT, gotP, gotD, refT, refP, refD)
+			}
+		}
+	}
+}
+
+// TestDecideProperties checks the invariants every consumer leans on:
+// destinations never include self or repeat, respect the concurrency
+// cap, the input vector is never mutated, all managers agree on the
+// pattern, and the threshold trigger fires exactly when the local queue
+// exceeds T and no pattern assigned a role.
+func TestDecideProperties(t *testing.T) {
+	seed := uint64(3)
+	for trial := 0; trial < 5000; trial++ {
+		view := genView(&seed)
+		n := len(view)
+		bulk := 1 + int(lcg(&seed)%48)
+		conc := 1 + int(lcg(&seed)%8)
+		threshold := int(lcg(&seed) % 64)
+		snapshot := append([]int(nil), view...)
+
+		firstPattern, _ := Classify(view, 0, bulk, conc)
+		for self := 0; self < n; self++ {
+			pattern, _ := Classify(view, self, bulk, conc)
+			if pattern != firstPattern {
+				t.Fatalf("view %v: manager %d classifies %v, manager 0 classifies %v — §VI consensus broken",
+					view, self, pattern, firstPattern)
+			}
+			trig, _, dests := Decide(view, self, threshold, bulk, conc, true, nil, nil)
+			limit := conc
+			if limit > n-1 {
+				limit = n - 1
+			}
+			if len(dests) > limit {
+				t.Fatalf("view %v self %d: %d dests exceeds concurrency cap %d", view, self, len(dests), limit)
+			}
+			seen := make([]bool, n)
+			for _, d := range dests {
+				if d < 0 || d >= n {
+					t.Fatalf("view %v self %d: dest %d out of range", view, self, d)
+				}
+				if d == self {
+					t.Fatalf("view %v self %d: self-migration planned", view, self)
+				}
+				if seen[d] {
+					t.Fatalf("view %v self %d: duplicate dest %d", view, self, d)
+				}
+				seen[d] = true
+			}
+			if trig == TriggerThreshold && view[self] <= threshold {
+				t.Fatalf("view %v self %d: threshold trigger with qlen %d <= T %d",
+					view, self, view[self], threshold)
+			}
+			if trig == TriggerNone && view[self] > threshold {
+				t.Fatalf("view %v self %d: qlen %d > T %d but nothing fired", view, self, view[self], threshold)
+			}
+		}
+		if !sameInts(view, snapshot) {
+			t.Fatalf("Decide mutated its input: %v -> %v", snapshot, view)
+		}
+	}
+}
+
+// TestGuardProperties checks Algorithm 1 line 8 semantically, not just
+// arithmetically: the guard never lets a source shed to a queue it does
+// not strictly dominate, an allowed migration can never be immediately
+// reversed (no ping-pong), and shrinking the batch never turns an
+// allowed migration into a forbidden one.
+func TestGuardProperties(t *testing.T) {
+	seed := uint64(4)
+	for trial := 0; trial < 20000; trial++ {
+		srcLen := int(lcg(&seed)%1024) - 8
+		dstView := int(lcg(&seed)%1024) - 8
+		batch := 1 + int(lcg(&seed)%64)
+		if !GuardAllows(srcLen, dstView, batch) {
+			continue
+		}
+		if srcLen <= dstView {
+			t.Fatalf("guard allowed src %d -> dst %d (batch %d): source does not dominate", srcLen, dstView, batch)
+		}
+		if GuardAllows(dstView+batch, srcLen-batch, batch) {
+			t.Fatalf("ping-pong: src %d -> dst %d (batch %d) allowed in both directions", srcLen, dstView, batch)
+		}
+		for b := 1; b < batch; b++ {
+			if !GuardAllows(srcLen, dstView, b) {
+				t.Fatalf("guard non-monotone: batch %d allowed but smaller batch %d forbidden (src %d dst %d)",
+					batch, b, srcLen, dstView)
+			}
+		}
+	}
+}
+
+// TestPlanSizesNeverNegative fuzzes the batch planners with hostile
+// inputs (zero or negative concurrency, negative queue lengths, negative
+// batch sizes): a plan must never go negative or exceed its bounds, and
+// MigratableCount must honor the first blocked candidate exactly.
+func TestPlanSizesNeverNegative(t *testing.T) {
+	seed := uint64(5)
+	for bulk := 1; bulk <= 64; bulk++ {
+		for conc := -4; conc <= 64; conc++ {
+			s := BatchSize(bulk, conc)
+			if s < 1 || s > bulk {
+				t.Fatalf("BatchSize(%d, %d) = %d, want within [1, %d]", bulk, conc, s, bulk)
+			}
+		}
+	}
+	for trial := 0; trial < 20000; trial++ {
+		qlen := int(lcg(&seed)%128) - 8
+		batch := int(lcg(&seed)%72) - 8
+		mask := lcg(&seed)
+		blocked := func(i int) bool { return i < 64 && mask&(1<<uint(i)) != 0 }
+		n := MigratableCount(qlen, batch, blocked)
+		if n < 0 {
+			t.Fatalf("MigratableCount(%d, %d) = %d: negative plan", qlen, batch, n)
+		}
+		bound := batch
+		if qlen < bound {
+			bound = qlen
+		}
+		if bound < 0 {
+			bound = 0
+		}
+		if n > bound {
+			t.Fatalf("MigratableCount(%d, %d) = %d exceeds its bound %d", qlen, batch, n, bound)
+		}
+		for i := 0; i < n; i++ {
+			if blocked(i) {
+				t.Fatalf("MigratableCount(%d, %d) = %d includes blocked candidate %d", qlen, batch, n, i)
+			}
+		}
+		if n < batch && n < qlen && !blocked(n) {
+			t.Fatalf("MigratableCount(%d, %d) = %d stopped early with candidate %d unblocked", qlen, batch, n, n)
+		}
+	}
+}
+
+// modelTask is one request in the double-migration model: it remembers
+// how many times a migration plan has moved it.
+type modelTask struct {
+	id   int
+	hops int
+}
+
+// TestDoubleMigrationModel runs the full planning pipeline (Decide ->
+// BatchSize -> GuardAllows -> MigratableCount -> tail transfer) over a
+// model of G queues for many rounds, with the migrate-once restriction
+// expressed exactly as both engines express it: a candidate that has
+// already hopped blocks itself and everything behind it. No task may
+// ever hop twice, and no task may be lost or duplicated.
+func TestDoubleMigrationModel(t *testing.T) {
+	const (
+		groups = 6
+		bulk   = 8
+		conc   = 3
+		rounds = 4000
+	)
+	seed := uint64(6)
+	queues := make([][]modelTask, groups)
+	nextID := 0
+	total := 0
+	view := make([]int, groups)
+	order := make([]int, 0, groups)
+	dests := make([]int, 0, groups)
+
+	for round := 0; round < rounds; round++ {
+		// Deterministic skewed arrivals: bursts land on a rotating hot
+		// group; a few departures drain from heads.
+		hot := int(lcg(&seed) % groups)
+		burst := int(lcg(&seed) % 12)
+		for i := 0; i < burst; i++ {
+			queues[hot] = append(queues[hot], modelTask{id: nextID})
+			nextID++
+			total++
+		}
+		for g := 0; g < groups; g++ {
+			drain := int(lcg(&seed) % 3)
+			for i := 0; i < drain && len(queues[g]) > 0; i++ {
+				queues[g] = queues[g][1:]
+				total--
+			}
+		}
+
+		for self := 0; self < groups; self++ {
+			for g := 0; g < groups; g++ {
+				view[g] = len(queues[g])
+			}
+			threshold := 4 + int(lcg(&seed)%8)
+			_, _, plan := Decide(view, self, threshold, bulk, conc, true, order, dests)
+			if len(plan) == 0 {
+				continue
+			}
+			batch := BatchSize(bulk, len(plan))
+			for _, dst := range plan {
+				src := queues[self]
+				if !GuardAllows(len(src), len(queues[dst]), batch) {
+					continue
+				}
+				// Tail selection with migrate-once: candidate i counts
+				// from the tail; a prior hop pins it and everything
+				// deeper.
+				count := MigratableCount(len(src), batch, func(i int) bool {
+					return src[len(src)-1-i].hops > 0
+				})
+				for i := 0; i < count; i++ {
+					task := src[len(src)-1]
+					src = src[:len(src)-1]
+					task.hops++
+					if task.hops > 1 {
+						t.Fatalf("round %d: task %d migrated %d times", round, task.id, task.hops)
+					}
+					queues[dst] = append(queues[dst], task)
+				}
+				queues[self] = src
+			}
+		}
+
+		live := 0
+		for g := 0; g < groups; g++ {
+			live += len(queues[g])
+		}
+		if live != total {
+			t.Fatalf("round %d: %d tasks queued, conservation says %d", round, live, total)
+		}
+	}
+	if total == 0 || nextID < 1000 {
+		t.Fatalf("model degenerate: %d tasks created, %d live", nextID, total)
+	}
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,106 @@
+package policy
+
+// This file vendors the pre-refactor decision logic verbatim from
+// internal/core as it stood before the policy extraction (git history:
+// patterns.go and the Scheduler.decide sequence). It exists only as the
+// reference side of the differential tests in property_test.go: the
+// extracted policy package must agree with it decision-for-decision on
+// every recorded or generated queue vector. Do not "fix" bugs here — if
+// the two sides disagree, the refactor drifted.
+
+func refClassify(view []int, self, bulk, conc int) (Pattern, []int) {
+	n := len(view)
+	if n < 2 || self < 0 || self >= n {
+		return PatternNone, nil
+	}
+	if conc > n-1 {
+		conc = n - 1
+	}
+	if conc < 1 {
+		conc = 1
+	}
+	order := refRankDescending(view)
+	longest, second := order[0], order[1]
+	shortest, secondShortest := order[n-1], order[n-2]
+
+	switch {
+	case view[longest] >= view[second]+bulk:
+		if self != longest {
+			return PatternHill, nil
+		}
+		var dests []int
+		for i := n - 1; i >= 0 && len(dests) < conc; i-- {
+			if d := order[i]; d != self {
+				dests = append(dests, d)
+			}
+		}
+		return PatternHill, dests
+	case view[shortest]+bulk <= view[secondShortest]:
+		if self == shortest {
+			return PatternValley, nil
+		}
+		return PatternValley, []int{shortest}
+	case view[longest]-view[shortest] >= bulk:
+		for i := 0; i < conc && i < n/2; i++ {
+			if order[i] != self {
+				continue
+			}
+			d := order[n-1-i]
+			if d != self && view[self] > view[d] {
+				return PatternPairing, []int{d}
+			}
+			return PatternPairing, nil
+		}
+		return PatternPairing, nil
+	}
+	return PatternNone, nil
+}
+
+func refRankDescending(view []int) []int {
+	n := len(view)
+	order := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		order = append(order, i)
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if view[b] > view[a] || (view[b] == view[a] && b < a) {
+				order[j-1], order[j] = order[j], order[j-1]
+			} else {
+				break
+			}
+		}
+	}
+	return order
+}
+
+func refShortestOthers(view []int, self, k int) []int {
+	order := refRankDescending(view)
+	var out []int
+	for i := len(order) - 1; i >= 0 && len(out) < k; i-- {
+		if d := order[i]; d != self {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// refDecide mirrors the pre-refactor Scheduler.decide sequence: pattern
+// role first (when enabled), then the bare threshold trigger shedding to
+// the shortest queues.
+func refDecide(view []int, self, threshold, bulk, conc int, patterns bool) (Trigger, Pattern, []int) {
+	if conc > len(view)-1 {
+		conc = len(view) - 1
+	}
+	if patterns {
+		pattern, dests := refClassify(view, self, bulk, conc)
+		if len(dests) > 0 {
+			return TriggerPattern, pattern, dests
+		}
+	}
+	if view[self] > threshold {
+		return TriggerThreshold, PatternNone, refShortestOthers(view, self, conc)
+	}
+	return TriggerNone, PatternNone, nil
+}

@@ -1,10 +1,10 @@
-package queueing
+package policy
 
 import (
 	"fmt"
 	"math"
 
-	"repro/internal/stats"
+	"repro/internal/queueing"
 )
 
 // ThresholdModel is the paper's SLO-violation predictor (Eqn. 2):
@@ -95,7 +95,7 @@ func (m *ThresholdModel) Threshold(offered float64) int {
 // recurrence), bypassing the memo table. The table-agreement test pins
 // Threshold to this within one step.
 func (m *ThresholdModel) ThresholdExact(offered float64) int {
-	nq := ExpectedQueueLength(m.K, offered)
+	nq := queueing.ExpectedQueueLength(m.K, offered)
 	if math.IsInf(nq, 1) {
 		return m.UpperBound()
 	}
@@ -158,7 +158,7 @@ func (m *ThresholdModel) rebuildMemo() {
 		lo, hi := 0.0, float64(m.K)
 		for i := 0; i < 64 && lo < hi; i++ {
 			mid := lo + (hi-lo)/2
-			if ExpectedQueueLength(m.K, mid) >= nqT {
+			if queueing.ExpectedQueueLength(m.K, mid) >= nqT {
 				hi = mid
 			} else {
 				lo = mid
@@ -186,16 +186,16 @@ func (m *ThresholdModel) Calibrate(points []CalibrationPoint) error {
 	xs := make([]float64, 0, len(points))
 	ys := make([]float64, 0, len(points))
 	for _, p := range points {
-		nq := ExpectedQueueLength(m.K, p.Offered)
+		nq := queueing.ExpectedQueueLength(m.K, p.Offered)
 		if math.IsInf(nq, 1) || math.IsNaN(nq) {
 			continue
 		}
 		xs = append(xs, m.C*nq+m.D)
 		ys = append(ys, p.ObservedT)
 	}
-	slope, intercept, ok := stats.LinearFit(xs, ys)
+	slope, intercept, ok := LinearFit(xs, ys)
 	if !ok {
-		return fmt.Errorf("queueing: calibration needs >=2 usable points, got %d", len(xs))
+		return fmt.Errorf("policy: calibration needs >=2 usable points, got %d", len(xs))
 	}
 	m.A, m.B = slope, intercept
 	return nil
@@ -205,4 +205,31 @@ func (m *ThresholdModel) Calibrate(points []CalibrationPoint) error {
 // qlen (under the given offered load) is predicted to violate the SLO.
 func (m *ThresholdModel) PredictViolation(qlen int, offered float64) bool {
 	return qlen > m.Threshold(offered)
+}
+
+// LinearFit performs ordinary least squares y = slope*x + intercept.
+// Calibrate uses it to fit the paper's E[T̂] = a·E[c·N̂q+d]+b linear
+// transformation from simulation sweeps; stats.LinearFit delegates here
+// so the repository has one OLS implementation.
+func LinearFit(xs, ys []float64) (slope, intercept float64, ok bool) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, false
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	// den suffers catastrophic cancellation when all xs are (nearly)
+	// equal; compare against the magnitude of its terms, not exact zero.
+	den := n*sxx - sx*sx
+	if math.Abs(den) <= 1e-12*math.Abs(n*sxx) {
+		return 0, 0, false
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept, true
 }

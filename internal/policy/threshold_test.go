@@ -1,0 +1,169 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/queueing"
+)
+
+func TestThresholdModelDefaults(t *testing.T) {
+	m := NewThresholdModel(64, 10)
+	if m.UpperBound() != 641 {
+		t.Fatalf("UpperBound = %d, want 641 (k*L+1)", m.UpperBound())
+	}
+	// At saturation the threshold caps at the upper bound.
+	if got := m.Threshold(64); got != 641 {
+		t.Fatalf("saturated threshold = %d", got)
+	}
+	// At trivial load the threshold floors at 1.
+	if got := m.Threshold(0.001); got != 1 {
+		t.Fatalf("idle threshold = %d", got)
+	}
+	// Threshold is nondecreasing with load.
+	prev := 0
+	for _, a := range []float64{10, 30, 50, 60, 62, 63, 63.5, 63.9} {
+		th := m.Threshold(a)
+		if th < prev {
+			t.Fatalf("threshold decreased at A=%v: %d < %d", a, th, prev)
+		}
+		prev = th
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	m := NewThresholdModel(64, 10)
+	// Synthetic ground truth: T = 2.0*E[Nq] + 30.
+	var pts []CalibrationPoint
+	for _, load := range []float64{0.95, 0.96, 0.97, 0.98, 0.99} {
+		a := load * 64
+		pts = append(pts, CalibrationPoint{
+			Offered:   a,
+			ObservedT: 2.0*(m.C*queueing.ExpectedQueueLength(64, a)+m.D) + 30,
+		})
+	}
+	if err := m.Calibrate(pts); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.A-2.0) > 1e-6 || math.Abs(m.B-30) > 1e-4 {
+		t.Fatalf("calibrated A=%v B=%v", m.A, m.B)
+	}
+	// Round trip: model should now reproduce the synthetic T.
+	a := 0.97 * 64
+	want := int(math.Round(2.0*(m.C*queueing.ExpectedQueueLength(64, a)+m.D) + 30))
+	if got := m.Threshold(a); got != want {
+		t.Fatalf("threshold after calibration = %d, want %d", got, want)
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	m := NewThresholdModel(16, 10)
+	if err := m.Calibrate(nil); err == nil {
+		t.Fatal("empty calibration should fail")
+	}
+	// Saturated points are skipped; only one usable point -> error.
+	pts := []CalibrationPoint{
+		{Offered: 16, ObservedT: 100}, // skipped (Inf E[Nq])
+		{Offered: 15, ObservedT: 80},
+	}
+	if err := m.Calibrate(pts); err == nil {
+		t.Fatal("single usable point should fail")
+	}
+}
+
+func TestPredictViolation(t *testing.T) {
+	m := NewThresholdModel(64, 10)
+	a := 0.99 * 64
+	th := m.Threshold(a)
+	if m.PredictViolation(th, a) {
+		t.Fatal("at threshold should not predict violation")
+	}
+	if !m.PredictViolation(th+1, a) {
+		t.Fatal("above threshold should predict violation")
+	}
+}
+
+// TestThresholdTableAgreement pins the memoized table to the exact
+// Erlang-C evaluation within one threshold step, across the full stable
+// load range and across recalibration (the satellite acceptance bound;
+// in practice the breakpoint table reproduces the exact value).
+func TestThresholdTableAgreement(t *testing.T) {
+	for _, cfg := range []struct {
+		k int
+		l float64
+	}{{64, 10}, {16, 10}, {8, 5}, {2, 20}, {1, 3}} {
+		m := NewThresholdModel(cfg.k, cfg.l)
+		check := func() {
+			t.Helper()
+			for i := 0; i <= 4000; i++ {
+				a := float64(cfg.k) * float64(i) / 4000 * 1.05 // past saturation
+				table, exact := m.Threshold(a), m.ThresholdExact(a)
+				if d := table - exact; d < -1 || d > 1 {
+					t.Fatalf("k=%d L=%v A=%v: table %d vs exact %d",
+						cfg.k, cfg.l, a, table, exact)
+				}
+			}
+		}
+		check()
+		// Recalibration must invalidate the table.
+		m.A, m.B, m.C, m.D = 2.0, 30, 1.5, 0.25
+		check()
+		// Non-monotone constants fall back to exact evaluation.
+		m.A = -1
+		check()
+	}
+}
+
+// TestThresholdMemoRebuilds verifies the table is built once per
+// constant signature, not per call.
+func TestThresholdMemoRebuilds(t *testing.T) {
+	m := NewThresholdModel(64, 10)
+	for i := 0; i < 100; i++ {
+		m.Threshold(float64(i % 64))
+	}
+	if n := m.memo.thresholdRebuilt; n != 1 {
+		t.Fatalf("rebuilt %d times for one signature, want 1", n)
+	}
+	m.C = 0.9
+	m.Threshold(32)
+	m.Threshold(33)
+	if n := m.memo.thresholdRebuilt; n != 2 {
+		t.Fatalf("rebuilt %d times after one mutation, want 2", n)
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x + 1
+	slope, intercept, ok := LinearFit(xs, ys)
+	if !ok || math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 {
+		t.Fatalf("LinearFit = %v, %v, %v", slope, intercept, ok)
+	}
+	if _, _, ok := LinearFit([]float64{1}, []float64{2}); ok {
+		t.Fatal("single point must not fit")
+	}
+	if _, _, ok := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); ok {
+		t.Fatal("degenerate xs must not fit")
+	}
+}
+
+func BenchmarkThreshold(b *testing.B) {
+	m := NewThresholdModel(64, 10)
+	loads := [8]float64{1, 10, 30, 50, 60, 62, 63, 63.9}
+	m.Threshold(1) // build the table outside the timed region
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Threshold(loads[i&7])
+	}
+}
+
+func BenchmarkThresholdExact(b *testing.B) {
+	m := NewThresholdModel(64, 10)
+	loads := [8]float64{1, 10, 30, 50, 60, 62, 63, 63.9}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ThresholdExact(loads[i&7])
+	}
+}

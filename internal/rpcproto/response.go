@@ -1,0 +1,122 @@
+package rpcproto
+
+import "encoding/binary"
+
+// Status is the application-level outcome carried by a response frame.
+type Status uint8
+
+const (
+	StatusOK Status = iota
+	StatusNotFound
+	StatusError
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusNotFound:
+		return "NOT_FOUND"
+	default:
+		return "ERROR"
+	}
+}
+
+// Response is the reply to one Request as carried on the wire by the
+// live runtime's stream transport.
+type Response struct {
+	ID      uint64
+	Status  Status
+	Payload []byte
+}
+
+// response header layout (12 bytes):
+//
+//	0:8   request id
+//	8     status
+//	9     version
+//	10:12 payload length
+const ResponseHeaderSize = 12
+
+// RequestHeaderSize is the fixed request header footprint, exported for
+// stream transports that read a header first and then the payload.
+const RequestHeaderSize = headerSize
+
+// RequestFrameSize returns the total wire length of the request frame
+// whose first RequestHeaderSize bytes are hdr.
+func RequestFrameSize(hdr []byte) (int, error) {
+	if len(hdr) < headerSize {
+		return 0, ErrShortBuffer
+	}
+	if hdr[13] != wireVersion {
+		return 0, ErrBadVersion
+	}
+	return headerSize + int(binary.LittleEndian.Uint16(hdr[14:16])), nil
+}
+
+// AppendRequest encodes r onto dst and returns the extended slice. It is
+// the allocation-free form of Marshal for senders that reuse a buffer.
+func AppendRequest(dst []byte, r *Request) ([]byte, error) {
+	if len(r.Payload) > maxPayload {
+		return dst, ErrPayloadTooLarge
+	}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], r.ID)
+	binary.LittleEndian.PutUint32(hdr[8:12], r.Conn)
+	hdr[12] = byte(r.Op)
+	hdr[13] = wireVersion
+	binary.LittleEndian.PutUint16(hdr[14:16], uint16(len(r.Payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, r.Payload...), nil
+}
+
+// AppendResponse encodes a response frame onto dst and returns the
+// extended slice.
+func AppendResponse(dst []byte, id uint64, st Status, payload []byte) ([]byte, error) {
+	if len(payload) > maxPayload {
+		return dst, ErrPayloadTooLarge
+	}
+	var hdr [ResponseHeaderSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], id)
+	hdr[8] = byte(st)
+	hdr[9] = wireVersion
+	binary.LittleEndian.PutUint16(hdr[10:12], uint16(len(payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...), nil
+}
+
+// ResponseFrameSize returns the total wire length of the response frame
+// whose first ResponseHeaderSize bytes are hdr.
+func ResponseFrameSize(hdr []byte) (int, error) {
+	if len(hdr) < ResponseHeaderSize {
+		return 0, ErrShortBuffer
+	}
+	if hdr[9] != wireVersion {
+		return 0, ErrBadVersion
+	}
+	return ResponseHeaderSize + int(binary.LittleEndian.Uint16(hdr[10:12])), nil
+}
+
+// DecodeResponse parses one response frame from the front of buf and
+// returns it plus the number of bytes consumed. The payload aliases buf;
+// callers that retain it past the next read must copy.
+func DecodeResponse(buf []byte) (Response, int, error) {
+	if len(buf) < ResponseHeaderSize {
+		return Response{}, 0, ErrShortBuffer
+	}
+	if buf[9] != wireVersion {
+		return Response{}, 0, ErrBadVersion
+	}
+	plen := int(binary.LittleEndian.Uint16(buf[10:12]))
+	if len(buf) < ResponseHeaderSize+plen {
+		return Response{}, 0, ErrShortBuffer
+	}
+	resp := Response{
+		ID:     binary.LittleEndian.Uint64(buf[0:8]),
+		Status: Status(buf[8]),
+	}
+	if plen > 0 {
+		resp.Payload = buf[ResponseHeaderSize : ResponseHeaderSize+plen]
+	}
+	return resp, ResponseHeaderSize + plen, nil
+}

@@ -145,16 +145,10 @@ var (
 // real serialisation work an RPC stack performs; the simulator charges
 // its modelled duration separately via StackModel.
 func Marshal(r *Request) ([]byte, error) {
-	if len(r.Payload) > maxPayload {
-		return nil, ErrPayloadTooLarge
+	buf, err := AppendRequest(make([]byte, 0, headerSize+len(r.Payload)), r)
+	if err != nil {
+		return nil, err
 	}
-	buf := make([]byte, headerSize+len(r.Payload))
-	binary.LittleEndian.PutUint64(buf[0:8], r.ID)
-	binary.LittleEndian.PutUint32(buf[8:12], r.Conn)
-	buf[12] = byte(r.Op)
-	buf[13] = wireVersion
-	binary.LittleEndian.PutUint16(buf[14:16], uint16(len(r.Payload)))
-	copy(buf[headerSize:], r.Payload)
 	return buf, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/policy"
 	"repro/internal/sim"
 )
 
@@ -198,29 +199,11 @@ func (h *Histogram) Total() uint64 { return h.total }
 func (h *Histogram) Overflow() uint64 { return h.overflow }
 
 // LinearFit performs ordinary least squares y = slope*x + intercept.
-// It is used by queueing.Calibrate to fit the paper's
-// E[T̂] = a·E[c·N̂q+d]+b linear transformation from simulation sweeps.
+// The implementation lives in the engine-agnostic internal/policy
+// (policy.Calibrate is its other caller); this delegate keeps the
+// historical stats entry point.
 func LinearFit(xs, ys []float64) (slope, intercept float64, ok bool) {
-	if len(xs) != len(ys) || len(xs) < 2 {
-		return 0, 0, false
-	}
-	n := float64(len(xs))
-	var sx, sy, sxx, sxy float64
-	for i := range xs {
-		sx += xs[i]
-		sy += ys[i]
-		sxx += xs[i] * xs[i]
-		sxy += xs[i] * ys[i]
-	}
-	// den suffers catastrophic cancellation when all xs are (nearly)
-	// equal; compare against the magnitude of its terms, not exact zero.
-	den := n*sxx - sx*sx
-	if math.Abs(den) <= 1e-12*math.Abs(n*sxx) {
-		return 0, 0, false
-	}
-	slope = (n*sxy - sx*sy) / den
-	intercept = (sy - slope*sx) / n
-	return slope, intercept, true
+	return policy.LinearFit(xs, ys)
 }
 
 // Mean returns the mean of a float slice (0 for empty input).

@@ -14,6 +14,13 @@
 #   Fig10Par4         same at fleet width 4; the derived
 #                     fig10_par4_speedup ratio records cross-run scaling
 #                     (~1.0 on a single core, >=2 expected on 4+ cores)
+#   PolicyTick        one manager's full per-tick decision (threshold +
+#                     Decide + guard + batch planning) on warm scratch;
+#                     allocs/op must be 0 (TestPolicyTickZeroAlloc is
+#                     the hard gate)
+#   LiveLoopback      the real goroutine runtime end to end over TCP
+#                     loopback (20k RPCs per iteration); rpc/s is the
+#                     headline number
 #
 # The text output is converted to JSON by cmd/benchjson. CI runs this as
 # a non-gating step: the numbers land in the job log and the committed
@@ -28,7 +35,7 @@ raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' \
-    -bench 'BenchmarkEngineEvents$|BenchmarkRequestLifecycle$|BenchmarkQueueLens|BenchmarkFig10Serial$|BenchmarkFig10Par4$' \
+    -bench 'BenchmarkEngineEvents$|BenchmarkRequestLifecycle$|BenchmarkQueueLens|BenchmarkFig10Serial$|BenchmarkFig10Par4$|BenchmarkPolicyTick$|BenchmarkLiveLoopback$' \
     -benchmem -benchtime "${BENCHTIME:-1s}" . | tee "$raw"
 
 go run ./cmd/benchjson <"$raw" >BENCH_sim.json

@@ -53,6 +53,12 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== live runtime soak (race, bounded)"
+# The goroutine runtime's interleavings vary run to run; two extra
+# bounded -race passes over internal/live shake out schedules the single
+# suite run above may not hit. -count=2 defeats test caching.
+go test -race -count=2 -timeout 300s ./internal/live/...
+
 echo "== coverage ratchet"
 # Floors sit a few points below measured coverage; raise them when
 # coverage rises, never lower them to admit a regression.
@@ -85,7 +91,7 @@ go run ./cmd/altobench -exp all -scale quick -check >/dev/null
 echo "== zero-alloc regression guard (non-gating)"
 if [[ -f BENCH_sim.json ]]; then
     allocraw=$(mktemp)
-    go test -run '^$' -bench 'BenchmarkEngineEvents$|BenchmarkQueueLens' \
+    go test -run '^$' -bench 'BenchmarkEngineEvents$|BenchmarkQueueLens|BenchmarkPolicyTick$' \
         -benchmem -benchtime 10000x . >"$allocraw" 2>&1 || true
     if ! go run ./cmd/benchjson -regress BENCH_sim.json <"$allocraw"; then
         echo "WARNING: steady-state alloc regression (see above); refresh BENCH_sim.json via scripts/bench.sh if intended" >&2
