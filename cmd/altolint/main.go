@@ -1,12 +1,16 @@
 // Command altolint runs the repository's domain-specific static
 // analyzers (see internal/lint). It enforces the simulator determinism
-// contract: no wall-clock reads, no global RNG, no concurrency in
+// contract — no wall-clock reads, no global RNG, no concurrency in
 // sim-driven packages, no order-leaking map iteration, no exact float
-// equality in numeric code, and no bare literals posing as sim.Time.
+// equality, no bare literals posing as sim.Time — and the live
+// runtime's concurrency contract: all-or-nothing atomic field access,
+// non-blocking or capacity-blessed channel sends, an acyclic lock
+// order, and cache-line padding around contended atomic counters.
 //
 // Usage:
 //
 //	altolint [-json] [packages]
+//	altolint -escapes [-escapes-write] [packages]
 //
 // Packages may be "./..." (default, the whole module), a directory, or
 // a directory with a /... suffix. Exit status: 0 clean, 1 findings,
@@ -15,6 +19,14 @@
 //	//altolint:allow <analyzer> <reason>
 //
 // on the offending line or the line above it.
+//
+// The -escapes mode is a compiler-diagnostics gate instead of an AST
+// pass: it rebuilds the hotpath packages (default: internal/policy,
+// internal/arena, internal/live) with -gcflags='-m=1
+// -d=ssa/check_bce/debug=1' and fails on any heap escape or bounds
+// check inside a //altolint:hotpath function that is not covered by
+// the checked-in allowlist (internal/lint/testdata/escapes/allow.txt).
+// -escapes-write regenerates the allowlist from the current build.
 package main
 
 import (
@@ -22,16 +34,27 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"path/filepath"
 
 	"repro/internal/lint"
 )
 
+// escapesDefaultPatterns are the hotpath packages the -escapes gate
+// covers when no patterns are given: the policy core and arena (shared
+// per-request code) and the live runtime.
+var escapesDefaultPatterns = []string{"internal/policy", "internal/arena", "internal/live"}
+
+// escapesAllowFile is the checked-in allowlist, relative to the module
+// root.
+const escapesAllowFile = "internal/lint/testdata/escapes/allow.txt"
+
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON (for CI)")
 	listAnalyzers := flag.Bool("list", false, "list analyzers and exit")
+	escapes := flag.Bool("escapes", false, "run the compiler-diagnostics hotpath gate instead of the AST analyzers")
+	escapesWrite := flag.Bool("escapes-write", false, "with -escapes: regenerate the allowlist from the current diagnostics")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: altolint [-json] [-list] [packages]")
+		fmt.Fprintln(os.Stderr, "usage: altolint [-json] [-list] [-escapes [-escapes-write]] [packages]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -39,8 +62,9 @@ func main() {
 	analyzers := lint.All()
 	if *listAnalyzers {
 		for _, a := range analyzers {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
 		}
+		fmt.Printf("%-11s %s\n", "escapes", "compiler-diagnostics gate: no heap escapes or bounds checks in hotpath functions (-escapes)")
 		return
 	}
 
@@ -57,16 +81,50 @@ func main() {
 		fatal(err)
 	}
 
-	pkgs, err := load(loader, flag.Args())
+	if *escapes {
+		runEscapes(loader, flag.Args(), *jsonOut, *escapesWrite)
+		return
+	}
+
+	pkgs, err := lint.LoadPatterns(loader, flag.Args())
 	if err != nil {
 		fatal(err)
 	}
 
 	diags := lint.Run(pkgs, analyzers)
+	emit(diags, *jsonOut, len(pkgs))
+}
+
+// runEscapes drives the compiler-diagnostics gate and exits.
+func runEscapes(loader *lint.Loader, patterns []string, jsonOut, write bool) {
+	if len(patterns) == 0 {
+		patterns = escapesDefaultPatterns
+	}
+	diags, err := lint.RunEscapes(loader, patterns)
+	if err != nil {
+		fatal(err)
+	}
+	allowPath := filepath.Join(loader.Root, filepath.FromSlash(escapesAllowFile))
+	if write {
+		if err := os.WriteFile(allowPath, []byte(lint.FormatEscapeAllow(diags)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("altolint: wrote %d hotpath diagnostic(s) to %s\n", len(diags), escapesAllowFile)
+		return
+	}
+	data, err := os.ReadFile(allowPath)
+	if err != nil && !os.IsNotExist(err) {
+		fatal(err)
+	}
+	findings := lint.CheckEscapes(diags, lint.ParseEscapeAllow(string(data)), escapesAllowFile)
+	emit(findings, jsonOut, len(patterns))
+}
+
+func emit(diags []lint.Diagnostic, jsonOut bool, pkgCount int) {
 	if diags == nil {
 		diags = []lint.Diagnostic{} // -json emits [] rather than null
 	}
-	if *jsonOut {
+	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(diags); err != nil {
@@ -77,54 +135,12 @@ func main() {
 			fmt.Println(d)
 		}
 		if len(diags) > 0 {
-			fmt.Fprintf(os.Stderr, "altolint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+			fmt.Fprintf(os.Stderr, "altolint: %d finding(s) in %d package(s)\n", len(diags), pkgCount)
 		}
 	}
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
-}
-
-// load resolves package patterns. No args and "./..." both mean the
-// whole module; "dir/..." means the subtree; anything else is a single
-// package directory.
-func load(loader *lint.Loader, patterns []string) ([]*lint.Package, error) {
-	if len(patterns) == 0 {
-		return loader.LoadAll()
-	}
-	var pkgs []*lint.Package
-	seen := make(map[string]bool)
-	add := func(ps ...*lint.Package) {
-		for _, p := range ps {
-			if !seen[p.Path] {
-				seen[p.Path] = true
-				pkgs = append(pkgs, p)
-			}
-		}
-	}
-	for _, pat := range patterns {
-		switch {
-		case pat == "./..." || pat == "...":
-			all, err := loader.LoadAll()
-			if err != nil {
-				return nil, err
-			}
-			add(all...)
-		case strings.HasSuffix(pat, "/..."):
-			sub, err := loader.LoadTree(strings.TrimSuffix(pat, "/..."))
-			if err != nil {
-				return nil, err
-			}
-			add(sub...)
-		default:
-			pkg, err := loader.LoadDir(pat)
-			if err != nil {
-				return nil, err
-			}
-			add(pkg)
-		}
-	}
-	return pkgs, nil
 }
 
 func fatal(err error) {

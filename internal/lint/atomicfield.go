@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerAtomicField enforces all-or-nothing atomicity per field: a
+// struct field (or package-level variable) that is accessed through
+// sync/atomic anywhere must be accessed atomically everywhere. A mixed
+// regime — atomic.AddUint64(&s.n, 1) on the hot path but a bare s.n
+// read in a report path — is a data race the compiler happily compiles
+// and the race detector only catches if a soak happens to interleave
+// the two; the lint catches it on every run.
+//
+// Two access regimes are checked:
+//
+//   - old-style fields (plain integer fields whose address is passed to
+//     a sync/atomic function): every other access — read, write, or
+//     taking the address outside a sync/atomic call — is a finding;
+//   - typed fields (atomic.Int64, atomic.Uint64, ...): the only
+//     sanctioned uses are method selection (f.Load(), f.Store(v)) and
+//     taking the address (to pass *atomic.T); using the field as a
+//     plain value (copy, assignment, comparison) is a finding. The
+//     type system blocks most misuse of typed atomics; this closes the
+//     copy-out hole that go vet's copylocks reports only for whole
+//     struct copies.
+var AnalyzerAtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "forbid mixed atomic/plain access to fields accessed via sync/atomic",
+	Run:  runAtomicField,
+}
+
+// isAtomicScalar reports whether t is one of the typed atomics of
+// sync/atomic (atomic.Int64, atomic.Uint32, atomic.Bool, ...).
+func isAtomicScalar(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// atomicTarget resolves the operand of a &x.f / &v argument to a
+// sync/atomic call: the field or package-level variable object whose
+// address is taken, or nil.
+func atomicTarget(pass *Pass, arg ast.Expr) types.Object {
+	u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	return addressableObject(pass, u.X)
+}
+
+// addressableObject resolves x.f, x.f[i], v, or v[i] to the underlying
+// field or variable object.
+func addressableObject(pass *Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Pkg.Info.Selections[e]; ok {
+			return sel.Obj()
+		}
+		return pass.Pkg.Info.Uses[e.Sel]
+	case *ast.IndexExpr:
+		return addressableObject(pass, e.X)
+	case *ast.Ident:
+		return pass.Pkg.Info.Uses[e]
+	}
+	return nil
+}
+
+func runAtomicField(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// Pass 1: find every old-style atomic access — a call into
+	// sync/atomic taking &target — and remember both the sanctioned
+	// argument nodes and the target objects.
+	oldStyle := make(map[types.Object]bool)
+	sanctioned := make(map[ast.Node]bool) // the &x.f operand expressions inside atomic calls
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fun, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pn := pass.PkgNameOf(fun.X)
+			if pn == nil || pn.Imported().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if obj := atomicTarget(pass, arg); obj != nil {
+					oldStyle[obj] = true
+					u := ast.Unparen(arg).(*ast.UnaryExpr)
+					markSanctioned(sanctioned, u.X)
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: check every use. Old-style targets may only appear inside
+	// the sanctioned &target arguments; typed atomic fields may only be
+	// method receivers or address operands.
+	for _, f := range pass.Pkg.Files {
+		parents := parentMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			var obj types.Object
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+					obj = sel.Obj()
+				}
+			case *ast.Ident:
+				if o := info.Uses[n]; o != nil {
+					if v, ok := o.(*types.Var); ok && !v.IsField() && v.Parent() == pass.Pkg.Types.Scope() {
+						obj = o // package-level variable use
+					}
+				}
+			default:
+				return true
+			}
+			if obj == nil {
+				return true
+			}
+			if oldStyle[obj] {
+				if !sanctioned[n] {
+					pass.Reportf(n.Pos(),
+						"%s is accessed via sync/atomic elsewhere; this plain access races with those atomic operations", obj.Name())
+				}
+				return true
+			}
+			if v, ok := obj.(*types.Var); ok && v.IsField() && isAtomicScalar(v.Type()) {
+				if !typedAtomicUseOK(n, parents) {
+					pass.Reportf(n.Pos(),
+						"atomic field %s used as a plain value; go through its Load/Store/Add methods", obj.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// markSanctioned records the operand of a sync/atomic &arg, including
+// the inner selector of an index expression (&counts[i] sanctions the
+// counts selector node too).
+func markSanctioned(sanctioned map[ast.Node]bool, e ast.Expr) {
+	e = ast.Unparen(e)
+	sanctioned[e] = true
+	if ix, ok := e.(*ast.IndexExpr); ok {
+		markSanctioned(sanctioned, ix.X)
+	}
+}
+
+// typedAtomicUseOK reports whether a use of an atomic-typed field is in
+// one of the sanctioned positions: receiver of a method selection
+// (f.Load()), operand of & (passing *atomic.T), or the indexee when the
+// field is addressed through an index.
+func typedAtomicUseOK(n ast.Node, parents map[ast.Node]ast.Node) bool {
+	switch p := parents[n].(type) {
+	case *ast.SelectorExpr:
+		// f.Load / f.Store method selection: n is the X of the selector.
+		return p.X == n
+	case *ast.UnaryExpr:
+		return p.Op == token.AND
+	case *ast.ParenExpr:
+		return typedAtomicUseOK(p, parents)
+	}
+	return false
+}
+
+// parentMap builds the immediate-parent relation for every node in f.
+func parentMap(f *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -1,0 +1,284 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The escapes driver turns two compiler outputs into a lint gate for
+// //altolint:hotpath functions: escape analysis (-gcflags=-m=1) and the
+// bounds-check-elimination debug trace (-d=ssa/check_bce/debug=1). A
+// heap escape on a per-request path is an allocation the hotalloc
+// analyzer cannot see (it only reads syntax; the compiler decides what
+// actually escapes), and a bounds check is a branch the paper's
+// nanosecond budget has no room for. Both degrade silently: the code
+// still compiles, the tests still pass, only the ns/op drifts.
+//
+// The driver rebuilds the hotpath packages with diagnostics on, keeps
+// the messages that land inside hotpath function bodies, and diffs them
+// against a checked-in allowlist (testdata/escapes/allow.txt), so a new
+// escape or bounds check on a hot function is a finding the moment it
+// appears — and a fixed one rots its allowlist entry, which is also a
+// finding. Entries are function-granular (package, function, message
+// substring), not line-granular, so routine edits don't churn the file.
+//
+// The Go build cache replays compiler diagnostics on cache hits, so
+// running the driver repeatedly is cheap and reliable.
+
+// EscapeDiag is one compiler diagnostic attributed to a hotpath
+// function.
+type EscapeDiag struct {
+	File    string // path relative to the module root
+	Line    int
+	Col     int
+	PkgPath string // import path, e.g. "repro/internal/live"
+	Func    string // Type.method for methods, plain name for functions
+	Message string // compiler message, e.g. "t escapes to heap"
+}
+
+// EscapeAllow is one parsed allowlist entry.
+type EscapeAllow struct {
+	PkgPath string
+	Func    string
+	Substr  string // matched against EscapeDiag.Message
+	Line    int    // in the allowlist file, for rot findings
+	used    bool
+}
+
+// escapeDiagRE matches the compiler's file:line:col: message lines.
+var escapeDiagRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.+)$`)
+
+// escapeInteresting keeps the diagnostics the gate is about; inlining
+// chatter, "does not escape" confirmations and parameter leaks are
+// dropped.
+func escapeInteresting(msg string) bool {
+	switch {
+	case strings.HasSuffix(msg, "escapes to heap"):
+		return true
+	case strings.HasPrefix(msg, "moved to heap:"):
+		return true
+	case msg == "Found IsInBounds" || msg == "Found IsSliceInBounds":
+		return true
+	}
+	return false
+}
+
+// hotRange is one //altolint:hotpath function's body span.
+type hotRange struct {
+	pkgPath    string
+	name       string
+	start, end int // line range, inclusive
+}
+
+// hotPathRanges maps root-relative file path -> hotpath function spans
+// for the given packages.
+func hotPathRanges(root string, pkgs []*Package) map[string][]hotRange {
+	ranges := make(map[string][]hotRange)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !isHotPath(fd.Doc) {
+					continue
+				}
+				start := pkg.Fset.Position(fd.Pos())
+				end := pkg.Fset.Position(fd.End())
+				rel, err := filepath.Rel(root, start.Filename)
+				if err != nil {
+					rel = start.Filename
+				}
+				rel = filepath.ToSlash(rel)
+				ranges[rel] = append(ranges[rel], hotRange{
+					pkgPath: pkg.Path,
+					name:    funcDisplayName(fd),
+					start:   start.Line,
+					end:     end.Line,
+				})
+			}
+		}
+	}
+	return ranges
+}
+
+// funcDisplayName renders serve as worker.serve for methods.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return id.Name + "." + fd.Name.Name
+		}
+	}
+	return fd.Name.Name
+}
+
+// RunEscapes rebuilds the packages matched by patterns with escape and
+// bounds-check diagnostics enabled and returns every interesting
+// diagnostic inside a //altolint:hotpath function. Patterns follow the
+// altolint command's convention (directory, dir/..., or ./... for the
+// whole module).
+func RunEscapes(loader *Loader, patterns []string) ([]EscapeDiag, error) {
+	pkgs, err := LoadPatterns(loader, patterns)
+	if err != nil {
+		return nil, err
+	}
+	ranges := hotPathRanges(loader.Root, pkgs)
+
+	// Rebuild exactly the loaded packages: deriving the build targets
+	// from the loaded set keeps the hotpath scan and the compiler run on
+	// the same footing whatever pattern form the caller used.
+	args := []string{"build", "-gcflags=-m=1 -d=ssa/check_bce/debug=1"}
+	for _, pkg := range pkgs {
+		rel, err := filepath.Rel(loader.Root, pkg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, "./"+filepath.ToSlash(rel))
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = loader.Root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go build for escape diagnostics: %v\n%s", err, out)
+	}
+
+	var diags []EscapeDiag
+	for _, line := range strings.Split(string(out), "\n") {
+		m := escapeDiagRE.FindStringSubmatch(line)
+		if m == nil {
+			continue // "# pkg" headers, blank lines
+		}
+		msg := m[4]
+		if !escapeInteresting(msg) {
+			continue
+		}
+		lineNo, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		file := filepath.ToSlash(m[1])
+		for _, hr := range ranges[file] {
+			if lineNo >= hr.start && lineNo <= hr.end {
+				diags = append(diags, EscapeDiag{
+					File:    file,
+					Line:    lineNo,
+					Col:     col,
+					PkgPath: hr.pkgPath,
+					Func:    hr.name,
+					Message: msg,
+				})
+				break
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}
+
+// ParseEscapeAllow parses the allowlist format: one entry per line,
+// <import path> <function> <message substring>, with blank lines and
+// #-comments skipped.
+func ParseEscapeAllow(data string) []*EscapeAllow {
+	var allows []*EscapeAllow
+	for i, line := range strings.Split(data, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 3)
+		a := &EscapeAllow{PkgPath: fields[0], Line: i + 1}
+		if len(fields) > 1 {
+			a.Func = fields[1]
+		}
+		if len(fields) > 2 {
+			a.Substr = strings.TrimSpace(fields[2])
+		}
+		allows = append(allows, a)
+	}
+	return allows
+}
+
+// CheckEscapes diffs the observed diagnostics against the allowlist:
+// a hotpath diagnostic with no matching entry is a finding, and so is
+// an entry no diagnostic matches (the escape it documented is gone —
+// delete the entry so it cannot mask a future regression).
+func CheckEscapes(diags []EscapeDiag, allows []*EscapeAllow, allowFile string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		allowed := false
+		for _, a := range allows {
+			if a.PkgPath == d.PkgPath && a.Func == d.Func && a.Substr != "" && strings.Contains(d.Message, a.Substr) {
+				a.used = true
+				allowed = true
+			}
+		}
+		if allowed {
+			continue
+		}
+		kind := "heap escape"
+		if strings.HasPrefix(d.Message, "Found Is") {
+			kind = "bounds check"
+		}
+		out = append(out, Diagnostic{
+			Analyzer: "escapes",
+			File:     d.File,
+			Line:     d.Line,
+			Col:      d.Col,
+			Message: fmt.Sprintf("%s in hotpath function %s: %q is not in the escapes allowlist (%s)",
+				kind, d.Func, d.Message, allowFile),
+		})
+	}
+	for _, a := range allows {
+		if !a.used {
+			out = append(out, Diagnostic{
+				Analyzer: "escapes",
+				File:     allowFile,
+				Line:     a.Line,
+				Message: fmt.Sprintf("unused escapes allowlist entry %s %s %q: the diagnostic no longer occurs — delete the entry",
+					a.PkgPath, a.Func, a.Substr),
+			})
+		}
+	}
+	sortDiags(out)
+	return out
+}
+
+// FormatEscapeAllow renders the current diagnostics as allowlist
+// content (the -escapes-write output), deduplicated to one entry per
+// (package, function, message).
+func FormatEscapeAllow(diags []EscapeDiag) string {
+	var b strings.Builder
+	b.WriteString("# escapes allowlist: compiler diagnostics accepted inside //altolint:hotpath\n")
+	b.WriteString("# functions. One entry per line: <import path> <function> <message substring>.\n")
+	b.WriteString("# Regenerate with: go run ./cmd/altolint -escapes -escapes-write\n")
+	seen := make(map[string]bool)
+	var lines []string
+	for _, d := range diags {
+		line := d.PkgPath + " " + d.Func + " " + d.Message
+		if !seen[line] {
+			seen[line] = true
+			lines = append(lines, line)
+		}
+	}
+	sort.Strings(lines)
+	for _, line := range lines {
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEscapesDriver runs the compiler-diagnostics gate over the golden
+// fixture: the hotpath function's heap escape and bounds check must
+// surface with the right attribution, the unannotated twin must stay
+// silent, and the allowlist diff must let blessed messages through
+// while flagging unknown diagnostics and rotted entries.
+func TestEscapesDriver(t *testing.T) {
+	loader := testLoader(t)
+	fixture := filepath.Join("testdata", "escapes", "src")
+	diags, err := RunEscapes(loader, []string{fixture})
+	if err != nil {
+		t.Fatalf("RunEscapes: %v", err)
+	}
+
+	var gotEscape, gotBounds bool
+	for _, d := range diags {
+		if d.Func == "cold" {
+			t.Errorf("diagnostic attributed to unannotated function cold: %v", d)
+		}
+		if d.Func != "hot" {
+			continue
+		}
+		if strings.HasSuffix(d.Message, "escapes to heap") {
+			gotEscape = true
+		}
+		if d.Message == "Found IsInBounds" {
+			gotBounds = true
+		}
+	}
+	if !gotEscape || !gotBounds {
+		t.Fatalf("want a heap escape and a bounds check in hot, got %v", diags)
+	}
+
+	// Allowlist diff: the escape is blessed, the bounds check is not,
+	// and one entry matches nothing (rot).
+	pkgPath := loader.Module + "/internal/lint/testdata/escapes/src"
+	allows := ParseEscapeAllow(
+		"# fixture allowlist\n" +
+			pkgPath + " hot escapes to heap\n" +
+			pkgPath + " gone Found IsInBounds\n")
+	findings := CheckEscapes(diags, allows, "allow.txt")
+	var gotBoundsFinding, gotRot bool
+	for _, f := range findings {
+		if strings.Contains(f.Message, "escapes to heap") && !strings.Contains(f.Message, "unused") {
+			t.Errorf("blessed escape still reported: %v", f)
+		}
+		if strings.Contains(f.Message, "bounds check in hotpath function hot") {
+			gotBoundsFinding = true
+		}
+		if strings.Contains(f.Message, "unused escapes allowlist entry") && strings.Contains(f.Message, "gone") {
+			gotRot = true
+		}
+	}
+	if !gotBoundsFinding || !gotRot {
+		t.Fatalf("want the unblessed bounds check plus the rotted entry, got %v", findings)
+	}
+}
+
+// TestEscapeAllowlistWellFormed keeps the checked-in allowlist honest
+// without re-running the compiler: every entry names a module package,
+// a function, and a non-empty message substring the driver recognizes.
+func TestEscapeAllowlistWellFormed(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "escapes", "allow.txt"))
+	if err != nil {
+		t.Fatalf("reading checked-in allowlist: %v", err)
+	}
+	allows := ParseEscapeAllow(string(data))
+	if len(allows) == 0 {
+		t.Fatal("checked-in allowlist has no entries; regenerate with altolint -escapes -escapes-write")
+	}
+	for _, a := range allows {
+		if !strings.HasPrefix(a.PkgPath, "repro/") {
+			t.Errorf("allow.txt:%d: package %q is not a module package", a.Line, a.PkgPath)
+		}
+		if a.Func == "" || a.Substr == "" {
+			t.Errorf("allow.txt:%d: entry needs <pkg> <func> <message substring>", a.Line)
+		}
+		if !escapeInteresting(a.Substr) && !strings.Contains(a.Substr, "escapes to heap") &&
+			!strings.HasPrefix(a.Substr, "moved to heap") {
+			t.Errorf("allow.txt:%d: substring %q matches no diagnostic the driver keeps", a.Line, a.Substr)
+		}
+	}
+}

@@ -116,6 +116,42 @@ func TestLiveBoundary(t *testing.T) {
 	}
 }
 
+// TestSendBound covers the live half of the sendbound contract, which
+// TestGolden cannot reach: testdata/sendbound sits outside an
+// internal/live path, so enforcement there is off by design (it pins
+// the copycat-directive finding instead). The sendboundlive tree
+// carries the real import-path suffix and pins blocking-send findings,
+// blessed sends, and directive rot; the reason-less directive is
+// asserted directly (a trailing want comment would parse as the
+// directive's reason).
+func TestSendBound(t *testing.T) {
+	loader := testLoader(t)
+
+	live, err := loader.LoadDir(filepath.Join("testdata", "sendboundlive", "internal", "live"))
+	if err != nil {
+		t.Fatalf("loading sendboundlive testdata: %v", err)
+	}
+	checkExpectations(t, live, RunAnalyzer(AnalyzerSendBound, live))
+
+	noreason, err := loader.LoadDir(filepath.Join("testdata", "sendboundnoreason", "internal", "live"))
+	if err != nil {
+		t.Fatalf("loading sendboundnoreason testdata: %v", err)
+	}
+	diags := RunAnalyzer(AnalyzerSendBound, noreason)
+	var gotMissing, gotBlocking bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "bounded-send directive is missing a reason") {
+			gotMissing = true
+		}
+		if strings.Contains(d.Message, "blocking send on out") {
+			gotBlocking = true
+		}
+	}
+	if !gotMissing || !gotBlocking || len(diags) != 2 {
+		t.Fatalf("reason-less bounded-send directive: got %v, want the missing-reason finding plus the blocking-send finding", diags)
+	}
+}
+
 var wantRE = regexp.MustCompile(`// want (".*")\s*$`)
 var wantStrRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
 

@@ -153,6 +153,10 @@ func All() []*Analyzer {
 		AnalyzerFloatCmp,
 		AnalyzerSimTime,
 		AnalyzerHotAlloc,
+		AnalyzerAtomicField,
+		AnalyzerSendBound,
+		AnalyzerLockOrder,
+		AnalyzerPadAlign,
 	}
 }
 

@@ -209,6 +209,48 @@ func (l *Loader) LoadTree(dir string) ([]*Package, error) {
 	return pkgs, nil
 }
 
+// LoadPatterns resolves the altolint command's package patterns. No
+// patterns and "./..." both mean the whole module; "dir/..." means the
+// subtree; anything else is a single package directory.
+func LoadPatterns(loader *Loader, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		return loader.LoadAll()
+	}
+	var pkgs []*Package
+	seen := make(map[string]bool)
+	add := func(ps ...*Package) {
+		for _, p := range ps {
+			if !seen[p.Path] {
+				seen[p.Path] = true
+				pkgs = append(pkgs, p)
+			}
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			all, err := loader.LoadAll()
+			if err != nil {
+				return nil, err
+			}
+			add(all...)
+		case strings.HasSuffix(pat, "/..."):
+			sub, err := loader.LoadTree(strings.TrimSuffix(pat, "/..."))
+			if err != nil {
+				return nil, err
+			}
+			add(sub...)
+		default:
+			pkg, err := loader.LoadDir(pat)
+			if err != nil {
+				return nil, err
+			}
+			add(pkg)
+		}
+	}
+	return pkgs, nil
+}
+
 // packageDirs returns every directory under root holding at least one
 // non-test Go file.
 func (l *Loader) packageDirs(root string) ([]string, error) {

@@ -1,0 +1,281 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AnalyzerLockOrder builds a static intra-package lock-acquisition
+// graph and flags cycles. Mutexes are keyed by their declaration site
+// (struct type + field, or package/function variable); an edge A -> B
+// means some code path acquires B while holding A, either directly or
+// by calling a same-package function that acquires B. A cycle in that
+// graph is a potential deadlock: two goroutines entering the cycle from
+// different edges can each hold the lock the other needs. Nested
+// acquisition of the same key is reported immediately (Go's sync.Mutex
+// is not reentrant).
+//
+// The analysis is deliberately conservative and syntactic: held-lock
+// state is tracked in source order within each function (a Lock with no
+// later Unlock — including `defer mu.Unlock()` — holds to the end of
+// the function), and call edges follow the transitive may-acquire set
+// of same-package callees. It can over-approximate (an "edge" both
+// branches of an if cannot take together), so findings suppress with
+// //altolint:allow lockorder <reason> when a cycle is provably
+// unreachable — the reason then documents the real ordering protocol.
+var AnalyzerLockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "flag cycles in the intra-package lock-acquisition graph",
+	Applies: func(p *Package) bool {
+		return strings.HasSuffix(p.Path, "/internal/live")
+	},
+	Run: runLockOrder,
+}
+
+// lockMethod classifies sync.Mutex/RWMutex method names.
+var lockAcquire = map[string]bool{"Lock": true, "RLock": true}
+var lockRelease = map[string]bool{"Unlock": true, "RUnlock": true}
+
+// lockEdge is one acquired-while-held observation.
+type lockEdge struct {
+	from, to string
+	pos      ast.Node
+}
+
+func runLockOrder(pass *Pass) {
+	// Function summaries: every lock key a function acquires directly.
+	direct := make(map[*types.Func]map[string]bool)
+	calls := make(map[*types.Func]map[*types.Func]bool)
+	var fnDecls []*ast.FuncDecl
+	fnOf := make(map[*ast.FuncDecl]*types.Func)
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			fnDecls = append(fnDecls, fd)
+			fnOf[fd] = obj
+			direct[obj] = make(map[string]bool)
+			calls[obj] = make(map[*types.Func]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if key, acquire := lockCall(pass, fd, call); key != "" && acquire {
+					direct[obj][key] = true
+				} else if callee := sameePackageCallee(pass, call); callee != nil {
+					calls[obj][callee] = true
+				}
+				return true
+			})
+		}
+	}
+
+	// Fixpoint: may-acquire closes direct over the call graph.
+	may := make(map[*types.Func]map[string]bool, len(direct))
+	for fn, d := range direct {
+		may[fn] = make(map[string]bool, len(d))
+		for k := range d {
+			may[fn][k] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn := range may {
+			for callee := range calls[fn] {
+				for k := range may[callee] {
+					if !may[fn][k] {
+						may[fn][k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Edge pass: walk each function in source order with a held stack.
+	var edges []lockEdge
+	seen := make(map[string]bool)
+	addEdge := func(from, to string, pos ast.Node) {
+		id := from + "->" + to
+		if !seen[id] {
+			seen[id] = true
+			edges = append(edges, lockEdge{from: from, to: to, pos: pos})
+		}
+	}
+	for _, fd := range fnDecls {
+		deferred := make(map[*ast.CallExpr]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if d, ok := n.(*ast.DeferStmt); ok {
+				deferred[d.Call] = true
+			}
+			return true
+		})
+		var held []string
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if deferred[call] {
+				// defer mu.Unlock(): the lock stays held for the rest of
+				// the function, which is exactly what leaving it on the
+				// held stack models. Deferred lock-taking calls are too
+				// rare to model; skip them.
+				return true
+			}
+			if key, acquire := lockCall(pass, fd, call); key != "" {
+				if acquire {
+					for _, h := range held {
+						if h == key {
+							pass.Reportf(call.Pos(), "nested acquisition of %s: sync mutexes are not reentrant", key)
+							return true
+						}
+					}
+					for _, h := range held {
+						addEdge(h, key, call)
+					}
+					held = append(held, key)
+				} else {
+					for i := len(held) - 1; i >= 0; i-- {
+						if held[i] == key {
+							held = append(held[:i], held[i+1:]...)
+							break
+						}
+					}
+				}
+				return true
+			}
+			if callee := sameePackageCallee(pass, call); callee != nil && len(held) > 0 {
+				for k := range may[callee] {
+					for _, h := range held {
+						if h == k {
+							pass.Reportf(call.Pos(),
+								"call to %s while holding %s: the callee acquires %s (not reentrant)", callee.Name(), h, k)
+						} else {
+							addEdge(h, k, call)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Cycle detection: report every edge whose target can reach its
+	// source back through the graph.
+	adj := make(map[string][]string)
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	reaches := func(from, to string) bool {
+		visited := map[string]bool{}
+		stack := []string{from}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if n == to {
+				return true
+			}
+			if visited[n] {
+				continue
+			}
+			visited[n] = true
+			stack = append(stack, adj[n]...)
+		}
+		return false
+	}
+	sort.SliceStable(edges, func(i, j int) bool { return edges[i].pos.Pos() < edges[j].pos.Pos() })
+	for _, e := range edges {
+		if reaches(e.to, e.from) {
+			pass.Reportf(e.pos.Pos(),
+				"acquiring %s while holding %s creates a lock-order cycle (%s is also held while acquiring %s elsewhere)",
+				e.to, e.from, e.to, e.from)
+		}
+	}
+}
+
+// lockCall classifies call as a mutex acquisition/release and returns
+// the lock's key, or "" when it is not a mutex operation.
+func lockCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) (key string, acquire bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	acq, rel := lockAcquire[sel.Sel.Name], lockRelease[sel.Sel.Name]
+	if !acq && !rel {
+		return "", false
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return "", false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	if obj := named.Obj(); obj.Pkg() == nil || obj.Pkg().Path() != "sync" ||
+		(obj.Name() != "Mutex" && obj.Name() != "RWMutex") {
+		return "", false
+	}
+	return lockKeyOf(pass, fd, sel.X), acq
+}
+
+// lockKeyOf derives a stable identity for the mutex expression: the
+// owning struct type and field for fields (through any number of
+// selectors and indexes), the package or function scope for variables.
+func lockKeyOf(pass *Pass, fd *ast.FuncDecl, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Pkg.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			recv := sel.Recv()
+			if p, ok := recv.Underlying().(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			if named, ok := recv.(*types.Named); ok {
+				return named.Obj().Name() + "." + e.Sel.Name
+			}
+		}
+		return e.Sel.Name
+	case *ast.IndexExpr:
+		return lockKeyOf(pass, fd, e.X)
+	case *ast.Ident:
+		if obj := pass.Pkg.Info.Uses[e]; obj != nil {
+			if v, ok := obj.(*types.Var); ok && v.Parent() == pass.Pkg.Types.Scope() {
+				return e.Name // package-level mutex
+			}
+		}
+		return fd.Name.Name + "." + e.Name // function-local mutex
+	}
+	return "<mutex>"
+}
+
+// sameePackageCallee resolves call to a function or method declared in
+// the package under analysis, or nil.
+func sameePackageCallee(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := pass.Pkg.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg() != pass.Pkg.Types {
+		return nil
+	}
+	return fn
+}

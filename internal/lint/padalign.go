@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerPadAlign guards the live runtime's contended atomics against
+// false sharing. An []atomic.Int64 board packs eight counters per 64B
+// cache line; when different goroutines write neighbouring entries, the
+// line ping-pongs between cores and every Store pays a coherence miss —
+// the exact cost the UPDATE broadcast of the paper exists to avoid.
+// The same applies to adjacent atomic fields of one struct written by
+// different goroutines.
+//
+// Flagged shapes (in internal/live, the only package with cross-core
+// atomics on the hot path):
+//
+//   - slice or array types whose element is a bare sync/atomic scalar
+//     (atomic.Int64, atomic.Uint64, ...): wrap the element in a
+//     cache-line-padded struct, one counter per 64B line;
+//   - two adjacent struct fields of bare sync/atomic scalar type: pad
+//     between them or use the padded wrapper.
+//
+// Single-writer or write-once layouts where padding buys nothing are
+// annotated //altolint:allow padalign <reason>; the reason records the
+// ownership argument.
+var AnalyzerPadAlign = &Analyzer{
+	Name: "padalign",
+	Doc:  "require cache-line padding around contended atomic counters",
+	Applies: func(p *Package) bool {
+		return strings.HasSuffix(p.Path, "/internal/live")
+	},
+	Run: runPadAlign,
+}
+
+func runPadAlign(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ArrayType:
+				if t := pass.TypeOf(n.Elt); t != nil && isAtomicScalar(t) {
+					pass.Reportf(n.Pos(),
+						"array of bare %s packs multiple counters per cache line; wrap the element in a cache-line-padded struct", typeShort(t))
+				}
+			case *ast.StructType:
+				var prev *ast.Field
+				for _, field := range n.Fields.List {
+					t := pass.TypeOf(field.Type)
+					atomicF := t != nil && isAtomicScalar(t)
+					if atomicF && len(field.Names) > 1 {
+						pass.Reportf(field.Pos(),
+							"adjacent atomic fields %s share a cache line; pad between them or use a padded wrapper", fieldNames(field))
+					} else if atomicF && prev != nil {
+						if pt := pass.TypeOf(prev.Type); pt != nil && isAtomicScalar(pt) {
+							pass.Reportf(field.Pos(),
+								"atomic field %s is adjacent to atomic field %s; they share a cache line — pad between them or use a padded wrapper",
+								fieldNames(field), fieldNames(prev))
+						}
+					}
+					prev = field
+				}
+			}
+			return true
+		})
+	}
+}
+
+// typeShort renders atomic.Int64 rather than sync/atomic.Int64.
+func typeShort(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		return "atomic." + named.Obj().Name()
+	}
+	return t.String()
+}
+
+// fieldNames joins a field's names ("a, b"), or renders the embedded
+// type name.
+func fieldNames(f *ast.Field) string {
+	if len(f.Names) == 0 {
+		if sel, ok := f.Type.(*ast.SelectorExpr); ok {
+			return sel.Sel.Name
+		}
+		return "<embedded>"
+	}
+	names := make([]string, len(f.Names))
+	for i, n := range f.Names {
+		names[i] = n.Name
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerSendBound enforces the live runtime's non-blocking-send
+// contract. The manager goroutine of internal/live is the scheduler hot
+// loop: a send that can block parks the manager on the Go runtime's
+// semaphore and every queued request behind it eats the stall, which is
+// exactly the failure mode ALTOCUMULUS's bounded hardware FIFOs exist
+// to rule out. Every channel send in internal/live must therefore be
+//
+//   - non-blocking by construction: a select case with a default
+//     clause (a full channel is a NACK, never a stall), or
+//   - on a channel whose bounded-capacity invariant is blessed with a
+//     //altolint:bounded-send <reason> directive on the channel's
+//     declaration: the comment records WHY the send can never block
+//     (e.g. "manager never exceeds WorkerDepth outstanding").
+//
+// The directive is rot-checked like the fleet/live boundary opt-ins: a
+// reason is mandatory, a directive outside internal/live is itself a
+// finding (copycats cannot launder blocking sends elsewhere), a
+// directive that does not sit on a channel declaration is a finding,
+// and a blessed channel with no blocking send left is an unused
+// directive.
+var AnalyzerSendBound = &Analyzer{
+	Name: "sendbound",
+	Doc:  "require non-blocking or capacity-blessed channel sends in internal/live",
+	Applies: func(p *Package) bool {
+		// Enforcement is live-only, but the analyzer visits every package
+		// so a copycat directive elsewhere is caught.
+		return true
+	},
+	Run: runSendBound,
+}
+
+const sendBoundDirective = "altolint:bounded-send"
+
+// sendBoundBless is one parsed //altolint:bounded-send directive.
+type sendBoundBless struct {
+	pos      token.Pos
+	line     int
+	file     string
+	reason   string
+	resolved bool // names at least one channel declaration
+	used     bool // a blocking send relies on it
+}
+
+func runSendBound(pass *Pass) {
+	inLive := strings.HasSuffix(pass.Pkg.Path, "/internal/live")
+
+	// Collect directives.
+	var blessings []*sendBoundBless
+	for _, f := range pass.Pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				rest, ok := strings.CutPrefix(strings.TrimSpace(text), sendBoundDirective)
+				if !ok {
+					continue
+				}
+				position := pass.Fset().Position(c.Pos())
+				blessings = append(blessings, &sendBoundBless{
+					pos:    c.Pos(),
+					line:   position.Line,
+					file:   position.Filename,
+					reason: strings.TrimSpace(rest),
+				})
+			}
+		}
+	}
+	for _, b := range blessings {
+		switch {
+		case !inLive:
+			pass.Reportf(b.pos, "bounded-send directive outside internal/live: only the live runtime's bounded channels may be blessed")
+		case b.reason == "":
+			pass.Reportf(b.pos, "bounded-send directive is missing a reason")
+		}
+	}
+	if !inLive {
+		return
+	}
+
+	// Resolve each well-formed directive to the channel-typed object(s)
+	// declared on its line or the line below (directive-above style).
+	blessed := make(map[types.Object]*sendBoundBless)
+	for _, b := range blessings {
+		if b.reason == "" {
+			continue
+		}
+		for id, obj := range pass.Pkg.Info.Defs {
+			if obj == nil || !isChanObject(obj) {
+				continue
+			}
+			p := pass.Fset().Position(id.Pos())
+			if p.Filename == b.file && (p.Line == b.line || p.Line == b.line+1) {
+				blessed[obj] = b
+				b.resolved = true
+			}
+		}
+		if !b.resolved {
+			pass.Reportf(b.pos, "bounded-send directive does not sit on a channel declaration")
+		}
+	}
+
+	// A send is non-blocking when it is the comm clause of a select
+	// that has a default case.
+	nonblocking := make(map[*ast.SendStmt]bool)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			hasDefault := false
+			for _, cl := range sel.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				return true
+			}
+			for _, cl := range sel.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok {
+					if send, ok := cc.Comm.(*ast.SendStmt); ok {
+						nonblocking[send] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Check every send.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			send, ok := n.(*ast.SendStmt)
+			if !ok || nonblocking[send] {
+				return true
+			}
+			obj := addressableObject(pass, send.Chan)
+			if obj == nil {
+				// A send on an unresolvable channel expression cannot be
+				// audited against a blessing; require select+default.
+				pass.Reportf(send.Pos(),
+					"blocking send on unresolvable channel expression %s; make it non-blocking (select+default)", exprString(send.Chan))
+				return true
+			}
+			if b, ok := blessed[obj]; ok {
+				b.used = true
+				return true
+			}
+			pass.Reportf(send.Pos(),
+				"blocking send on %s in internal/live; make it non-blocking (select+default) or bless the channel's bounded-capacity invariant with //altolint:bounded-send <reason>",
+				exprString(send.Chan))
+			return true
+		})
+	}
+
+	// Rot: a blessing no blocking send relies on must go.
+	for _, b := range blessings {
+		if b.resolved && !b.used {
+			pass.Reportf(b.pos, "unused bounded-send directive: no blocking send on this channel")
+		}
+	}
+}
+
+// isChanObject reports whether obj is a variable (local, field, or
+// package-level) of channel type, or a slice/array of channels.
+func isChanObject(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	t := v.Type().Underlying()
+	for {
+		switch u := t.(type) {
+		case *types.Chan:
+			return true
+		case *types.Slice:
+			t = u.Elem().Underlying()
+		case *types.Array:
+			t = u.Elem().Underlying()
+		default:
+			return false
+		}
+	}
+}
+
+// exprString renders a short source form of e for messages.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	}
+	return "<expr>"
+}

@@ -1,0 +1,78 @@
+// Package atomicfield exercises the all-or-nothing atomicity rule:
+// once a field or package variable is touched through sync/atomic, any
+// plain access to it is a finding, and typed atomics may only be used
+// through their methods or by address.
+package atomicfield
+
+import "sync/atomic"
+
+// total is old-style atomic at package scope.
+var total uint64
+
+func addTotal() {
+	atomic.AddUint64(&total, 1)
+}
+
+func readTotalPlain() uint64 {
+	return total // want "total is accessed via sync/atomic elsewhere"
+}
+
+func readTotalAtomic() uint64 {
+	return atomic.LoadUint64(&total) // sanctioned: through sync/atomic
+}
+
+type counter struct {
+	hits   uint64 // old-style atomic: bump uses atomic.AddUint64
+	misses uint64 // never atomic: plain access everywhere is fine
+	typed  atomic.Int64
+	name   string
+}
+
+func (c *counter) bump() {
+	atomic.AddUint64(&c.hits, 1)
+	c.misses++
+}
+
+func (c *counter) report() uint64 {
+	return c.hits + c.misses // want "hits is accessed via sync/atomic elsewhere"
+}
+
+func (c *counter) reset() {
+	c.hits = 0 // want "hits is accessed via sync/atomic elsewhere"
+	atomic.StoreUint64(&c.hits, 0)
+}
+
+func (c *counter) alias() *uint64 {
+	return &c.hits // want "hits is accessed via sync/atomic elsewhere"
+}
+
+// Typed atomics: method calls and address-taking are the only
+// sanctioned uses.
+
+func (c *counter) typedOK() int64 {
+	return c.typed.Load()
+}
+
+func (c *counter) typedAddr() *atomic.Int64 {
+	return &c.typed
+}
+
+func (c *counter) typedCopy() int64 {
+	v := c.typed // want "atomic field typed used as a plain value"
+	return v.Load()
+}
+
+// Old-style atomics indexed through a slice: the indexed element access
+// inside the atomic call is sanctioned, including the slice selector.
+
+type board struct {
+	slots []int64
+}
+
+func (b *board) store(i int, v int64) {
+	atomic.StoreInt64(&b.slots[i], v)
+}
+
+func (b *board) peek(i int) int64 {
+	return b.slots[i] // want "slots is accessed via sync/atomic elsewhere"
+}

@@ -1,0 +1,27 @@
+// Package src is the escapes-driver golden fixture: hot carries the
+// hotpath annotation plus one forced heap escape and one forced bounds
+// check; cold has the same shapes without the annotation, so its
+// diagnostics must be ignored by the driver.
+package src
+
+//
+//altolint:hotpath
+//go:noinline
+func hot(xs []int, i int) *int {
+	v := xs[i] + 1 // Found IsInBounds
+	p := new(int)  // new(int) escapes to heap
+	*p = v
+	return p
+}
+
+//go:noinline
+func cold(xs []int, i int) *int {
+	v := xs[i] + 2
+	p := new(int)
+	*p = v
+	return p
+}
+
+// Exercised so vet-style unused checks never trip on the fixture.
+var _ = hot
+var _ = cold

@@ -1,0 +1,83 @@
+// Package lockorder fabricates the two deadlock shapes the analyzer
+// exists for: an AB/BA cycle between two struct mutexes (both directly
+// and through a same-package call), and nested acquisition of one
+// non-reentrant mutex.
+package lockorder
+
+import "sync"
+
+type a struct {
+	mu sync.Mutex
+}
+
+type b struct {
+	mu sync.Mutex
+}
+
+// aThenB and bThenA together form the AB/BA cycle: each edge is
+// reported at its acquisition site.
+func aThenB(x *a, y *b) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock() // want "acquiring b.mu while holding a.mu creates a lock-order cycle"
+	y.mu.Unlock()
+}
+
+func bThenA(x *a, y *b) {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	x.mu.Lock() // want "acquiring a.mu while holding b.mu creates a lock-order cycle"
+	x.mu.Unlock()
+}
+
+// sequential overlap-free use of both locks: no edge, no finding.
+func sequential(x *a, y *b) {
+	x.mu.Lock()
+	x.mu.Unlock()
+	y.mu.Lock()
+	y.mu.Unlock()
+}
+
+func nested(x *a) {
+	x.mu.Lock()
+	x.mu.Lock() // want "nested acquisition of a.mu"
+	x.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// The indirect half of a cycle: cThenD acquires d.mu by calling lockD
+// while holding c.mu, so the c.mu -> d.mu edge lands on the call site.
+
+type c struct {
+	mu sync.Mutex
+}
+
+type d struct {
+	mu sync.Mutex
+}
+
+func lockD(w *d) {
+	w.mu.Lock()
+	w.mu.Unlock()
+}
+
+func cThenD(v *c, w *d) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	lockD(w) // want "acquiring d.mu while holding c.mu creates a lock-order cycle"
+}
+
+func dThenC(v *c, w *d) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	v.mu.Lock() // want "acquiring c.mu while holding d.mu creates a lock-order cycle"
+	v.mu.Unlock()
+}
+
+// nestedViaCall holds a lock and calls a function whose may-acquire set
+// contains the same key: flagged at the call.
+func nestedViaCall(w *d) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	lockD(w) // want "call to lockD while holding d.mu"
+}

@@ -1,0 +1,38 @@
+// Package padalign exercises the false-sharing rules: arrays/slices of
+// bare typed atomics pack several counters per cache line, and so do
+// adjacent bare atomic struct fields. Padded wrapper elements and
+// separated fields pass.
+package padalign
+
+import "sync/atomic"
+
+type boards struct {
+	qlens []atomic.Int64 // want "array of bare atomic.Int64 packs multiple counters per cache line"
+	name  string
+}
+
+func mkBoard(n int) {
+	b := make([]atomic.Uint64, n) // want "array of bare atomic.Uint64 packs multiple counters per cache line"
+	b[0].Store(1)
+}
+
+type counters struct {
+	hits   atomic.Uint64
+	misses atomic.Uint64 // want "atomic field misses is adjacent to atomic field hits"
+	gapped int64
+	total  atomic.Int64 // fine: gapped separates it from misses
+}
+
+type multi struct {
+	a, b atomic.Int64 // want "adjacent atomic fields a, b share a cache line"
+}
+
+// padded is the sanctioned wrapper: one counter per 64-byte line.
+type padded struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+type okBoard struct {
+	qlens []padded // fine: the element is padded
+}

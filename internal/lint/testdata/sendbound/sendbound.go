@@ -1,0 +1,12 @@
+// Package sendbound is outside internal/live, so send enforcement is
+// off here — but a bounded-send directive in a non-live package is a
+// copycat and always a finding, whatever it sits on.
+package sendbound
+
+//altolint:bounded-send trust me, it is bounded // want "bounded-send directive outside internal/live"
+var relay = make(chan int, 1)
+
+func push(v int) {
+	// Unflagged: only internal/live's sends are constrained.
+	relay <- v
+}

@@ -1,0 +1,54 @@
+// Package live mimics the real runtime's import-path suffix so the
+// sendbound golden test exercises full enforcement: blocking sends are
+// findings unless the channel's bounded-capacity invariant is blessed,
+// and blessings themselves rot-check.
+package live
+
+type mgr struct {
+	//altolint:bounded-send the sole sender checks outstanding < depth first, so capacity is always free
+	work chan int
+	wake chan struct{}
+}
+
+// poke is the sanctioned shape: select with a default, a full channel
+// is dropped, never waited on.
+func (m *mgr) poke() {
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+// dispatch sends on the blessed channel: allowed, and marks the
+// directive used.
+func (m *mgr) dispatch(v int) {
+	m.work <- v
+}
+
+// stall blocks on an unblessed channel: the core finding.
+func (m *mgr) stall() {
+	m.wake <- struct{}{} // want "blocking send on m.wake"
+}
+
+//altolint:bounded-send nothing on the next line is a channel // want "does not sit on a channel declaration"
+var limit int
+
+//altolint:bounded-send blessed, but every send is already a select // want "unused bounded-send directive"
+var spare = make(chan int, 4)
+
+func pushSpare(v int) {
+	select {
+	case spare <- v:
+	default:
+	}
+}
+
+// results come back from a function call: no declaration to audit a
+// blessing against, so the send must be non-blocking.
+func reply(v int) {
+	pick()(nil) <- v // want "blocking send on unresolvable channel expression"
+}
+
+func pick() func([]int) chan int {
+	return func([]int) chan int { return make(chan int, 1) }
+}

@@ -1,0 +1,13 @@
+// Package live carries a reason-less bounded-send directive on a
+// genuinely blessable channel: the missing reason is the finding (the
+// blocking send is then also reported, because a malformed blessing
+// blesses nothing). Asserted directly in TestSendBound — a trailing
+// want comment here would parse as the directive's reason.
+package live
+
+//altolint:bounded-send
+var out = make(chan int, 8)
+
+func emit(v int) {
+	out <- v
+}

@@ -2,7 +2,6 @@ package live
 
 import (
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/policy"
 )
@@ -32,10 +31,13 @@ type lgroup struct {
 
 	workers []*worker
 
-	// Metering (written outside the manager).
-	arrivals atomic.Uint64 // total requests steered here
-	svcSumNS atomic.Int64  // total handler time executed by this group's workers
-	svcCount atomic.Int64
+	// Metering (written outside the manager): arrivals by the producer
+	// goroutines, the service-time sums by every worker in the group.
+	// Each counter gets its own cache line — a worker bumping svcCount
+	// must not invalidate the line a producer is bumping arrivals on.
+	arrivals paddedUint64 // total requests steered here
+	svcSumNS paddedInt64  // total handler time executed by this group's workers
+	svcCount paddedInt64
 
 	// Manager-owned policy state and scratch.
 	model        *policy.ThresholdModel
@@ -78,6 +80,8 @@ func newLGroup(rt *Runtime, id int) *lgroup {
 }
 
 // poke wakes the manager without blocking; a pending wake is enough.
+//
+//altolint:hotpath
 func (g *lgroup) poke() {
 	select {
 	case g.wake <- struct{}{}:
@@ -112,6 +116,8 @@ func (g *lgroup) run() {
 
 // pickWorker returns the least-loaded worker with spare depth, or nil.
 // Ties break round-robin so depth>1 does not pile onto worker 0.
+//
+//altolint:hotpath
 func (g *lgroup) pickWorker() *worker {
 	var best *worker
 	bestLoad := int32(g.rt.cfg.WorkerDepth)
@@ -134,6 +140,8 @@ func (g *lgroup) pickWorker() *worker {
 // dispatch drains the run queue into workers up to their depth bound.
 // Only the manager dispatches, so the outstanding check makes the
 // channel send non-blocking by construction.
+//
+//altolint:hotpath
 func (g *lgroup) dispatch() {
 	for {
 		w := g.pickWorker()
@@ -175,6 +183,8 @@ func (g *lgroup) land(b *migBatch) {
 // rate over the last tick window times the cumulative mean service
 // time, both measured — the live analogue of the simulator's load
 // meter.
+//
+//altolint:hotpath
 func (g *lgroup) offered(now policy.Duration) float64 {
 	arr := g.arrivals.Load()
 	dArr := arr - g.lastArrivals
@@ -197,6 +207,8 @@ func (g *lgroup) offered(now policy.Duration) float64 {
 // read the queue-length board (the UPDATE view), classify, and send
 // MIGRATE batches. Returns the effective period for the next tick,
 // clamped by the measured tick cost.
+//
+//altolint:hotpath
 func (g *lgroup) tick() policy.Duration {
 	g.ticks++
 	start := g.rt.clock.Now()

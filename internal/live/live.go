@@ -28,7 +28,6 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/check"
@@ -171,13 +170,20 @@ type Runtime struct {
 	groups []*lgroup
 	// qlens is the shared queue-length board, the stand-in for the UPDATE
 	// broadcast of Table II: each manager publishes its NetRX length and
-	// reads the others' at tick time.
-	qlens []atomic.Int64
+	// reads the others' at tick time. Entries are cache-line padded: the
+	// board is written by every producer on every Deliver and by every
+	// manager on every dispatch, so bare atomic.Int64 entries would
+	// false-share one line between up to eight groups (see padalign).
+	qlens []paddedInt64
 
 	ledgerMu sync.Mutex
 	ledger   *check.Ledger
 
-	inflight atomic.Int64
+	// inflight is bumped by every Deliver (producer goroutines) and
+	// dropped by every completion (worker goroutines): the single most
+	// contended word in the runtime, padded so neighbouring fields'
+	// readers do not share its line.
+	inflight paddedInt64
 	stop     chan struct{}
 	wg       sync.WaitGroup
 	started  bool
@@ -197,7 +203,7 @@ func New(cfg Config, h Handler) (*Runtime, error) {
 		cfg:     cfg,
 		handler: h,
 		clock:   cfg.Clock,
-		qlens:   make([]atomic.Int64, cfg.Groups),
+		qlens:   make([]paddedInt64, cfg.Groups),
 		ledger:  check.NewLedger(cfg.Expected, cfg.AllowRemigration),
 		stop:    make(chan struct{}),
 	}
@@ -239,9 +245,12 @@ func (rt *Runtime) steer(r *rpcproto.Request) int {
 // Deliver hands one request to the runtime. Safe for concurrent use
 // (the network goroutines are the producers of the MPSC run queues).
 // done fires exactly once, on a worker goroutine.
+//
+//altolint:hotpath
 func (rt *Runtime) Deliver(r *rpcproto.Request, done DoneFunc) {
 	gid := rt.steer(r)
 	r.GroupHint = gid
+	//altolint:allow hotalloc one task box per request; pooling tasks through internal/arena is the next zero-alloc step (ROADMAP)
 	t := &task{req: r, arrival: rt.clock.Now(), done: done}
 	rt.inflight.Add(1)
 	rt.ledgerMu.Lock()

@@ -1,0 +1,37 @@
+package live
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestPaddedSizes pins the padded counter wrappers to exactly one cache
+// line each, and the embedded atomic to the wrapper's start — the two
+// facts the false-sharing argument in pad.go rests on. A Go toolchain
+// that laid these out differently would silently repack the qlens board
+// into shared lines.
+func TestPaddedSizes(t *testing.T) {
+	if s := unsafe.Sizeof(paddedInt64{}); s != cacheLine {
+		t.Errorf("paddedInt64 is %d bytes, want %d", s, cacheLine)
+	}
+	if s := unsafe.Sizeof(paddedUint64{}); s != cacheLine {
+		t.Errorf("paddedUint64 is %d bytes, want %d", s, cacheLine)
+	}
+	if s := unsafe.Sizeof(paddedInt32{}); s != cacheLine {
+		t.Errorf("paddedInt32 is %d bytes, want %d", s, cacheLine)
+	}
+	var p64 paddedInt64
+	if off := unsafe.Offsetof(p64.Int64); off != 0 {
+		t.Errorf("paddedInt64 counter at offset %d, want 0", off)
+	}
+	var p32 paddedInt32
+	if off := unsafe.Offsetof(p32.Int32); off != 0 {
+		t.Errorf("paddedInt32 counter at offset %d, want 0", off)
+	}
+	// Board entries must start on distinct lines: stride == size.
+	board := make([]paddedInt64, 2)
+	d := uintptr(unsafe.Pointer(&board[1])) - uintptr(unsafe.Pointer(&board[0]))
+	if d != cacheLine {
+		t.Errorf("qlens board stride is %d bytes, want %d", d, cacheLine)
+	}
+}

@@ -10,10 +10,16 @@ type taskDeque struct {
 	head int
 }
 
+//altolint:hotpath
 func (q *taskDeque) len() int { return len(q.buf) - q.head }
 
-func (q *taskDeque) pushTail(t *task) { q.buf = append(q.buf, t) }
+//altolint:hotpath
+func (q *taskDeque) pushTail(t *task) {
+	//altolint:allow hotalloc amortized ring growth; steady state reuses the backing array
+	q.buf = append(q.buf, t)
+}
 
+//altolint:hotpath
 func (q *taskDeque) popHead() *task {
 	if q.len() == 0 {
 		return nil
@@ -22,12 +28,14 @@ func (q *taskDeque) popHead() *task {
 	q.buf[q.head] = nil
 	q.head++
 	if q.head > 64 && q.head*2 >= len(q.buf) {
+		//altolint:allow hotalloc in-place compaction into the existing backing array; no growth
 		q.buf = append(q.buf[:0], q.buf[q.head:]...)
 		q.head = 0
 	}
 	return t
 }
 
+//altolint:hotpath
 func (q *taskDeque) popTail() *task {
 	if q.len() == 0 {
 		return nil
@@ -39,4 +47,6 @@ func (q *taskDeque) popTail() *task {
 }
 
 // at indexes from the head (0 = oldest). The caller keeps i < len().
+//
+//altolint:hotpath
 func (q *taskDeque) at(i int) *task { return q.buf[q.head+i] }

@@ -55,7 +55,7 @@ func (s *Server) Serve(ln net.Listener) error {
 // syntax of their own: the goroutine and channel stay inside the
 // sanctioned live boundary.
 func (s *Server) ServeBackground(ln net.Listener) (wait func() error) {
-	errs := make(chan error, 1)
+	errs := make(chan error, 1) //altolint:bounded-send single send into capacity 1: Serve returns exactly once
 	go func() { errs <- s.Serve(ln) }()
 	return func() error {
 		s.Close()
@@ -77,6 +77,7 @@ func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
 
+	//altolint:bounded-send the writer goroutine drains out until close; a full channel means client TCP backpressure, which must stall the worker rather than drop the response
 	out := make(chan respMsg, 512)
 	var pending atomic.Int64
 	var writerWG sync.WaitGroup
