@@ -11,6 +11,8 @@ package altocumulus
 
 import (
 	"net"
+	"runtime"
+	"runtime/debug"
 	"testing"
 	"time"
 
@@ -260,50 +262,123 @@ func TestPolicyTickZeroAlloc(t *testing.T) {
 	}
 }
 
+// liveLoopback is the shared harness of the loopback benchmark and the
+// zero-alloc gate: a runtime + TCP server + persistent loadgen Client,
+// so measured rounds exercise only the steady-state data plane (no
+// dialing, no goroutine spawn per request, warm arenas and rings).
+type liveLoopback struct {
+	rt   *live.Runtime
+	srv  *live.Server
+	wait func() error
+	cl   *live.Client
+}
+
+func newLiveLoopback(tb testing.TB, expected, conns, depth int) *liveLoopback {
+	tb.Helper()
+	rt, err := live.New(live.Config{
+		Groups: 2, WorkersPerGroup: 2, WorkerDepth: depth, Expected: expected,
+	}, live.EchoHandler{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rt.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	srv := live.NewServer(rt)
+	lb := &liveLoopback{rt: rt, srv: srv, wait: srv.ServeBackground(ln)}
+	lb.cl, err = live.NewLoadgenClient(live.LoadgenConfig{
+		Addr: ln.Addr().String(), Conns: conns,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return lb
+}
+
+// round drives n requests at max rate and checks full delivery.
+func (lb *liveLoopback) round(tb testing.TB, n int) *live.LoadgenResult {
+	tb.Helper()
+	res, err := lb.cl.Run(n, 0)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if res.Received != uint64(n) {
+		tb.Fatalf("received %d of %d", res.Received, n)
+	}
+	return res
+}
+
+// teardown closes everything and asserts conservation plus a clean
+// data plane: every arena slot released exactly once.
+func (lb *liveLoopback) teardown(tb testing.TB) {
+	tb.Helper()
+	lb.cl.Close()
+	if err := lb.rt.Drain(30 * time.Second); err != nil {
+		tb.Fatal(err)
+	}
+	if err := lb.wait(); err != nil {
+		tb.Fatal(err)
+	}
+	lb.rt.Close()
+	if err := lb.rt.Report().Check.Err(); err != nil {
+		tb.Fatal(err)
+	}
+	if leaked, stale := lb.srv.DataPlaneStats(); leaked != 0 || stale != 0 {
+		tb.Fatalf("data plane: %d leaked arena slot(s), %d stale release(s)", leaked, stale)
+	}
+}
+
 // BenchmarkLiveLoopback measures the real goroutine runtime end to end:
-// TCP loopback, rpcproto framing, manager dispatch, policy-driven
-// migration, response matching. One iteration is a full 20k-request
-// open-loop run; RPS is the headline metric.
+// TCP loopback, rpcproto frame batching, arena-pooled requests, manager
+// dispatch, policy-driven migration, vectored response writes. One
+// iteration is a 20k-request open-loop round on a persistent session;
+// rpc/s is the headline metric and allocs/op the zero-alloc gate's
+// trend line (TestLiveLoopbackZeroAlloc is the hard gate).
 func BenchmarkLiveLoopback(b *testing.B) {
 	const n = 20000
+	lb := newLiveLoopback(b, (b.N+1)*n, 4, 64)
+	lb.round(b, n) // warm arenas, rings, pools: measure steady state only
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rt, err := live.New(live.Config{
-			Groups: 2, WorkersPerGroup: 2, Expected: n,
-		}, live.EchoHandler{})
-		if err != nil {
-			b.Fatal(err)
-		}
-		rt.Start()
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			b.Fatal(err)
-		}
-		wait := live.NewServer(rt).ServeBackground(ln)
-		res, err := live.RunLoadgen(live.LoadgenConfig{
-			Addr: ln.Addr().String(), Conns: 8, Requests: n,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := rt.Drain(30 * time.Second); err != nil {
-			b.Fatal(err)
-		}
-		rt.Close()
-		rep := rt.Report()
-		if err := wait(); err != nil {
-			b.Fatal(err)
-		}
-		if err := rep.Check.Err(); err != nil {
-			b.Fatal(err)
-		}
-		if res.Received != n {
-			b.Fatalf("received %d of %d", res.Received, n)
-		}
+		lb.round(b, n)
 	}
+	b.StopTimer()
+	tot := lb.cl.Totals()
+	lb.teardown(b)
 	elapsed := b.Elapsed().Seconds()
 	if elapsed > 0 {
 		b.ReportMetric(float64(b.N)*n/elapsed, "rpc/s")
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/n, "ns/rpc")
+	}
+	b.ReportMetric(float64(tot.P50.Nanoseconds()), "p50_ns")
+	b.ReportMetric(float64(tot.P99.Nanoseconds()), "p99_ns")
+	b.ReportMetric(float64(tot.P999.Nanoseconds()), "p999_ns")
+}
+
+// TestLiveLoopbackZeroAlloc is the hard allocation gate on the live
+// data plane: after a warm round, a full 20k-request round — loadgen
+// send, server decode/schedule/execute/respond, loadgen receive — must
+// average at most one heap allocation per RPC across the whole process.
+// GC is disabled during the measurement so pool clearing cannot charge
+// the round for refills it didn't cause.
+func TestLiveLoopbackZeroAlloc(t *testing.T) {
+	const n = 20000
+	lb := newLiveLoopback(t, 2*n, 4, 64)
+	lb.round(t, n) // warm arenas, rings, pools, ledger, deques
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	lb.round(t, n)
+	runtime.ReadMemStats(&after)
+	lb.teardown(t)
+	perRPC := float64(after.Mallocs-before.Mallocs) / n
+	t.Logf("steady-state allocations: %d over %d RPCs = %.4f/RPC", after.Mallocs-before.Mallocs, n, perRPC)
+	if perRPC > 1.0 {
+		t.Fatalf("live data plane allocates %.4f times per RPC, want <= 1.0", perRPC)
 	}
 }
 

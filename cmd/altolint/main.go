@@ -10,7 +10,7 @@
 // Usage:
 //
 //	altolint [-json] [packages]
-//	altolint -escapes [-escapes-write] [packages]
+//	altolint -escapes [-escapes-write] [-escapes-gate <prefix>] [packages]
 //
 // Packages may be "./..." (default, the whole module), a directory, or
 // a directory with a /... suffix. Exit status: 0 clean, 1 findings,
@@ -27,6 +27,13 @@
 // check inside a //altolint:hotpath function that is not covered by
 // the checked-in allowlist (internal/lint/testdata/escapes/allow.txt).
 // -escapes-write regenerates the allowlist from the current build.
+//
+// Because the diagnostics depend on the compiler version, the gate's
+// severity is split by package: with -escapes-gate <import-path-prefix>
+// only findings inside matching packages fail the run (exit 1); the
+// rest print as warnings. check.sh gates repro/internal/live this way —
+// the live data plane's zero-alloc contract is load-bearing — while the
+// sim-side hotpaths stay warn-only across toolchain bumps.
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/lint"
 )
@@ -53,8 +61,10 @@ func main() {
 	listAnalyzers := flag.Bool("list", false, "list analyzers and exit")
 	escapes := flag.Bool("escapes", false, "run the compiler-diagnostics hotpath gate instead of the AST analyzers")
 	escapesWrite := flag.Bool("escapes-write", false, "with -escapes: regenerate the allowlist from the current diagnostics")
+	escapesGate := flag.String("escapes-gate", "",
+		"with -escapes: only findings in packages matching this import-path prefix fail the run; the rest are warnings")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: altolint [-json] [-list] [-escapes [-escapes-write]] [packages]")
+		fmt.Fprintln(os.Stderr, "usage: altolint [-json] [-list] [-escapes [-escapes-write] [-escapes-gate prefix]] [packages]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -82,7 +92,7 @@ func main() {
 	}
 
 	if *escapes {
-		runEscapes(loader, flag.Args(), *jsonOut, *escapesWrite)
+		runEscapes(loader, flag.Args(), *jsonOut, *escapesWrite, *escapesGate)
 		return
 	}
 
@@ -96,7 +106,7 @@ func main() {
 }
 
 // runEscapes drives the compiler-diagnostics gate and exits.
-func runEscapes(loader *lint.Loader, patterns []string, jsonOut, write bool) {
+func runEscapes(loader *lint.Loader, patterns []string, jsonOut, write bool, gate string) {
 	if len(patterns) == 0 {
 		patterns = escapesDefaultPatterns
 	}
@@ -117,7 +127,28 @@ func runEscapes(loader *lint.Loader, patterns []string, jsonOut, write bool) {
 		fatal(err)
 	}
 	findings := lint.CheckEscapes(diags, lint.ParseEscapeAllow(string(data)), escapesAllowFile)
-	emit(findings, jsonOut, len(patterns))
+	if gate == "" {
+		emit(findings, jsonOut, len(patterns))
+		return
+	}
+	// Split by the gating prefix: matching packages hard-fail, the rest
+	// warn. A finding with no package attribution gates — better a loud
+	// false positive than a silent hole in the gated set.
+	var gated, warned []lint.Diagnostic
+	for _, d := range findings {
+		if d.PkgPath == "" || strings.HasPrefix(d.PkgPath, gate) {
+			gated = append(gated, d)
+		} else {
+			warned = append(warned, d)
+		}
+	}
+	for _, d := range warned {
+		fmt.Println("warning:", d)
+	}
+	if len(warned) > 0 {
+		fmt.Fprintf(os.Stderr, "altolint: %d warn-only escape finding(s) outside %s\n", len(warned), gate)
+	}
+	emit(gated, jsonOut, len(patterns))
 }
 
 func emit(diags []lint.Diagnostic, jsonOut bool, pkgCount int) {

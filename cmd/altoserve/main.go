@@ -10,6 +10,13 @@
 //
 //	altoserve -groups 2 -workers 4 -n 200000 -rate 300000
 //	altoserve -service spin:500 -groups 4 -conns 16 -n 500000
+//	altoserve -sweep 100000:1200000:100000 -n 100000 -clients 2
+//
+// With -sweep min:max:step the generator walks the offered rate across
+// the range (a fresh runtime per point, the shared service store kept
+// warm) and prints one table row per point — the live analogue of the
+// simulator's tail-vs-throughput sweep, with overload showing up as
+// achieved < offered plus sender stalls.
 package main
 
 import (
@@ -45,9 +52,11 @@ func main() {
 		valLen  = flag.Int("vallen", 128, "value size in bytes (kv service)")
 		setFrac = flag.Int("sets", 10, "SET percentage of the kv mix (rest GET)")
 
-		n     = flag.Int("n", 200000, "requests to offer")
-		conns = flag.Int("conns", 8, "load-generator connections")
-		rate  = flag.Float64("rate", 0, "offered RPCs/sec (0 = as fast as possible)")
+		n       = flag.Int("n", 200000, "requests to offer (per sweep point with -sweep)")
+		conns   = flag.Int("conns", 8, "load-generator connections per client")
+		clients = flag.Int("clients", 1, "client multiplier: total streams = conns*clients")
+		rate    = flag.Float64("rate", 0, "offered RPCs/sec (0 = as fast as possible)")
+		sweep   = flag.String("sweep", "", "offered-rate sweep min:max:step RPS (overrides -rate)")
 	)
 	flag.Parse()
 
@@ -55,8 +64,7 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-
-	rt, err := live.New(live.Config{
+	cfg := live.Config{
 		Groups:          *groups,
 		WorkersPerGroup: *workers,
 		WorkerDepth:     *depth,
@@ -68,56 +76,112 @@ func main() {
 		DisablePatterns: *noPat,
 		DisableGuard:    *noGuard,
 		Expected:        *n,
-	}, handler)
-	if err != nil {
-		fail("%v", err)
 	}
-	rt.Start()
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fail("%v", err)
-	}
-	srv := live.NewServer(rt)
-	wait := srv.ServeBackground(ln)
-
-	res, err := live.RunLoadgen(live.LoadgenConfig{
-		Addr:     ln.Addr().String(),
+	lg := live.LoadgenConfig{
 		Conns:    *conns,
+		Clients:  *clients,
 		Requests: *n,
-		RateRPS:  *rate,
 		Prepare:  prepare,
-	})
-	if err != nil {
-		fail("loadgen: %v", err)
-	}
-	if err := rt.Drain(30 * time.Second); err != nil {
-		fail("%v", err)
-	}
-	rt.Close()
-	rep := rt.Report()
-	if err := wait(); err != nil {
-		fail("serve: %v", err)
 	}
 
-	fmt.Printf("altoserve: %d groups x %d workers (depth %d), period %v, service %s\n",
-		*groups, *workers, *depth, *period, *service)
-	fmt.Printf("client      %d requests over %d conns in %v (%.0f RPS achieved)\n",
-		res.Received, *conns, res.Elapsed.Round(time.Millisecond), res.AchievedRPS)
+	fmt.Printf("altoserve: %d groups x %d workers (depth %d), period %v, service %s, %d stream(s)\n",
+		*groups, *workers, *depth, *period, *service, *conns**clients)
+
+	if *sweep != "" {
+		min, max, step, err := parseSweep(*sweep)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("%12s %12s %10s %10s %10s %8s %6s\n",
+			"offered", "achieved", "p50", "p99", "p99.9", "stalls", "migr")
+		for offered := min; offered <= max; offered += step {
+			res, rep, err := runPoint(*addr, cfg, handler, lg, offered)
+			if err != nil {
+				fail("sweep @%.0f: %v", offered, err)
+			}
+			fmt.Printf("%12.0f %12.0f %10v %10v %10v %8d %6d\n",
+				offered, res.AchievedRPS, res.P50, res.P99, res.P999,
+				res.Stalls, rep.Stats.Migrations)
+		}
+		return
+	}
+
+	res, rep, err := runPoint(*addr, cfg, handler, lg, *rate)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("client      %d requests over %d stream(s) in %v (%.0f RPS achieved, %d stalls)\n",
+		res.Received, *conns**clients, res.Elapsed.Round(time.Millisecond), res.AchievedRPS, res.Stalls)
 	fmt.Printf("latency     p50=%v p99=%v p99.9=%v max=%v\n", res.P50, res.P99, res.P999, res.Max)
 	fmt.Printf("runtime     ticks=%d migrations=%d migrated=%d nacked=%d guard-skips=%d\n",
 		rep.Stats.Ticks, rep.Stats.Migrations, rep.Stats.MigratedReqs,
 		rep.Stats.NackedReqs, rep.Stats.GuardSkips)
 	fmt.Printf("patterns    hill=%d valley=%d pairing=%d threshold=%d\n",
 		rep.Stats.HillEvents, rep.Stats.ValleyEvents, rep.Stats.PairingEvents, rep.Stats.ThresholdEvts)
-	if err := rep.Check.Err(); err != nil {
-		fail("invariants: %v", err)
-	}
 	fmt.Printf("invariants  conservation + migrate-once clean (%d checks, delivered=%d completed=%d)\n",
 		rep.Check.Checks, rep.Check.Delivered, rep.Check.Completed)
 	if res.BadStatus > 0 {
 		fail("%d requests returned an error status", res.BadStatus)
 	}
+}
+
+// runPoint runs one complete measurement: fresh runtime and server (the
+// service handler, with its store, is shared so sweeps stay warm), one
+// loadgen session at the offered rate, full drain, invariant check and
+// data-plane leak check.
+func runPoint(addr string, cfg live.Config, handler live.Handler, lg live.LoadgenConfig, rate float64) (*live.LoadgenResult, *live.Report, error) {
+	rt, err := live.New(cfg, handler)
+	if err != nil {
+		return nil, nil, err
+	}
+	rt.Start()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := live.NewServer(rt)
+	wait := srv.ServeBackground(ln)
+	lg.Addr = ln.Addr().String()
+	lg.RateRPS = rate
+	res, err := live.RunLoadgen(lg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("loadgen: %w", err)
+	}
+	if err := rt.Drain(30 * time.Second); err != nil {
+		return nil, nil, err
+	}
+	rt.Close()
+	rep := rt.Report()
+	if err := wait(); err != nil {
+		return nil, nil, fmt.Errorf("serve: %w", err)
+	}
+	if err := rep.Check.Err(); err != nil {
+		return nil, nil, fmt.Errorf("invariants: %w", err)
+	}
+	if leaked, stale := srv.DataPlaneStats(); leaked != 0 || stale != 0 {
+		return nil, nil, fmt.Errorf("data plane: %d leaked arena slot(s), %d stale release(s)", leaked, stale)
+	}
+	return res, rep, nil
+}
+
+// parseSweep parses min:max:step (RPS).
+func parseSweep(s string) (min, max, step float64, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("bad -sweep %q (want min:max:step)", s)
+	}
+	vals := make([]float64, 3)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil || v < 0 {
+			return 0, 0, 0, fmt.Errorf("bad -sweep component %q", p)
+		}
+		vals[i] = v
+	}
+	if vals[2] <= 0 || vals[1] < vals[0] {
+		return 0, 0, 0, fmt.Errorf("bad -sweep range %q", s)
+	}
+	return vals[0], vals[1], vals[2], nil
 }
 
 // buildService constructs the handler and the matching loadgen request

@@ -14,6 +14,7 @@ BenchmarkEngineEvents-8   	 8621462	       135.3 ns/op	       0 B/op	       0 al
 BenchmarkFig10Serial-8    	       2	 700000000 ns/op
 BenchmarkFig10Par4-8      	       4	 350000000 ns/op
 BenchmarkSimulatorThroughput-8	      12	  95000000 ns/op	   526315 simreq/s
+BenchmarkLiveLoopback-8   	      64	  16200000 ns/op	       810.0 ns/rpc	   1234567 rpc/s	  950000 B/op	    2100 allocs/op
 PASS
 ok  	repro	12.345s
 `
@@ -23,8 +24,8 @@ func TestRunParsesBenchOutput(t *testing.T) {
 	if rec.Goos != "linux" || rec.Goarch != "amd64" || rec.Package != "repro" {
 		t.Errorf("metadata not captured: %+v", rec)
 	}
-	if len(rec.Benchmarks) != 4 {
-		t.Fatalf("want 4 benchmarks, got %d: %+v", len(rec.Benchmarks), rec.Benchmarks)
+	if len(rec.Benchmarks) != 5 {
+		t.Fatalf("want 5 benchmarks, got %d: %+v", len(rec.Benchmarks), rec.Benchmarks)
 	}
 	eng := rec.Benchmarks[0]
 	if eng.Name != "EngineEvents" || eng.Procs != 8 || eng.Iterations != 8621462 {
@@ -39,6 +40,9 @@ func TestRunParsesBenchOutput(t *testing.T) {
 	if got := rec.Derived["fig10_par4_speedup"]; got != 2 {
 		t.Errorf("fig10_par4_speedup: want 2, got %v", got)
 	}
+	if got := rec.Derived["live_loopback_rpcs"]; got != 1234567 {
+		t.Errorf("live_loopback_rpcs: want 1234567, got %v", got)
+	}
 }
 
 func TestAllocRegressions(t *testing.T) {
@@ -47,16 +51,26 @@ func TestAllocRegressions(t *testing.T) {
 		{Name: "QueueLens/DFCFS", Metrics: map[string]float64{"allocs/op": 0}},
 		{Name: "Fig10Serial", Metrics: map[string]float64{"allocs/op": 35000}},
 		{Name: "Retired", Metrics: map[string]float64{"allocs/op": 0}},
+		{Name: "LiveLoopback", Metrics: map[string]float64{"allocs/op": 2100}},
+		{Name: "LiveDrift", Metrics: map[string]float64{"allocs/op": 2100}},
 	}}
 	fresh := record{Benchmarks: []benchmark{
 		{Name: "EngineEvents", Metrics: map[string]float64{"allocs/op": 2}},    // 0 -> 2: regression
 		{Name: "QueueLens/DFCFS", Metrics: map[string]float64{"allocs/op": 0}}, // still clean
-		{Name: "Fig10Serial", Metrics: map[string]float64{"allocs/op": 40000}}, // nonzero baseline: not gated
+		{Name: "Fig10Serial", Metrics: map[string]float64{"allocs/op": 40000}}, // large nonzero baseline: not gated
 		{Name: "Brand/New", Metrics: map[string]float64{"allocs/op": 7}},       // no baseline: skipped
+		// Near-zero baseline blown past 2x+slack: a per-request path
+		// started allocating.
+		{Name: "LiveLoopback", Metrics: map[string]float64{"allocs/op": 25000}},
+		// Near-zero baseline with residue drift inside the band: clean.
+		{Name: "LiveDrift", Metrics: map[string]float64{"allocs/op": 4000}},
 	}}
 	regs := allocRegressions(committed, fresh)
-	if len(regs) != 1 || !strings.Contains(regs[0], "EngineEvents") {
-		t.Fatalf("want exactly the EngineEvents regression, got %v", regs)
+	if len(regs) != 2 {
+		t.Fatalf("want the EngineEvents and LiveLoopback regressions, got %v", regs)
+	}
+	if !strings.Contains(regs[0], "EngineEvents") || !strings.Contains(regs[1], "LiveLoopback") {
+		t.Fatalf("wrong regressions flagged: %v", regs)
 	}
 	if regs := allocRegressions(committed, committed); len(regs) != 0 {
 		t.Fatalf("self-comparison must be clean, got %v", regs)

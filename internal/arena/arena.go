@@ -29,6 +29,20 @@ type RequestID struct {
 // stale if the slot has been recycled since).
 func (id RequestID) Valid() bool { return id.gen != 0 }
 
+// Pack flattens the handle into one word so owners can stash it in a
+// uint64 field (the live data plane rides it on rpcproto.Request.Pool)
+// instead of keeping a side table. Unpack inverts it losslessly.
+func (id RequestID) Pack() uint64 {
+	return uint64(uint32(id.idx))<<32 | uint64(id.gen)
+}
+
+// UnpackRequestID inverts RequestID.Pack. Garbage input yields a handle
+// that Get/Release reject as stale, never a false match: the generation
+// parity and bounds checks still apply.
+func UnpackRequestID(p uint64) RequestID {
+	return RequestID{idx: int32(uint32(p >> 32)), gen: uint32(p)}
+}
+
 type slot struct {
 	req rpcproto.Request
 	gen uint32 // odd while live, even while free; 0 = never issued
@@ -48,9 +62,10 @@ func New() *Arena {
 	return &Arena{}
 }
 
-// Acquire returns a zeroed request and its handle. The pointer stays
-// valid until Release; afterwards the handle goes stale and the slot may
-// be reissued.
+// Acquire returns a zeroed request and its handle (a slot recycled via
+// ReleaseReuse keeps its payload capacity at length zero). The pointer
+// stays valid until Release; afterwards the handle goes stale and the
+// slot may be reissued.
 //
 //altolint:hotpath
 func (a *Arena) Acquire() (*rpcproto.Request, RequestID) {
@@ -105,6 +120,33 @@ func (a *Arena) Release(id RequestID) bool {
 		return false
 	}
 	s.req = rpcproto.Request{} // drop Payload/OnExecute references
+	s.gen++                    // live (odd) -> free (even): outstanding handles go stale
+	//altolint:allow hotalloc amortized free-list growth; bounded by the high-water mark of live requests
+	a.free = append(a.free, RequestID{idx: id.idx})
+	a.live--
+	return true
+}
+
+// ReleaseReuse recycles the slot like Release but keeps the payload's
+// backing array (truncated to length zero), so the next UnmarshalInto
+// on the reissued slot appends into recycled capacity instead of
+// allocating. Use it when the arena owner also owns the payload bytes
+// (the live TCP data plane); Release's drop-all-references semantics
+// remain right for the simulator, where payloads may alias caller
+// memory.
+//
+//altolint:hotpath
+func (a *Arena) ReleaseReuse(id RequestID) bool {
+	if !a.owns(id) {
+		return false
+	}
+	s := a.slot(id.idx)
+	if s.gen != id.gen {
+		return false
+	}
+	p := s.req.Payload[:0]
+	s.req = rpcproto.Request{} // drop OnExecute and scheduling state
+	s.req.Payload = p          // keep the payload capacity for the next decode
 	s.gen++                    // live (odd) -> free (even): outstanding handles go stale
 	//altolint:allow hotalloc amortized free-list growth; bounded by the high-water mark of live requests
 	a.free = append(a.free, RequestID{idx: id.idx})

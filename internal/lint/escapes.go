@@ -239,6 +239,7 @@ func CheckEscapes(diags []EscapeDiag, allows []*EscapeAllow, allowFile string) [
 			File:     d.File,
 			Line:     d.Line,
 			Col:      d.Col,
+			PkgPath:  d.PkgPath,
 			Message: fmt.Sprintf("%s in hotpath function %s: %q is not in the escapes allowlist (%s)",
 				kind, d.Func, d.Message, allowFile),
 		})
@@ -249,6 +250,7 @@ func CheckEscapes(diags []EscapeDiag, allows []*EscapeAllow, allowFile string) [
 				Analyzer: "escapes",
 				File:     allowFile,
 				Line:     a.Line,
+				PkgPath:  a.PkgPath,
 				Message: fmt.Sprintf("unused escapes allowlist entry %s %s %q: the diagnostic no longer occurs — delete the entry",
 					a.PkgPath, a.Func, a.Substr),
 			})

@@ -78,6 +78,10 @@ type Diagnostic struct {
 	Line     int            `json:"line"`
 	Col      int            `json:"col"`
 	Message  string         `json:"message"`
+	// PkgPath is the import path the finding belongs to, where the
+	// analyzer knows it (the escapes gate uses it to split gating
+	// packages from warn-only ones). Empty means unknown.
+	PkgPath string `json:"pkgPath,omitempty"`
 }
 
 func (d Diagnostic) String() string {

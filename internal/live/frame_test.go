@@ -1,0 +1,123 @@
+package live
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/rpcproto"
+)
+
+// chunkReader hands out its stream in caller-chosen chunk sizes,
+// simulating arbitrary TCP segmentation: every frame boundary placement
+// the kernel could produce.
+type chunkReader struct {
+	data   []byte
+	sizes  []int
+	off    int
+	sizeAt int
+}
+
+func (cr *chunkReader) Read(p []byte) (int, error) {
+	if cr.off >= len(cr.data) {
+		return 0, io.EOF
+	}
+	n := len(p)
+	if cr.sizeAt < len(cr.sizes) {
+		if s := cr.sizes[cr.sizeAt]; s < n {
+			n = s
+		}
+		cr.sizeAt++
+	}
+	if rest := len(cr.data) - cr.off; n > rest {
+		n = rest
+	}
+	copy(p, cr.data[cr.off:cr.off+n])
+	cr.off += n
+	return n, nil
+}
+
+// TestFrameReaderGolden is the byte-identical framing contract: for a
+// stream of random requests split at random points — including splits
+// inside headers and across frame boundaries — the batched frameReader
+// must produce exactly the frames a frame-at-a-time decoder would.
+func TestFrameReaderGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var stream []byte
+		var golden [][]byte
+		nFrames := 1 + rng.Intn(40)
+		for i := 0; i < nFrames; i++ {
+			payload := make([]byte, rng.Intn(300))
+			rng.Read(payload)
+			r := &rpcproto.Request{ID: uint64(i), Conn: uint32(trial), Op: rpcproto.OpEcho, Payload: payload}
+			frame, err := rpcproto.AppendRequest(nil, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden = append(golden, frame)
+			stream = append(stream, frame...)
+		}
+		var sizes []int
+		for got := 0; got < len(stream); {
+			s := 1 + rng.Intn(97)
+			sizes = append(sizes, s)
+			got += s
+		}
+		// Small windows force mid-frame refills and compactions; all must
+		// behave identically.
+		for _, window := range []int{rpcproto.RequestHeaderSize, 64, 4096, connReadBuf} {
+			cr := &chunkReader{data: stream, sizes: sizes}
+			fr := newFrameReader(cr, window, rpcproto.RequestHeaderSize, rpcproto.RequestFrameSize)
+			for i, want := range golden {
+				frame, err := fr.next()
+				if err != nil {
+					t.Fatalf("trial %d window %d frame %d: %v", trial, window, i, err)
+				}
+				if !bytes.Equal(frame, want) {
+					t.Fatalf("trial %d window %d frame %d: decoded bytes differ from frame-at-a-time", trial, window, i)
+				}
+			}
+			if _, err := fr.next(); err != io.EOF {
+				t.Fatalf("trial %d window %d: trailing read = %v, want EOF", trial, window, err)
+			}
+		}
+	}
+}
+
+// TestFrameReaderMidFrameEOF distinguishes a clean close on a frame
+// boundary (io.EOF) from a connection cut mid-frame.
+func TestFrameReaderMidFrameEOF(t *testing.T) {
+	frame, err := rpcproto.AppendRequest(nil, &rpcproto.Request{ID: 1, Payload: []byte("abcd")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(frame); cut++ {
+		fr := newFrameReader(bytes.NewReader(frame[:cut]), 64, rpcproto.RequestHeaderSize, rpcproto.RequestFrameSize)
+		if _, err := fr.next(); err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut at %d: err = %v, want ErrUnexpectedEOF", cut, err)
+		}
+	}
+	fr := newFrameReader(bytes.NewReader(frame), 64, rpcproto.RequestHeaderSize, rpcproto.RequestFrameSize)
+	if _, err := fr.next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fr.next(); err != io.EOF {
+		t.Fatalf("boundary EOF: %v", err)
+	}
+}
+
+// TestFrameReaderCorruptHeader propagates sizeFn's verdict on a corrupt
+// header (bad version) instead of decoding garbage.
+func TestFrameReaderCorruptHeader(t *testing.T) {
+	frame, err := rpcproto.AppendRequest(nil, &rpcproto.Request{ID: 1, Payload: []byte("abcd")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[13] = 99 // version byte
+	fr := newFrameReader(bytes.NewReader(frame), 64, rpcproto.RequestHeaderSize, rpcproto.RequestFrameSize)
+	if _, err := fr.next(); err != rpcproto.ErrBadVersion {
+		t.Fatalf("corrupt header: %v, want ErrBadVersion", err)
+	}
+}

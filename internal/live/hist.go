@@ -1,0 +1,123 @@
+package live
+
+import "math/bits"
+
+// latHist is a fixed-footprint log-bucketed latency histogram: 2^histSubBits
+// sub-buckets per power of two, so any recorded value is off by at most
+// 1/2^histSubBits (≈3% at the default 5 bits) from its bucket's
+// representative — exact enough for p50/p99/p99.9 while a sweep of
+// millions of RPCs stays at a constant ~15 KiB instead of an
+// all-samples slice that scales linearly and then needs a sort. Values
+// are unit-agnostic int64s (the server records picoseconds, the loadgen
+// nanoseconds); the zero value is ready to use and add is
+// allocation-free, so it can sit on the per-worker hot path.
+//
+// Not safe for concurrent use: each worker / receiver owns one and
+// they are merged after the goroutines join.
+type latHist struct {
+	counts [histSlots]uint64
+	count  uint64
+	sum    int64
+	max    int64
+}
+
+const (
+	histSubBits = 5 // 32 sub-buckets per power of two: ≤ ~3% relative error
+	histSub     = 1 << histSubBits
+	// histSlots covers all of int64: the first 2*histSub slots are exact
+	// (values below 2^(histSubBits+1)), then one histSub-wide group per
+	// remaining power of two up to 2^62.
+	histSlots = (64 - histSubBits) * histSub
+)
+
+// slotOf maps a non-negative value to its bucket index.
+func slotOf(v int64) int {
+	if v < 2*histSub {
+		return int(v) // exact region: slots [0, 2*histSub)
+	}
+	msb := 63 - bits.LeadingZeros64(uint64(v)) // >= histSubBits+1 here
+	group := msb - histSubBits
+	sub := int(v>>(msb-histSubBits)) & (histSub - 1)
+	return (group+1)*histSub + sub
+}
+
+// slotValue returns the representative (midpoint) value of a bucket,
+// chosen so quantile extraction is monotone in the slot index.
+func slotValue(slot int) int64 {
+	if slot < 2*histSub {
+		return int64(slot)
+	}
+	group := slot/histSub - 1
+	sub := slot % histSub
+	lo := int64(histSub+sub) << group
+	return lo + int64(1)<<(group-1)
+}
+
+// add records one value. Negative values clamp to zero (a clock
+// anomaly, not a reason to corrupt the distribution).
+//
+//altolint:hotpath
+func (h *latHist) add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[slotOf(v)]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// merge folds o into h.
+func (h *latHist) merge(o *latHist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// reset clears the histogram for reuse.
+func (h *latHist) reset() { *h = latHist{} }
+
+// quantile returns the representative value at quantile q in [0,1].
+// q=1 returns the exact maximum.
+func (h *latHist) quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return h.max
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := uint64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var cum uint64
+	for slot, c := range h.counts {
+		cum += c
+		if cum > rank {
+			v := slotValue(slot)
+			if v > h.max {
+				return h.max // the top occupied bucket's midpoint can overshoot
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// mean returns the exact mean of the recorded values.
+func (h *latHist) mean() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / int64(h.count)
+}

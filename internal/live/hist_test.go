@@ -1,0 +1,96 @@
+package live
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHistSlotRoundTrip(t *testing.T) {
+	// Every bucket's representative must land back in that bucket, and
+	// the slot index must be monotone in the value.
+	for slot := 0; slot < histSlots; slot++ {
+		v := slotValue(slot)
+		if got := slotOf(v); got != slot {
+			t.Fatalf("slotOf(slotValue(%d)) = %d", slot, got)
+		}
+	}
+	prev := -1
+	for _, v := range []int64{0, 1, 31, 32, 63, 64, 65, 100, 1000, 1 << 20, 1 << 40, math.MaxInt64 / 2} {
+		s := slotOf(v)
+		if s < prev {
+			t.Fatalf("slotOf not monotone at %d", v)
+		}
+		prev = s
+	}
+}
+
+func TestHistRelativeError(t *testing.T) {
+	// The representative of any value's bucket is within 1/histSub of the
+	// value itself: the histogram's accuracy contract.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		v := rng.Int63n(1 << 40)
+		rep := slotValue(slotOf(v))
+		if relErr := math.Abs(float64(rep-v)) / math.Max(float64(v), 1); relErr > 1.0/histSub {
+			t.Fatalf("value %d -> representative %d: relative error %.4f", v, rep, relErr)
+		}
+	}
+}
+
+// TestHistQuantiles checks extracted percentiles against exact sorted
+// percentiles of the same sample, within the bucket resolution.
+func TestHistQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var h latHist
+	n := 200000
+	vals := make([]int64, n)
+	for i := range vals {
+		// Log-normal-ish latency shape: a busy median with a heavy tail.
+		v := int64(1000 * math.Exp(rng.NormFloat64()))
+		vals[i] = v
+		h.add(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := vals[int(q*float64(n))]
+		got := h.quantile(q)
+		if relErr := math.Abs(float64(got-exact)) / float64(exact); relErr > 2.0/histSub {
+			t.Fatalf("q=%.3f: hist %d vs exact %d (rel err %.4f)", q, got, exact, relErr)
+		}
+	}
+	if h.quantile(1) != vals[n-1] {
+		t.Fatalf("q=1 = %d, want exact max %d", h.quantile(1), vals[n-1])
+	}
+	var sum int64
+	for _, v := range vals {
+		sum += v
+	}
+	if got, want := h.mean(), sum/int64(n); got != want {
+		t.Fatalf("mean = %d, want exact %d", got, want)
+	}
+}
+
+func TestHistMergeReset(t *testing.T) {
+	var a, b latHist
+	for i := int64(0); i < 1000; i++ {
+		a.add(i)
+		b.add(i * 1000)
+	}
+	var m latHist
+	m.merge(&a)
+	m.merge(&b)
+	if m.count != 2000 || m.max != 999000 || m.sum != a.sum+b.sum {
+		t.Fatalf("merge: count=%d max=%d", m.count, m.max)
+	}
+	m.reset()
+	if m.count != 0 || m.quantile(0.5) != 0 || m.mean() != 0 {
+		t.Fatal("reset left state behind")
+	}
+	// Negative values clamp rather than corrupt.
+	m.add(-5)
+	if m.count != 1 || m.max != 0 {
+		t.Fatal("negative clamp")
+	}
+}

@@ -34,7 +34,6 @@ import (
 	"repro/internal/policy"
 	"repro/internal/rpcproto"
 	"repro/internal/sim"
-	"repro/internal/stats"
 )
 
 // Handler executes one request on a worker goroutine and returns the
@@ -179,6 +178,12 @@ type Runtime struct {
 	ledgerMu sync.Mutex
 	ledger   *check.Ledger
 
+	// taskPool recycles task boxes between Deliver and serve, so the
+	// steady-state per-request path allocates nothing: Put/Get of a live
+	// pointer is alloc-free, and only the cold start (and post-GC refill)
+	// mints new boxes.
+	taskPool sync.Pool
+
 	// inflight is bumped by every Deliver (producer goroutines) and
 	// dropped by every completion (worker goroutines): the single most
 	// contended word in the runtime, padded so neighbouring fields'
@@ -210,6 +215,9 @@ func New(cfg Config, h Handler) (*Runtime, error) {
 	if rt.clock == nil {
 		rt.clock = newWallClock()
 	}
+	// Cold-start task boxes; the steady state recycles them through the
+	// pool, so Deliver's Get is allocation-free.
+	rt.taskPool.New = func() any { return new(task) }
 	for g := 0; g < cfg.Groups; g++ {
 		rt.groups = append(rt.groups, newLGroup(rt, g))
 	}
@@ -250,8 +258,8 @@ func (rt *Runtime) steer(r *rpcproto.Request) int {
 func (rt *Runtime) Deliver(r *rpcproto.Request, done DoneFunc) {
 	gid := rt.steer(r)
 	r.GroupHint = gid
-	//altolint:allow hotalloc one task box per request; pooling tasks through internal/arena is the next zero-alloc step (ROADMAP)
-	t := &task{req: r, arrival: rt.clock.Now(), done: done}
+	t := rt.taskPool.Get().(*task)
+	t.req, t.arrival, t.done = r, rt.clock.Now(), done
 	rt.inflight.Add(1)
 	rt.ledgerMu.Lock()
 	rt.ledger.Delivered(r.ID)
@@ -299,7 +307,7 @@ func (rt *Runtime) Report() *Report {
 		panic("live: Report before Close")
 	}
 	rep := &Report{}
-	sample := stats.NewSample(0)
+	var h latHist
 	for _, g := range rt.groups {
 		rep.Stats.Ticks += g.ticks
 		rep.Stats.Migrations += g.migrations
@@ -311,9 +319,7 @@ func (rt *Runtime) Report() *Report {
 		rep.Stats.PairingEvents += g.pairing
 		rep.Stats.ThresholdEvts += g.thresholdEvts
 		for _, w := range g.workers {
-			for _, ps := range w.latencies {
-				sample.Add(sim.Time(ps))
-			}
+			h.merge(&w.lats)
 		}
 	}
 	rt.ledgerMu.Lock()
@@ -321,13 +327,13 @@ func (rt *Runtime) Report() *Report {
 	rt.ledgerMu.Unlock()
 	rep.Stats.Delivered = rep.Check.Delivered
 	rep.Stats.Completed = rep.Check.Completed
-	rep.Samples = sample.Len()
+	rep.Samples = int(h.count)
 	if rep.Samples > 0 {
-		rep.P50 = sample.P50()
-		rep.P99 = sample.P99()
-		rep.P999 = sample.P999()
-		rep.Mean = sample.Mean()
-		rep.Max = sample.Max()
+		rep.P50 = sim.Time(h.quantile(0.50))
+		rep.P99 = sim.Time(h.quantile(0.99))
+		rep.P999 = sim.Time(h.quantile(0.999))
+		rep.Mean = sim.Time(h.mean())
+		rep.Max = sim.Time(h.max)
 	}
 	return rep
 }

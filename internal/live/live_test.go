@@ -278,3 +278,96 @@ func TestDequeFIFO(t *testing.T) {
 		t.Fatal("emptied deque not empty")
 	}
 }
+
+// TestDataPlaneArenaClean asserts the arena ownership protocol over a
+// persistent multi-round session: after the client closes, every
+// request slot acquired at decode was released exactly once by its
+// completion — no leaks, no stale releases.
+func TestDataPlaneArenaClean(t *testing.T) {
+	const rounds, n = 3, 5000
+	rt, err := New(Config{Groups: 2, WorkersPerGroup: 2, Expected: rounds * n}, EchoHandler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(rt)
+	wait := srv.ServeBackground(ln)
+	cl, err := NewLoadgenClient(LoadgenConfig{Addr: ln.Addr().String(), Conns: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < rounds; r++ {
+		res, err := cl.Run(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Received != n || res.Dropped != 0 {
+			t.Fatalf("round %d: received %d dropped %d, want %d clean", r, res.Received, res.Dropped, n)
+		}
+	}
+	cl.Close()
+	if err := rt.Drain(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := wait(); err != nil {
+		t.Fatal(err)
+	}
+	drainCloseReport(t, rt)
+	if leaked, stale := srv.DataPlaneStats(); leaked != 0 || stale != 0 {
+		t.Fatalf("data plane: %d leaked slot(s), %d stale release(s), want 0/0", leaked, stale)
+	}
+	tot := cl.Totals()
+	if tot.Received != rounds*n {
+		t.Fatalf("totals received %d, want %d", tot.Received, rounds*n)
+	}
+}
+
+// TestDataPlaneAbruptClose cuts a connection with requests still in
+// flight (full close, no half-close handshake, responses never read):
+// the server must complete and release every request it decoded — the
+// teardown path may not leak arena slots even when the response stream
+// is dead.
+func TestDataPlaneAbruptClose(t *testing.T) {
+	const n = 2000
+	rt, err := New(Config{Groups: 2, WorkersPerGroup: 2, Expected: n}, EchoHandler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(rt)
+	wait := srv.ServeBackground(ln)
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	for i := 0; i < n; i++ {
+		r := &rpcproto.Request{ID: uint64(i), Conn: 1, Op: rpcproto.OpEcho, Payload: []byte("abandoned")}
+		buf, err = rpcproto.AppendRequest(buf, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := conn.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close() // never reads a single response
+	if err := rt.Drain(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := wait(); err != nil {
+		t.Fatal(err)
+	}
+	rt.Close()
+	if leaked, stale := srv.DataPlaneStats(); leaked != 0 || stale != 0 {
+		t.Fatalf("abrupt close: %d leaked slot(s), %d stale release(s), want 0/0", leaked, stale)
+	}
+}

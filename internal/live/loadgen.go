@@ -3,9 +3,7 @@ package live
 import (
 	"bufio"
 	"fmt"
-	"io"
 	"net"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,14 +12,23 @@ import (
 	"repro/internal/rpcproto"
 )
 
-// LoadgenConfig drives RunLoadgen: an open-loop generator (arrivals are
-// scheduled by wall time, not by response arrival, so queueing delay is
-// visible instead of self-throttled) over C connections.
+// LoadgenConfig drives the load generator: an open-loop generator
+// (arrivals are scheduled by wall time, not by response arrival, so
+// queueing delay is visible instead of self-throttled) over
+// Conns×Clients connections.
 type LoadgenConfig struct {
 	Addr     string
-	Conns    int     // parallel connections (default 4)
-	Requests int     // total requests across all connections
+	Conns    int     // connections per client (default 4)
+	Clients  int     // client multiplier: total streams = Conns*Clients (default 1)
+	Requests int     // total requests across all connections (RunLoadgen only)
 	RateRPS  float64 // aggregate offered rate; <=0 means send as fast as possible
+
+	// Window bounds per-connection outstanding requests (default 16384).
+	// The sender stalls — counted, not silent — when the window is full,
+	// so an overloaded server shows up as Stalls plus latency, never as
+	// unbounded client memory: latency samples live in fixed send-slot
+	// rings of this size instead of the old per-request slice.
+	Window int
 
 	// Prepare fills Op/Payload for one request before it is marshalled;
 	// nil leaves every request an ECHO with a 16-byte payload. conn and
@@ -30,10 +37,13 @@ type LoadgenConfig struct {
 	Prepare func(r *rpcproto.Request, conn, seq int)
 }
 
-// LoadgenResult is the client-side view of a run.
+// LoadgenResult is the client-side view of a run (or of one round of a
+// persistent Client session).
 type LoadgenResult struct {
 	Sent, Received uint64
 	BadStatus      uint64 // responses with Status != OK (NOT_FOUND counts as OK for KV)
+	Stalls         uint64 // sender waits on a full window (overload backpressure)
+	Dropped        uint64 // latency samples lost to send-slot reuse (never at Window ≥ in-flight)
 	Elapsed        time.Duration
 	AchievedRPS    float64
 	P50, P99, P999 time.Duration
@@ -41,194 +51,309 @@ type LoadgenResult struct {
 }
 
 func (r *LoadgenResult) String() string {
-	return fmt.Sprintf("sent=%d recv=%d %.0f RPS; p50=%v p99=%v p99.9=%v max=%v",
-		r.Sent, r.Received, r.AchievedRPS, r.P50, r.P99, r.P999, r.Max)
+	return fmt.Sprintf("sent=%d recv=%d %.0f RPS; p50=%v p99=%v p99.9=%v max=%v stalls=%d",
+		r.Sent, r.Received, r.AchievedRPS, r.P50, r.P99, r.P999, r.Max, r.Stalls)
 }
 
-// RunLoadgen runs the generator to completion and reports client-side
-// latency percentiles (send to response, per request id).
-func RunLoadgen(cfg LoadgenConfig) (*LoadgenResult, error) {
+// lgConn is one persistent loadgen connection: a paced sender and a
+// frame-batched receiver share it for the lifetime of the Client, with
+// latency samples crossing between them through a fixed ring of
+// write-once send slots.
+type lgConn struct {
+	idx  int
+	conn net.Conn
+	bw   *bufio.Writer
+	fr   *frameReader
+
+	// Send slots: slot i%window carries the send timestamp (ns) and the
+	// sequence number that stamped it. The window bound means a slot is
+	// never rewritten before the receiver consumed it; the seq check
+	// catches (and counts) the pathological reuse instead of emitting a
+	// garbage sample. Single-writer write-once-per-window slots; padding
+	// each to 64B would cost 8x the footprint for lines shared at most
+	// once per request.
+	//altolint:allow padalign single-writer write-once timestamp slots; footprint over padding
+	sendNS []atomic.Int64
+	//altolint:allow padalign single-writer write-once sequence slots; footprint over padding
+	sendSeq []atomic.Int64
+
+	// recvd is the receiver's cumulative response count, read by the
+	// sender for window backpressure: the only word the two goroutines
+	// share at high frequency, so it gets its own line.
+	recvd paddedInt64
+
+	seq int64 // cumulative requests sent; sender-owned
+
+	// Round state, owned by the goroutine named in the comment.
+	hist    latHist // receiver: this round's latency profile (ns)
+	bad     uint64  // receiver
+	dropped uint64  // receiver
+	stalls  uint64  // sender
+	sendErr error   // sender; read after the round joins
+	recvErr error   // receiver; read after the round joins
+}
+
+// Client is a persistent loadgen session: connections dial once and
+// survive across Run rounds, so a benchmark loop measures the
+// steady-state data plane, not connection setup. Not safe for
+// concurrent Run calls.
+type Client struct {
+	cfg   LoadgenConfig
+	conns []*lgConn
+
+	agg        latHist // merged profile across all rounds
+	sent, recv uint64
+	bad        uint64
+	stalls     uint64
+	dropped    uint64
+	elapsed    time.Duration // sum of round active times
+	clock      *wallClock
+}
+
+// NewLoadgenClient dials the configured connections. Close releases
+// them; Run drives rounds in between.
+func NewLoadgenClient(cfg LoadgenConfig) (*Client, error) {
 	if cfg.Conns <= 0 {
 		cfg.Conns = 4
 	}
-	if cfg.Requests <= 0 {
-		return nil, fmt.Errorf("live: loadgen needs Requests > 0")
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
 	}
-	clock := newWallClock()
-	res := &LoadgenResult{}
-	var mu sync.Mutex
-	var all []int64                     // latencies, ns
-	errs := make(chan error, cfg.Conns) //altolint:bounded-send at most one send per connection into capacity Conns
-	var wg sync.WaitGroup
-	startAt := clock.Now()
-	for c := 0; c < cfg.Conns; c++ {
-		n := cfg.Requests / cfg.Conns
-		if c < cfg.Requests%cfg.Conns {
-			n++
+	if cfg.Window <= 0 {
+		cfg.Window = 1 << 14
+	}
+	cl := &Client{cfg: cfg, clock: newWallClock()}
+	total := cfg.Conns * cfg.Clients
+	for i := 0; i < total; i++ {
+		conn, err := net.Dial("tcp", cfg.Addr)
+		if err != nil {
+			cl.Close()
+			return nil, err
 		}
-		if n == 0 {
+		lc := &lgConn{
+			idx:  i,
+			conn: conn,
+			bw:   bufio.NewWriterSize(conn, 64<<10),
+			fr:   newFrameReader(conn, 64<<10, rpcproto.ResponseHeaderSize, rpcproto.ResponseFrameSize),
+			//altolint:allow padalign single-writer write-once timestamp slots; footprint over padding
+			sendNS: make([]atomic.Int64, cfg.Window),
+			//altolint:allow padalign single-writer write-once sequence slots; footprint over padding
+			sendSeq: make([]atomic.Int64, cfg.Window),
+		}
+		for s := range lc.sendSeq {
+			lc.sendSeq[s].Store(-1)
+		}
+		cl.conns = append(cl.conns, lc)
+	}
+	return cl, nil
+}
+
+// Close half-closes and releases every connection. The server drains
+// in-flight work on its side; call after the last Run has joined.
+func (cl *Client) Close() {
+	for _, lc := range cl.conns {
+		if lc.conn != nil {
+			lc.conn.Close()
+		}
+	}
+}
+
+// Run drives one round: n requests split across the connections at the
+// aggregate offered rate (<=0 = as fast as possible), waiting for every
+// response. The result is round-scoped; Totals accumulates across
+// rounds.
+func (cl *Client) Run(n int, rateRPS float64) (*LoadgenResult, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("live: loadgen round needs n > 0")
+	}
+	total := len(cl.conns)
+	var wg sync.WaitGroup
+	startAt := cl.clock.Now()
+	for i, lc := range cl.conns {
+		per := n / total
+		if i < n%total {
+			per++
+		}
+		if per == 0 {
 			continue
 		}
-		wg.Add(1)
-		go func(c, n int) {
+		lc.hist.reset()
+		lc.bad, lc.dropped, lc.stalls = 0, 0, 0
+		lc.sendErr, lc.recvErr = nil, nil
+		wg.Add(2)
+		go func(lc *lgConn, per int) {
 			defer wg.Done()
-			lats, bad, err := runConn(&cfg, clock, c, n)
-			if err != nil {
-				errs <- err
-				return
-			}
-			mu.Lock()
-			all = append(all, lats...)
-			res.BadStatus += bad
-			mu.Unlock()
-		}(c, n)
+			lc.receive(cl, per)
+		}(lc, per)
+		go func(lc *lgConn, per int) {
+			defer wg.Done()
+			lc.send(cl, per, rateRPS, startAt)
+		}(lc, per)
 	}
 	wg.Wait()
-	res.Elapsed = wallDuration(clock.Now() - startAt)
-	close(errs)
-	if err := <-errs; err != nil {
-		return nil, err
-	}
-	res.Sent = uint64(cfg.Requests)
-	res.Received = uint64(len(all))
-	if res.Elapsed > 0 {
-		res.AchievedRPS = float64(res.Received) / res.Elapsed.Seconds()
-	}
-	if len(all) > 0 {
-		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-		pick := func(q float64) time.Duration {
-			i := int(q*float64(len(all))+0.5) - 1
-			if i < 0 {
-				i = 0
-			}
-			if i >= len(all) {
-				i = len(all) - 1
-			}
-			return time.Duration(all[i])
+	res := &LoadgenResult{Sent: uint64(n)}
+	res.Elapsed = wallDuration(cl.clock.Now() - startAt)
+	var h latHist
+	for _, lc := range cl.conns {
+		if lc.sendErr != nil {
+			return nil, lc.sendErr
 		}
-		res.P50, res.P99, res.P999 = pick(0.50), pick(0.99), pick(0.999)
-		res.Max = time.Duration(all[len(all)-1])
-		var sum int64
-		for _, v := range all {
-			sum += v
+		if lc.recvErr != nil {
+			return nil, lc.recvErr
 		}
-		res.Mean = time.Duration(sum / int64(len(all)))
+		h.merge(&lc.hist)
+		res.BadStatus += lc.bad
+		res.Stalls += lc.stalls
+		res.Dropped += lc.dropped
 	}
+	res.Received = h.count + res.Dropped
+	fillQuantiles(res, &h)
+	cl.agg.merge(&h)
+	cl.sent += res.Sent
+	cl.recv += res.Received
+	cl.bad += res.BadStatus
+	cl.stalls += res.Stalls
+	cl.dropped += res.Dropped
+	cl.elapsed += res.Elapsed
 	return res, nil
 }
 
-// runConn drives one connection: a paced sender plus a receiver that
-// matches responses to send timestamps by request id. IDs are
-// seq*Conns+conn — unique across the run and dense in [0, Requests),
-// which the server's conservation ledger indexes by.
-func runConn(cfg *LoadgenConfig, clock *wallClock, c, n int) ([]int64, uint64, error) {
-	conn, err := net.Dial("tcp", cfg.Addr)
-	if err != nil {
-		return nil, 0, err
+// Totals reports the cumulative profile across every round so far.
+func (cl *Client) Totals() *LoadgenResult {
+	res := &LoadgenResult{
+		Sent: cl.sent, Received: cl.recv, BadStatus: cl.bad,
+		Stalls: cl.stalls, Dropped: cl.dropped, Elapsed: cl.elapsed,
 	}
-	defer conn.Close()
+	fillQuantiles(res, &cl.agg)
+	return res
+}
 
-	// Send timestamps cross the sender/receiver goroutine boundary
-	// through the server, which the race detector cannot see; atomics
-	// give the handoff a real happens-before edge.
-	// Each slot is written once by the sender and read once by the
-	// receiver; padding n slots to 64B each would cost 16x the footprint
-	// for a line that is shared at most once per request.
-	//altolint:allow padalign single-writer write-once timestamp slots; footprint over padding
-	sendNS := make([]atomic.Int64, n)
-	var bad uint64
-	lats := make([]int64, 0, n)
-	recvErr := make(chan error, 1) //altolint:bounded-send the receiver goroutine sends exactly once (first error or final nil) into capacity 1
-	go func() {
-		br := bufio.NewReaderSize(conn, 64<<10)
-		hdr := make([]byte, rpcproto.ResponseHeaderSize)
-		frame := make([]byte, rpcproto.ResponseHeaderSize)
-		for got := 0; got < n; got++ {
-			if _, err := io.ReadFull(br, hdr); err != nil {
-				recvErr <- fmt.Errorf("live: loadgen conn %d: read after %d responses: %w", c, got, err)
-				return
-			}
-			flen, err := rpcproto.ResponseFrameSize(hdr)
-			if err != nil {
-				recvErr <- err
-				return
-			}
-			if cap(frame) < flen {
-				frame = make([]byte, flen)
-			}
-			frame = frame[:flen]
-			copy(frame, hdr)
-			if _, err := io.ReadFull(br, frame[rpcproto.ResponseHeaderSize:]); err != nil {
-				recvErr <- err
-				return
-			}
-			resp, _, err := rpcproto.DecodeResponse(frame)
-			if err != nil {
-				recvErr <- err
-				return
-			}
-			if int(resp.ID)%cfg.Conns != c {
-				recvErr <- fmt.Errorf("live: loadgen conn %d: stray response id %#x", c, resp.ID)
-				return
-			}
-			seq := int(resp.ID) / cfg.Conns
-			if seq >= n {
-				recvErr <- fmt.Errorf("live: loadgen conn %d: response seq %d out of range", c, seq)
-				return
-			}
-			if resp.Status == rpcproto.StatusError {
-				bad++
-			}
-			lats = append(lats, int64((clock.Now()-policy.Duration(sendNS[seq].Load())*policy.Nanosecond)/policy.Nanosecond))
-		}
-		recvErr <- nil
-	}()
+func fillQuantiles(res *LoadgenResult, h *latHist) {
+	if res.Elapsed > 0 {
+		res.AchievedRPS = float64(res.Received) / res.Elapsed.Seconds()
+	}
+	if h.count == 0 {
+		return
+	}
+	res.P50 = time.Duration(h.quantile(0.50))
+	res.P99 = time.Duration(h.quantile(0.99))
+	res.P999 = time.Duration(h.quantile(0.999))
+	res.Mean = time.Duration(h.mean())
+	res.Max = time.Duration(h.max)
+}
 
+// send paces per requests onto the connection. IDs are seq*total+idx:
+// unique across connections and rounds, so the server-side ledger sees
+// every id exactly once for the lifetime of the session.
+func (lc *lgConn) send(cl *Client, per int, rateRPS float64, startAt policy.Duration) {
+	cfg := &cl.cfg
+	total := int64(len(cl.conns))
+	window := int64(cfg.Window)
 	var interval policy.Duration // per-request gap on this connection
-	if cfg.RateRPS > 0 {
-		interval = policy.Duration(float64(cfg.Conns) / cfg.RateRPS * 1e9 * float64(policy.Nanosecond))
+	if rateRPS > 0 {
+		interval = policy.Duration(float64(total) / rateRPS * 1e9 * float64(policy.Nanosecond))
 	}
-	bw := bufio.NewWriterSize(conn, 64<<10)
-	buf := make([]byte, 0, 4096)
-	start := clock.Now()
-	for i := 0; i < n; i++ {
+	var r rpcproto.Request // hoisted: one escape per round, not per request
+	var p [16]byte
+	var buf []byte
+	for i := 0; i < per; i++ {
 		if interval > 0 {
-			target := start + policy.Duration(i)*interval
-			if d := target - clock.Now(); d > 0 {
+			target := startAt + policy.Duration(i)*interval
+			if d := target - cl.clock.Now(); d > 0 {
 				time.Sleep(wallDuration(d)) //altolint:allow detnow open-loop pacing sleep; the loadgen is wall-clock by definition
 			}
 		}
-		r := rpcproto.Request{ID: uint64(i*cfg.Conns + c), Conn: uint32(c), Op: rpcproto.OpEcho}
+		// Window backpressure: never more than Window in flight per
+		// connection, so a send slot is never reused before its response.
+		for lc.seq-lc.recvd.Load() >= window {
+			lc.stalls++
+			if err := lc.bw.Flush(); err != nil {
+				lc.sendErr = fmt.Errorf("live: loadgen conn %d: flush: %w", lc.idx, err)
+				return
+			}
+			sleepBriefly()
+		}
+		seq := lc.seq
+		r = rpcproto.Request{ID: uint64(seq*total + int64(lc.idx)), Conn: uint32(lc.idx), Op: rpcproto.OpEcho}
 		if cfg.Prepare != nil {
-			cfg.Prepare(&r, c, i)
+			cfg.Prepare(&r, lc.idx, int(seq))
 		} else {
-			var p [16]byte
 			r.Payload = p[:]
 		}
+		var err error
 		buf, err = rpcproto.AppendRequest(buf[:0], &r)
 		if err != nil {
-			return nil, 0, err
+			lc.sendErr = err
+			return
 		}
-		sendNS[i].Store(int64(clock.Now() / policy.Nanosecond))
-		if _, err := bw.Write(buf); err != nil {
-			return nil, 0, fmt.Errorf("live: loadgen conn %d: write: %w", c, err)
+		slot := seq % window
+		lc.sendSeq[slot].Store(seq)
+		lc.sendNS[slot].Store(int64(cl.clock.Now() / policy.Nanosecond))
+		if _, err := lc.bw.Write(buf); err != nil {
+			lc.sendErr = fmt.Errorf("live: loadgen conn %d: write: %w", lc.idx, err)
+			return
 		}
+		lc.seq++
 		if interval > 0 {
-			if err := bw.Flush(); err != nil {
-				return nil, 0, err
+			if err := lc.bw.Flush(); err != nil {
+				lc.sendErr = err
+				return
 			}
 		}
 	}
-	if err := bw.Flush(); err != nil {
-		return nil, 0, err
+	if err := lc.bw.Flush(); err != nil {
+		lc.sendErr = err
 	}
-	// Half-close: the server drains in-flight work then closes the
-	// response stream after the receiver has everything.
-	if tc, ok := conn.(*net.TCPConn); ok {
-		tc.CloseWrite()
+}
+
+// receive decodes per response frames, matching each to its send slot
+// by sequence number. A slot whose sequence no longer matches (send-slot
+// reuse under a misconfigured window) drops the sample, counted, rather
+// than emitting garbage.
+func (lc *lgConn) receive(cl *Client, per int) {
+	total := int64(len(cl.conns))
+	window := int64(len(lc.sendNS))
+	for got := 0; got < per; got++ {
+		frame, err := lc.fr.next()
+		if err != nil {
+			lc.recvErr = fmt.Errorf("live: loadgen conn %d: read after %d responses: %w", lc.idx, got, err)
+			return
+		}
+		resp, _, err := rpcproto.DecodeResponse(frame)
+		if err != nil {
+			lc.recvErr = err
+			return
+		}
+		if int64(resp.ID)%total != int64(lc.idx) {
+			lc.recvErr = fmt.Errorf("live: loadgen conn %d: stray response id %#x", lc.idx, resp.ID)
+			return
+		}
+		if resp.Status == rpcproto.StatusError {
+			lc.bad++
+		}
+		seq := int64(resp.ID) / total
+		slot := seq % window
+		ns := lc.sendNS[slot].Load()
+		if lc.sendSeq[slot].Load() != seq {
+			lc.dropped++
+		} else {
+			lc.hist.add(int64(cl.clock.Now()/policy.Nanosecond) - ns)
+		}
+		lc.recvd.Add(1)
 	}
-	if err := <-recvErr; err != nil {
-		return nil, 0, err
+}
+
+// RunLoadgen runs a one-shot generator to completion and reports
+// client-side latency percentiles (send to response, per request id):
+// a single-round Client session.
+func RunLoadgen(cfg LoadgenConfig) (*LoadgenResult, error) {
+	if cfg.Requests <= 0 {
+		return nil, fmt.Errorf("live: loadgen needs Requests > 0")
 	}
-	return lats, bad, nil
+	cl, err := NewLoadgenClient(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	return cl.Run(cfg.Requests, cfg.RateRPS)
 }

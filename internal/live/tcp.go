@@ -1,13 +1,12 @@
 package live
 
 import (
-	"bufio"
 	"errors"
-	"io"
 	"net"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/arena"
 	"repro/internal/rpcproto"
 )
 
@@ -16,26 +15,55 @@ import (
 // completion callback fires. One reader goroutine and one writer
 // goroutine per connection; responses may leave out of request order
 // (they are matched by id), exactly like a real nanosecond-RPC server.
+//
+// The data plane is zero-alloc in steady state: requests live in a
+// per-connection arena (acquired at decode, released after the response
+// frame is encoded), the reader decodes every complete frame per
+// syscall through a frameReader, and the writer coalesces the response
+// backlog into one vectored write through a respRing. See DESIGN §12.
 type Server struct {
 	rt *Runtime
-	ln net.Listener
-	wg sync.WaitGroup
+
+	// lnMu guards ln and closed: Serve publishes the listener from the
+	// serving goroutine and Close reads it from the caller's. closed
+	// covers the race where Close runs before Serve has published —
+	// whichever side arrives second closes the listener, so Serve can
+	// never keep accepting past a Close.
+	lnMu   sync.Mutex
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
+
+	// Data-plane accounting, aggregated at connection close. leaked
+	// counts arena slots still live when a connection tore down (a
+	// request delivered but never completed); stale counts releases the
+	// arena rejected (a double completion). Both are always zero on a
+	// healthy server and are asserted by tests. Each gets its own cache
+	// line: two closing connections must not bounce one line.
+	leaked paddedInt64
+	stale  paddedInt64
 }
 
 // NewServer wraps a started Runtime.
 func NewServer(rt *Runtime) *Server { return &Server{rt: rt} }
 
-// respMsg is one completed request on its way to the connection writer.
-type respMsg struct {
-	id      uint64
-	st      rpcproto.Status
-	payload []byte
+// DataPlaneStats reports the leak / stale-handle totals across all
+// closed connections: arena slots still live at teardown and releases
+// the arena rejected as stale. Both are zero on a healthy server.
+func (s *Server) DataPlaneStats() (leaked, stale int64) {
+	return s.leaked.Load(), s.stale.Load()
 }
 
 // Serve accepts connections until the listener closes. It returns nil
 // on a clean Close.
 func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
 	s.ln = ln
+	closed := s.closed
+	s.lnMu.Unlock()
+	if closed {
+		ln.Close()
+	}
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -67,91 +95,115 @@ func (s *Server) ServeBackground(ln net.Listener) (wait func() error) {
 // Clients are expected to half-close after their last request; Drain
 // the runtime first for a loss-free shutdown.
 func (s *Server) Close() {
-	if s.ln != nil {
-		s.ln.Close()
+	s.lnMu.Lock()
+	ln := s.ln
+	s.closed = true
+	s.lnMu.Unlock()
+	if ln != nil {
+		ln.Close()
 	}
 	s.wg.Wait()
+}
+
+// connState is one connection's data-plane state, shared between the
+// reader (the handle goroutine), the workers completing its requests,
+// and the writer goroutine flushing its respRing.
+type connState struct {
+	ring *respRing
+
+	// pool holds this connection's in-flight requests; mu serializes the
+	// reader's Acquire against the workers' ReleaseReuse. The handle
+	// rides on Request.Pool, so completion needs no lookup.
+	mu    sync.Mutex
+	pool  *arena.Arena
+	stale int64 // releases the pool rejected; mu-guarded
+
+	// pending counts delivered-but-not-completed requests. When the
+	// reader is done and pending hits zero the connection can close; the
+	// completion that gets it there signals drained, replacing the old
+	// sleep-poll teardown loop.
+	pending    paddedInt64
+	readerDone atomic.Bool
+	drained    chan struct{} // capacity 1: teardown wake, non-blocking send
+}
+
+// complete is the single completion callback for every request on the
+// connection: encode the response into the ring (copying the payload
+// before the slot is recycled), release the arena slot, and signal
+// teardown when the last in-flight request finishes. Runs on worker
+// goroutines.
+//
+//altolint:hotpath
+func (cs *connState) complete(r *rpcproto.Request, payload []byte, st rpcproto.Status) {
+	cs.ring.append(r.ID, st, payload)
+	id := arena.UnpackRequestID(r.Pool)
+	cs.mu.Lock()
+	if !cs.pool.ReleaseReuse(id) {
+		cs.stale++
+	}
+	cs.mu.Unlock()
+	if cs.pending.Add(-1) == 0 && cs.readerDone.Load() {
+		select {
+		case cs.drained <- struct{}{}:
+		default:
+		}
+	}
 }
 
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
 
-	//altolint:bounded-send the writer goroutine drains out until close; a full channel means client TCP backpressure, which must stall the worker rather than drop the response
-	out := make(chan respMsg, 512)
-	var pending atomic.Int64
+	cs := &connState{
+		ring:    newRespRing(),
+		pool:    arena.New(),
+		drained: make(chan struct{}, 1),
+	}
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
 	go func() {
 		defer writerWG.Done()
-		writeResponses(conn, out)
+		cs.ring.writeLoop(conn)
 	}()
 
-	br := bufio.NewReaderSize(conn, 64<<10)
-	hdr := make([]byte, rpcproto.RequestHeaderSize)
-	frame := make([]byte, rpcproto.RequestHeaderSize)
+	fr := newFrameReader(conn, connReadBuf, rpcproto.RequestHeaderSize, rpcproto.RequestFrameSize)
+	done := DoneFunc(cs.complete) // bind once: no per-request closure
 	for {
-		if _, err := io.ReadFull(br, hdr); err != nil {
-			break // EOF or reset: the client is done sending
-		}
-		flen, err := rpcproto.RequestFrameSize(hdr)
+		frame, err := fr.next()
 		if err != nil {
+			break // EOF, reset, or a malformed frame: the client is done sending
+		}
+		cs.mu.Lock()
+		req, id := cs.pool.Acquire()
+		cs.mu.Unlock()
+		if err := rpcproto.UnmarshalInto(req, frame); err != nil {
+			cs.mu.Lock()
+			cs.pool.ReleaseReuse(id)
+			cs.mu.Unlock()
 			break
 		}
-		if cap(frame) < flen {
-			frame = make([]byte, flen)
-		}
-		frame = frame[:flen]
-		copy(frame, hdr)
-		if _, err := io.ReadFull(br, frame[rpcproto.RequestHeaderSize:]); err != nil {
-			break
-		}
-		req, err := rpcproto.Unmarshal(frame)
-		if err != nil {
-			break
-		}
-		pending.Add(1)
-		s.rt.Deliver(req, func(r *rpcproto.Request, payload []byte, st rpcproto.Status) {
-			// Worker goroutine. The writer always drains out, so this
-			// send blocks only on TCP backpressure from the client.
-			out <- respMsg{id: r.ID, st: st, payload: payload}
-			pending.Add(-1)
-		})
+		req.Pool = id.Pack()
+		cs.pending.Add(1)
+		s.rt.Deliver(req, done)
 	}
 
-	// The client half-closed: let in-flight requests respond, then
+	// The client half-closed (or the stream broke): wait for in-flight
+	// requests on the completion signal — no polling — then flush and
 	// release the writer.
-	for pending.Load() > 0 {
-		sleepBriefly()
+	cs.readerDone.Store(true)
+	for cs.pending.Load() > 0 {
+		<-cs.drained
 	}
-	close(out)
+	cs.ring.close()
 	writerWG.Wait()
-}
 
-// writeResponses is the per-connection writer goroutine. After a write
-// error it keeps draining out (dropping frames) so completion callbacks
-// never block on a dead connection.
-func writeResponses(conn net.Conn, out <-chan respMsg) {
-	bw := bufio.NewWriterSize(conn, 64<<10)
-	buf := make([]byte, 0, 4096)
-	failed := false
-	for m := range out {
-		if failed {
-			continue
-		}
-		var err error
-		buf, err = rpcproto.AppendResponse(buf[:0], m.id, m.st, m.payload)
-		if err == nil {
-			_, err = bw.Write(buf)
-		}
-		if err == nil && len(out) == 0 {
-			err = bw.Flush() // batch while the channel has backlog
-		}
-		if err != nil {
-			failed = true
-		}
+	cs.mu.Lock()
+	leaked, stale := int64(cs.pool.Live()), cs.stale
+	cs.mu.Unlock()
+	if leaked != 0 {
+		s.leaked.Add(leaked)
 	}
-	if !failed {
-		bw.Flush()
+	if stale != 0 {
+		s.stale.Add(stale)
 	}
 }

@@ -21,9 +21,11 @@ type worker struct {
 	// (completion): padded so the two cores do not share its line.
 	outstanding paddedInt32
 
-	// latencies are delivery-to-completion times in picoseconds,
-	// worker-owned while running, read by Report after Close.
-	latencies []int64
+	// lats is the delivery-to-completion profile in picoseconds:
+	// worker-owned while running, merged by Report after Close. A
+	// fixed-footprint histogram, so recording is allocation-free at any
+	// run length (the old per-sample slice grew with the run).
+	lats latHist
 }
 
 func newWorker(g *lgroup, id int) *worker {
@@ -54,8 +56,7 @@ func (w *worker) serve(t *task) {
 
 	w.g.svcSumNS.Add(int64((end - start) / policy.Nanosecond))
 	w.g.svcCount.Add(1)
-	//altolint:allow hotalloc amortized growth of the worker-owned latency log
-	w.latencies = append(w.latencies, int64(end-t.arrival))
+	w.lats.add(int64(end - t.arrival))
 
 	rt.ledgerMu.Lock()
 	rt.ledger.Completed(t.req.ID)
@@ -63,6 +64,8 @@ func (w *worker) serve(t *task) {
 	if t.done != nil {
 		t.done(t.req, payload, st)
 	}
+	t.req, t.done = nil, nil
+	rt.taskPool.Put(t)
 	w.outstanding.Add(-1)
 	rt.inflight.Add(-1)
 	w.g.poke()

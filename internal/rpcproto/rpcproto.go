@@ -61,6 +61,13 @@ type Request struct {
 	// synthetic workloads leave it nil.
 	Payload []byte
 
+	// Pool is an opaque owner handle: the live data plane stores the
+	// packed arena slot id backing this request here so the completion
+	// path can release the slot without a per-request lookup (the same
+	// keep-state-on-the-request rule the scheduling fields follow).
+	// Zero for heap-allocated requests.
+	Pool uint64
+
 	// OnExecute, when non-nil, runs once when a core first begins this
 	// request (before the execution duration is read). Applications use
 	// it to perform their real work and finalise Service — e.g. MICA
@@ -175,4 +182,39 @@ func Unmarshal(buf []byte) (*Request, error) {
 		r.Payload = append([]byte(nil), buf[headerSize:headerSize+plen]...)
 	}
 	return r, nil
+}
+
+// UnmarshalInto decodes a network message into an existing request,
+// zeroing every field exactly as Unmarshal would but reusing r's
+// payload capacity: the payload bytes are copied into the recycled
+// backing array, so a request slot cycled through an arena decodes
+// frame after frame without allocating. A zero-length payload keeps
+// the (empty) recycled slice rather than reverting to nil; the bytes
+// are identical either way. On error r is left zeroed (payload
+// capacity still retained) and must not be delivered.
+//
+//altolint:hotpath
+func UnmarshalInto(r *Request, buf []byte) error {
+	payload := r.Payload[:0]
+	*r = Request{}
+	r.Payload = payload
+	if len(buf) < headerSize {
+		return ErrShortBuffer
+	}
+	if buf[13] != wireVersion {
+		return ErrBadVersion
+	}
+	plen := int(binary.LittleEndian.Uint16(buf[14:16]))
+	if len(buf) < headerSize+plen {
+		return ErrShortBuffer
+	}
+	r.ID = binary.LittleEndian.Uint64(buf[0:8])
+	r.Conn = binary.LittleEndian.Uint32(buf[8:12])
+	r.Op = Op(buf[12])
+	r.Size = headerSize + plen
+	if plen > 0 {
+		//altolint:allow hotalloc amortized payload-capacity growth; recycled slots reuse the backing array
+		r.Payload = append(payload, buf[headerSize:headerSize+plen]...)
+	}
+	return nil
 }

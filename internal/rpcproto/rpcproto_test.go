@@ -181,3 +181,101 @@ func BenchmarkUnmarshal(b *testing.B) {
 		}
 	}
 }
+
+func TestUnmarshalIntoRoundTrip(t *testing.T) {
+	in := &Request{ID: 987654321, Conn: 7, Op: OpGet, Payload: []byte("lookup-key")}
+	buf, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Request
+	if err := UnmarshalInto(&out, buf); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.Conn != in.Conn || out.Op != in.Op || out.Size != len(buf) {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	if !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("payload mismatch: %q", out.Payload)
+	}
+}
+
+// TestUnmarshalIntoReusesCapacity is the zero-alloc contract: decoding
+// into a request whose payload slice already has capacity must reuse
+// that backing array, not allocate a fresh one.
+func TestUnmarshalIntoReusesCapacity(t *testing.T) {
+	buf, err := Marshal(&Request{ID: 5, Payload: []byte("abcdefgh")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Request{Payload: make([]byte, 0, 64)}
+	backing := &r.Payload[:1][0]
+	if err := UnmarshalInto(r, buf); err != nil {
+		t.Fatal(err)
+	}
+	if &r.Payload[0] != backing {
+		t.Fatal("UnmarshalInto reallocated a payload that had capacity")
+	}
+	// Stale scheduling state from a recycled slot must not survive.
+	r.GroupHint, r.Migrated = 3, true
+	if err := UnmarshalInto(r, buf); err != nil {
+		t.Fatal(err)
+	}
+	if r.GroupHint != 0 || r.Migrated {
+		t.Fatalf("recycled fields survived decode: %+v", r)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if err := UnmarshalInto(r, buf); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("UnmarshalInto allocates %.1f times per warm decode, want 0", avg)
+	}
+}
+
+func TestUnmarshalIntoErrors(t *testing.T) {
+	var r Request
+	if err := UnmarshalInto(&r, []byte{1, 2, 3}); err != ErrShortBuffer {
+		t.Fatalf("short header: %v", err)
+	}
+	buf, _ := Marshal(&Request{ID: 1, Payload: []byte("abcdef")})
+	if err := UnmarshalInto(&r, buf[:len(buf)-2]); err != ErrShortBuffer {
+		t.Fatalf("truncated payload: %v", err)
+	}
+	bad := append([]byte(nil), buf...)
+	bad[13] = 99
+	if err := UnmarshalInto(&r, bad); err != ErrBadVersion {
+		t.Fatalf("bad version: %v", err)
+	}
+}
+
+// FuzzUnmarshalInto holds UnmarshalInto to Unmarshal's exact behavior
+// on arbitrary bytes — same error (or none) and same decoded fields —
+// including short, split, and corrupt frames.
+func FuzzUnmarshalInto(f *testing.F) {
+	seed, _ := Marshal(&Request{ID: 3, Conn: 9, Op: OpSet, Payload: []byte("k=v")})
+	f.Add(seed)
+	f.Add(seed[:headerSize-1])
+	f.Add(seed[:len(seed)-1])
+	bad := append([]byte(nil), seed...)
+	bad[13] = 0
+	f.Add(bad)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		want, wantErr := Unmarshal(data)
+		got := &Request{Payload: make([]byte, 0, 16)}
+		gotErr := UnmarshalInto(got, data)
+		if (wantErr == nil) != (gotErr == nil) || (wantErr != nil && wantErr != gotErr) {
+			t.Fatalf("error mismatch: Unmarshal=%v UnmarshalInto=%v", wantErr, gotErr)
+		}
+		if wantErr != nil {
+			return
+		}
+		if got.ID != want.ID || got.Conn != want.Conn || got.Op != want.Op || got.Size != want.Size {
+			t.Fatalf("field mismatch: %+v vs %+v", got, want)
+		}
+		if !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("payload mismatch: %q vs %q", got.Payload, want.Payload)
+		}
+	})
+}

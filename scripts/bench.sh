@@ -19,8 +19,12 @@
 #                     allocs/op must be 0 (TestPolicyTickZeroAlloc is
 #                     the hard gate)
 #   LiveLoopback      the real goroutine runtime end to end over TCP
-#                     loopback (20k RPCs per iteration); rpc/s is the
-#                     headline number
+#                     loopback: 20k RPCs per iteration on a persistent
+#                     warmed session. rpc/s is the headline number
+#                     (also derived as live_loopback_rpcs), p50/p99/
+#                     p99.9 ride along, and the near-zero allocs/op
+#                     baseline arms benchjson's -regress gate (the hard
+#                     per-RPC gate is TestLiveLoopbackZeroAlloc)
 #
 # The text output is converted to JSON by cmd/benchjson. CI runs this as
 # a non-gating step: the numbers land in the job log and the committed

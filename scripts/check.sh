@@ -6,8 +6,10 @@
 #   2. go vet          toolchain static checks
 #   3. altolint        domain-specific determinism and concurrency-
 #                      contract checks (internal/lint), then the
-#                      -escapes compiler-diagnostics hotpath gate
-#                      (warn-only: compiler-version dependent)
+#                      -escapes compiler-diagnostics hotpath gate —
+#                      hard-gating for repro/internal/live (the zero-
+#                      alloc data plane), warn-only elsewhere
+#                      (compiler-version dependent)
 #   4. go build        everything compiles
 #   5. go test -race   full suite under the race detector
 #   6. coverage ratchet the invariant-bearing packages (internal/sim,
@@ -50,15 +52,19 @@ go vet ./...
 echo "== altolint"
 go run ./cmd/altolint ./...
 
-echo "== altolint -escapes (non-gating)"
+echo "== altolint -escapes (gating for internal/live)"
 # Compiler-diagnostics gate: heap escapes / bounds checks inside
 # //altolint:hotpath functions must be in the checked-in allowlist
-# (internal/lint/testdata/escapes/allow.txt). Warn-only for now: the
-# diagnostics depend on the compiler version, and a toolchain bump must
-# not hard-fail the gate before the allowlist is regenerated.
-if ! go run ./cmd/altolint -escapes; then
-    echo "WARNING: new hotpath escape/bounds-check diagnostics (see above);" >&2
-    echo "         fix them or regenerate via: go run ./cmd/altolint -escapes -escapes-write" >&2
+# (internal/lint/testdata/escapes/allow.txt). Findings in
+# repro/internal/live hard-fail — the live data plane's zero-alloc
+# contract is enforced, a new escape there is a real per-RPC allocation
+# — while the sim-side hotpaths stay warn-only (the diagnostics depend
+# on the compiler version, and a toolchain bump must not hard-fail the
+# gate before the allowlist is regenerated).
+if ! go run ./cmd/altolint -escapes -escapes-gate repro/internal/live; then
+    echo "FAIL: new hotpath escape/bounds-check diagnostics in internal/live (see above);" >&2
+    echo "      fix them or regenerate via: go run ./cmd/altolint -escapes -escapes-write" >&2
+    exit 1
 fi
 
 echo "== go build"
@@ -105,10 +111,16 @@ echo "== altobench smoke (all experiments, quick scale, invariant checker on)"
 go run ./cmd/altobench -exp all -scale quick -check >/dev/null
 
 echo "== zero-alloc regression guard (non-gating)"
+# The sim hotpaths at high iteration counts, plus the live loopback at
+# 3 rounds (one op = 20k RPCs; its near-zero allocs/op baseline gates
+# through benchjson's near-zero rule — the hard per-RPC gate is
+# TestLiveLoopbackZeroAlloc in the race run above).
 if [[ -f BENCH_sim.json ]]; then
     allocraw=$(mktemp)
     go test -run '^$' -bench 'BenchmarkEngineEvents$|BenchmarkQueueLens|BenchmarkPolicyTick$' \
         -benchmem -benchtime 10000x . >"$allocraw" 2>&1 || true
+    go test -run '^$' -bench 'BenchmarkLiveLoopback$' \
+        -benchmem -benchtime 3x . >>"$allocraw" 2>&1 || true
     if ! go run ./cmd/benchjson -regress BENCH_sim.json <"$allocraw"; then
         echo "WARNING: steady-state alloc regression (see above); refresh BENCH_sim.json via scripts/bench.sh if intended" >&2
     fi
