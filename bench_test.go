@@ -24,6 +24,7 @@ import (
 	"repro/internal/live"
 	"repro/internal/nic"
 	"repro/internal/policy"
+	"repro/internal/rack"
 	"repro/internal/rpcproto"
 	"repro/internal/sched"
 	"repro/internal/server"
@@ -259,6 +260,66 @@ func TestPolicyTickZeroAlloc(t *testing.T) {
 		policyTick(model, view, 0, 3.5, order, dests)
 	}); avg != 0 {
 		t.Fatalf("policy tick allocates %.1f times per run, want 0", avg)
+	}
+}
+
+// BenchmarkRackDispatch measures the inter-server tier's per-arrival
+// decision cost — one Dispatcher.Pick on a warm 16-server depth view,
+// with a periodic ObserveAll standing in for the relay's sampling
+// ticker — per dispatch policy. Watch allocs/op: it must be 0
+// (TestRackDispatchZeroAlloc is the hard gate; this records the ns/op
+// trend in BENCH_sim.json). The live relay pays exactly this plus one
+// mutex acquisition per relayed RPC.
+func BenchmarkRackDispatch(b *testing.B) {
+	for _, pol := range []rack.Kind{rack.RoundRobin, rack.JSQ, rack.PowerOfK, rack.Affinity} {
+		b.Run(pol.String(), func(b *testing.B) {
+			d, err := rack.NewDispatcher(rack.Config{Servers: 16, Policy: pol, K: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rack.NewSplitMix(1)
+			depths := make([]int, d.Servers())
+			sink := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%64 == 0 {
+					for s := range depths {
+						depths[s] = (i + 3*s) % 7
+					}
+					d.ObserveAll(depths, policy.Duration(i))
+				}
+				dec := d.Pick(uint32(i), policy.Duration(i), rng)
+				sink += dec.Server
+			}
+			_ = sink
+		})
+	}
+}
+
+// TestRackDispatchZeroAlloc is the hard zero-allocation gate on the
+// dispatch tier's per-arrival path: every policy's Pick, and the
+// ObserveAll refresh, must run entirely on the dispatcher's pre-sized
+// scratch (the benchmark only records the trend).
+func TestRackDispatchZeroAlloc(t *testing.T) {
+	for _, pol := range []rack.Kind{rack.RoundRobin, rack.JSQ, rack.PowerOfK, rack.Affinity} {
+		d, err := rack.NewDispatcher(rack.Config{Servers: 16, Policy: pol, K: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rack.NewSplitMix(9)
+		depths := make([]int, d.Servers())
+		i := uint32(0)
+		// Warm one full cycle outside the measurement.
+		d.ObserveAll(depths, 0)
+		d.Pick(0, 0, rng)
+		if avg := testing.AllocsPerRun(100, func() {
+			i++
+			d.ObserveAll(depths, policy.Duration(i))
+			d.Pick(i, policy.Duration(i), rng)
+		}); avg != 0 {
+			t.Fatalf("%v dispatch allocates %.1f times per run, want 0", pol, avg)
+		}
 	}
 }
 

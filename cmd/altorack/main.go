@@ -1,0 +1,233 @@
+// Command altorack runs the live rack tier end to end on this machine:
+// a front-end relay that dispatches the rpcproto stream across N
+// backend ALTOCUMULUS servers (power-of-k over sampled queue depths,
+// JSQ, round-robin, or key affinity — the same rack.Dispatcher the
+// simulator drives), plus an open-loop load generator aimed at the
+// relay. Backends are either external -backends addresses or -spawn N
+// in-process servers on loopback, which makes a one-command soak of
+// the whole two-tier data plane possible.
+//
+// Usage:
+//
+//	altorack -spawn 3 -policy pow2 -n 200000
+//	altorack -spawn 4 -policy jsq -sample 100us -n 500000 -rate 400000
+//	altorack -backends host1:7000,host2:7000 -policy rr -n 1000000
+//	altorack -spawn 2 -sweep 100000:600000:100000 -n 100000
+//
+// Every run closes with the invariant audit: the relay's conservation
+// ledger (each request relayed exactly once and answered exactly once),
+// per-backend dispatch/response balance, and — for spawned backends —
+// each runtime's own ledger and arena leak counters. Any violation
+// exits non-zero, which is what the CI race soak keys on.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/live"
+	"repro/internal/policy"
+	"repro/internal/rack"
+)
+
+// spawned is one in-process backend: runtime, server, and its audit.
+type spawned struct {
+	rt   *live.Runtime
+	srv  *live.Server
+	wait func() error
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:0", "relay listen address")
+		backends = flag.String("backends", "", "comma-separated backend addresses (mutually exclusive with -spawn)")
+		spawnN   = flag.Int("spawn", 0, "spawn this many in-process backend servers on loopback")
+		polFlag  = flag.String("policy", "pow2", "dispatch policy: rr | jsq | pow2 | affinity")
+		k        = flag.Int("k", 2, "power-of-k sample size")
+		sample   = flag.Duration("sample", 200*time.Microsecond, "depth-view sampling period (0 = fresh view per pick)")
+		seed     = flag.Uint64("seed", 1, "dispatcher randomness seed")
+
+		service = flag.String("service", "echo", "spawned-backend service: echo | spin:<iters>")
+		groups  = flag.Int("groups", 2, "manager groups per spawned backend")
+		workers = flag.Int("workers", 4, "workers per group (spawned backends)")
+
+		n       = flag.Int("n", 200000, "requests (per sweep point with -sweep)")
+		conns   = flag.Int("conns", 8, "load-generator connections per client")
+		clients = flag.Int("clients", 1, "client multiplier: total streams = conns*clients")
+		rate    = flag.Float64("rate", 0, "offered RPCs/sec (0 = as fast as possible)")
+		sweep   = flag.String("sweep", "", "offered-rate sweep min:max:step RPS (overrides -rate)")
+	)
+	flag.Parse()
+
+	pol, err := rack.ParseKind(*polFlag)
+	if err != nil {
+		fail("%v", err)
+	}
+	rates := []float64{*rate}
+	if *sweep != "" {
+		min, max, step, err := live.ParseSweep(*sweep)
+		if err != nil {
+			fail("%v", err)
+		}
+		rates = rates[:0]
+		for offered := min; offered <= max; offered += step {
+			rates = append(rates, offered)
+		}
+	}
+	expected := *n * len(rates)
+
+	handler, err := buildHandler(*service)
+	if err != nil {
+		fail("%v", err)
+	}
+	var addrs []string
+	var pool []*spawned
+	switch {
+	case *spawnN > 0 && *backends != "":
+		fail("use -spawn or -backends, not both")
+	case *spawnN > 0:
+		for i := 0; i < *spawnN; i++ {
+			rt, err := live.New(live.Config{
+				Groups: *groups, WorkersPerGroup: *workers, Expected: expected,
+			}, handler)
+			if err != nil {
+				fail("backend %d: %v", i, err)
+			}
+			rt.Start()
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				fail("backend %d: %v", i, err)
+			}
+			srv := live.NewServer(rt)
+			pool = append(pool, &spawned{rt: rt, srv: srv, wait: srv.ServeBackground(ln)})
+			addrs = append(addrs, ln.Addr().String())
+		}
+	default:
+		for _, a := range strings.Split(*backends, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) == 0 {
+			fail("need -backends addresses or -spawn N")
+		}
+	}
+
+	relay, err := live.NewRelay(live.RelayConfig{
+		Backends: addrs, Policy: pol, K: *k,
+		SampleEvery: *sample, Expected: expected, Seed: *seed,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	relay.Start()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail("%v", err)
+	}
+	wait := relay.ServeBackground(ln)
+
+	fmt.Printf("altorack: %s (k=%d) over %d backend(s), sample %v, %d stream(s), service %s\n",
+		pol, *k, len(addrs), *sample, *conns**clients, *service)
+
+	cl, err := live.NewLoadgenClient(live.LoadgenConfig{
+		Addr: ln.Addr().String(), Conns: *conns, Clients: *clients,
+	})
+	if err != nil {
+		fail("loadgen: %v", err)
+	}
+	fmt.Printf("%12s %12s %10s %10s %10s %8s\n",
+		"offered", "achieved", "p50", "p99", "p99.9", "stalls")
+	for _, offered := range rates {
+		res, err := cl.Run(*n, offered)
+		if err != nil {
+			fail("loadgen @%.0f: %v", offered, err)
+		}
+		if res.BadStatus > 0 {
+			fail("@%.0f: %d requests returned an error status", offered, res.BadStatus)
+		}
+		fmt.Printf("%12.0f %12.0f %10v %10v %10v %8d\n",
+			offered, res.AchievedRPS, res.P50, res.P99, res.P999, res.Stalls)
+	}
+	cl.Close()
+	if err := wait(); err != nil {
+		fail("serve: %v", err)
+	}
+
+	st := relay.Stats()
+	fmt.Printf("%8s %12s %12s %8s\n", "backend", "dispatched", "responded", "share")
+	for i := range st.Dispatched {
+		share := 0.0
+		if st.Forwarded > 0 {
+			share = 100 * float64(st.Dispatched[i]) / float64(st.Forwarded)
+		}
+		fmt.Printf("%8d %12d %12d %7.1f%%\n", i, st.Dispatched[i], st.Responded[i], share)
+	}
+	rep := relay.Verify()
+	fmt.Printf("invariants  relayed=%d answered=%d (checks=%d); dropped=%d strays=%d max-view-age=%v\n",
+		rep.Delivered, rep.Completed, rep.Checks, st.Dropped, st.Strays,
+		time.Duration(st.MaxViewAge/policy.Nanosecond)*time.Nanosecond)
+	if err := rep.Err(); err != nil {
+		fail("relay conservation: %v", err)
+	}
+	if st.Dropped != 0 || st.Strays != 0 {
+		fail("relay data plane: %d dropped, %d stray response(s)", st.Dropped, st.Strays)
+	}
+	for i := range st.Dispatched {
+		if st.Dispatched[i] != st.Responded[i] {
+			fail("backend %d unbalanced: %d dispatched, %d responded", i, st.Dispatched[i], st.Responded[i])
+		}
+	}
+	for i, b := range pool {
+		if err := b.rt.Drain(30 * time.Second); err != nil {
+			fail("backend %d: %v", i, err)
+		}
+		b.rt.Close()
+		brep := b.rt.Report()
+		if err := b.wait(); err != nil {
+			fail("backend %d serve: %v", i, err)
+		}
+		if err := brep.Check.Err(); err != nil {
+			fail("backend %d invariants: %v", i, err)
+		}
+		if leaked, stale := b.srv.DataPlaneStats(); leaked != 0 || stale != 0 {
+			fail("backend %d data plane: %d leaked arena slot(s), %d stale release(s)", i, leaked, stale)
+		}
+	}
+	if len(pool) > 0 {
+		fmt.Printf("backends    %d runtime ledger(s) clean, no arena leaks\n", len(pool))
+	}
+}
+
+// buildHandler builds the spawned-backend service. Unlike altoserve,
+// altorack exercises the dispatch tier, so only the synthetic services
+// are offered; point -backends at altoserve instances for KV.
+func buildHandler(spec string) (live.Handler, error) {
+	name, arg, _ := strings.Cut(spec, ":")
+	switch name {
+	case "echo":
+		return live.EchoHandler{}, nil
+	case "spin":
+		iters := 200
+		if arg != "" {
+			v, err := strconv.Atoi(arg)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("bad spin iteration count %q", arg)
+			}
+			iters = v
+		}
+		return live.SpinHandler{Iters: iters}, nil
+	default:
+		return nil, fmt.Errorf("unknown service %q (want echo or spin:<iters>)", spec)
+	}
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "altorack: "+format+"\n", args...)
+	os.Exit(2)
+}

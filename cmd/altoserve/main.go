@@ -88,7 +88,7 @@ func main() {
 		*groups, *workers, *depth, *period, *service, *conns**clients)
 
 	if *sweep != "" {
-		min, max, step, err := parseSweep(*sweep)
+		min, max, step, err := live.ParseSweep(*sweep)
 		if err != nil {
 			fail("%v", err)
 		}
@@ -162,26 +162,6 @@ func runPoint(addr string, cfg live.Config, handler live.Handler, lg live.Loadge
 		return nil, nil, fmt.Errorf("data plane: %d leaked arena slot(s), %d stale release(s)", leaked, stale)
 	}
 	return res, rep, nil
-}
-
-// parseSweep parses min:max:step (RPS).
-func parseSweep(s string) (min, max, step float64, err error) {
-	parts := strings.Split(s, ":")
-	if len(parts) != 3 {
-		return 0, 0, 0, fmt.Errorf("bad -sweep %q (want min:max:step)", s)
-	}
-	vals := make([]float64, 3)
-	for i, p := range parts {
-		v, err := strconv.ParseFloat(p, 64)
-		if err != nil || v < 0 {
-			return 0, 0, 0, fmt.Errorf("bad -sweep component %q", p)
-		}
-		vals[i] = v
-	}
-	if vals[2] <= 0 || vals[1] < vals[0] {
-		return 0, 0, 0, fmt.Errorf("bad -sweep range %q", s)
-	}
-	return vals[0], vals[1], vals[2], nil
 }
 
 // buildService constructs the handler and the matching loadgen request

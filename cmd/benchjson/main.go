@@ -20,7 +20,11 @@
 // allocation regressions: any benchmark whose committed allocs/op was 0
 // (the zero-alloc hot paths) that now allocates. It exits 1 on
 // regression so callers can decide whether that gates (check.sh wraps
-// it as a warning).
+// it as a warning). Environment-bound derived metrics
+// (fig10_par4_speedup, live_loopback_rpcs) are printed as named
+// informational notes and never affect the exit status — see
+// EXPERIMENTS.md for why the speedup cannot exceed 1.0 on a one-core
+// box.
 package main
 
 import (
@@ -166,6 +170,36 @@ func allocRegressions(committed, fresh record) []string {
 	return out
 }
 
+// nonGatingDerived names the derived metrics -regress reports but never
+// gates on. Both are bound to the machine the run happened on —
+// fig10_par4_speedup needs >= 2 real cores to exceed 1.0 (the fleet
+// workers otherwise time-slice one CPU; see EXPERIMENTS.md), and
+// absolute loopback throughput shifts with the host — so drift is worth
+// a line in the log, not a failed build.
+var nonGatingDerived = []string{"fig10_par4_speedup", "live_loopback_rpcs"}
+
+// derivedNotes renders one informational line per non-gating derived
+// metric present in the fresh record, against the committed baseline
+// when there is one. Callers print these verbatim; they never
+// contribute to the exit status.
+func derivedNotes(committed, fresh record) []string {
+	var out []string
+	for _, key := range nonGatingDerived {
+		got, ok := fresh.Derived[key]
+		if !ok {
+			continue
+		}
+		base, hasBase := committed.Derived[key]
+		if !hasBase || base == 0 {
+			out = append(out, fmt.Sprintf("note: %s = %.4g (no committed baseline; informational, non-gating)", key, got))
+			continue
+		}
+		out = append(out, fmt.Sprintf("note: %s = %.4g (committed %.4g, %+.1f%%; informational, non-gating)",
+			key, got, base, 100*(got-base)/base))
+	}
+	return out
+}
+
 func main() {
 	regress := flag.String("regress", "",
 		"path to the committed BENCH_sim.json; compare stdin against it and exit 1 on 0->N allocs/op regressions instead of emitting JSON")
@@ -183,6 +217,9 @@ func main() {
 		if err := json.Unmarshal(data, &committed); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", *regress, err)
 			os.Exit(1)
+		}
+		for _, note := range derivedNotes(committed, rec) {
+			fmt.Println(note)
 		}
 		regs := allocRegressions(committed, rec)
 		for _, r := range regs {

@@ -77,6 +77,49 @@ func TestAllocRegressions(t *testing.T) {
 	}
 }
 
+// TestDerivedNotesNonGating pins the fallback contract for the
+// environment-bound derived metrics: -regress surfaces them as named
+// note lines (so a sub-1.0 fig10_par4_speedup on a one-core box is
+// visible in the log) while the regression verdict — allocRegressions —
+// never sees them at all.
+func TestDerivedNotesNonGating(t *testing.T) {
+	committed := record{Derived: map[string]float64{
+		"fig10_par4_speedup": 2.0,
+		"live_loopback_rpcs": 1000000,
+	}}
+	fresh := record{Derived: map[string]float64{
+		"fig10_par4_speedup": 0.97, // 1-core box: no parallelism to win
+		"live_loopback_rpcs": 900000,
+	}}
+	notes := derivedNotes(committed, fresh)
+	if len(notes) != 2 {
+		t.Fatalf("want 2 notes, got %v", notes)
+	}
+	if !strings.Contains(notes[0], "note: fig10_par4_speedup = 0.97") ||
+		!strings.Contains(notes[0], "committed 2") ||
+		!strings.Contains(notes[0], "non-gating") {
+		t.Errorf("speedup note misrendered: %q", notes[0])
+	}
+	if !strings.Contains(notes[1], "live_loopback_rpcs") {
+		t.Errorf("throughput note misrendered: %q", notes[1])
+	}
+	// A collapsed speedup is a note, never a gate: the alloc-regression
+	// pass that decides the exit code ignores Derived entirely.
+	if regs := allocRegressions(committed, fresh); len(regs) != 0 {
+		t.Fatalf("derived drift leaked into the gating verdict: %v", regs)
+	}
+
+	// No baseline (first run after adding the benchmark): still a note.
+	notes = derivedNotes(record{}, fresh)
+	if len(notes) != 2 || !strings.Contains(notes[0], "no committed baseline") {
+		t.Errorf("baseline-free notes misrendered: %v", notes)
+	}
+	// Metric absent from the fresh run: silence, not a zero.
+	if notes := derivedNotes(committed, record{}); len(notes) != 0 {
+		t.Errorf("absent metrics must not produce notes: %v", notes)
+	}
+}
+
 func TestParseLineRejectsProse(t *testing.T) {
 	for _, line := range []string{"PASS", "ok  \trepro\t12.3s", "Benchmarks are fun"} {
 		if _, ok := parseLine(line); ok {

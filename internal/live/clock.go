@@ -47,6 +47,12 @@ func newTickTimer(d time.Duration) *time.Timer {
 	return time.NewTimer(d) //altolint:allow detnow manager tick pacing; the period timer is the live runtime's clock edge
 }
 
+// newSampleTicker paces the relay's depth-view sampler, the live
+// analogue of the rack tier's UPDATE broadcast period.
+func newSampleTicker(d time.Duration) *time.Ticker {
+	return time.NewTicker(d) //altolint:allow detnow relay depth-sampling cadence; the view-staleness bound is wall time by definition
+}
+
 // sleepBriefly backs off a polling loop (Drain, connection teardown)
 // without burning a core.
 func sleepBriefly() {

@@ -41,7 +41,10 @@ func (cr *chunkReader) Read(p []byte) (int, error) {
 // TestFrameReaderGolden is the byte-identical framing contract: for a
 // stream of random requests split at random points — including splits
 // inside headers and across frame boundaries — the batched frameReader
-// must produce exactly the frames a frame-at-a-time decoder would.
+// must produce exactly the frames a frame-at-a-time decoder would. The
+// stream mixes direct (v1) and relay-forwarded (v2) frames the way an
+// altorack backend sees them: the two header sizes interleave, so the
+// reader's size function must handle both from the same 16-byte prefix.
 func TestFrameReaderGolden(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 50; trial++ {
@@ -55,6 +58,13 @@ func TestFrameReaderGolden(t *testing.T) {
 			frame, err := rpcproto.AppendRequest(nil, r)
 			if err != nil {
 				t.Fatal(err)
+			}
+			if i%3 == 1 {
+				// A relayed copy, exactly as the rack front-end would emit it.
+				frame, err = rpcproto.AppendForwarded(nil, frame, uint64(i)<<8, uint32(i+1))
+				if err != nil {
+					t.Fatal(err)
+				}
 			}
 			golden = append(golden, frame)
 			stream = append(stream, frame...)

@@ -1,0 +1,473 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/policy"
+	"repro/internal/rack"
+	"repro/internal/rpcproto"
+)
+
+// Relay is the live rack tier: a TCP front-end that accepts the same
+// rpcproto stream the per-server runtime speaks, dispatches each
+// request to one of N backend servers through rack.Dispatcher — the
+// identical policy state machine the simulator drives — and routes the
+// responses back to the originating clients. It is the process-level
+// analogue of server.RunRack: RackSched's two-tier split with real
+// sockets standing in for the rack fabric.
+//
+// The data plane reuses the single-server machinery end to end: client
+// requests are segmented by a frameReader, re-framed as forwarded
+// (version-2) copies by respRing.forward — one buffer copy, no
+// per-request allocation in steady state — and flushed to each backend
+// by the same vectored writeLoop that serves responses elsewhere.
+// Responses come back carrying the relay-assigned id, are matched to
+// the originating connection through a per-backend pending table, and
+// leave on the client's own respRing under the original request id.
+//
+// Dispatch decisions see per-backend outstanding counts through the
+// same stale-view contract as the simulated rack: a sampler goroutine
+// refreshes the dispatcher's depth view every SampleEvery (SampleEvery
+// zero means a fresh view per pick), and the oldest view any decision
+// consulted is reported as MaxViewAge. Conservation — every request
+// relayed exactly once, every relayed request answered exactly once —
+// is asserted per run by a check.Ledger over the relay-assigned ids.
+type Relay struct {
+	cfg   RelayConfig
+	clock policy.Clock
+
+	// dispMu serializes the dispatcher, its randomness source, the depth
+	// scratch and the view-age high-water mark: rack.Dispatcher is pure
+	// state, so one lock gives the live relay the same total order of
+	// observe/pick calls a simulator run has.
+	dispMu  sync.Mutex
+	disp    *rack.Dispatcher
+	rng     *rack.SplitMix
+	scratch []int
+	maxAge  policy.Duration
+
+	ledgerMu sync.Mutex
+	ledger   *check.Ledger
+
+	backends []*relayBackend
+	nextID   paddedUint64 // relay-assigned dense request ids
+	nextConn paddedUint64 // client connection ids (the v2 Origin field)
+
+	dropped paddedInt64 // requests lost to teardown or backend failure
+	strays  paddedInt64 // backend responses with no pending entry
+
+	lnMu   sync.Mutex
+	ln     net.Listener
+	closed bool
+
+	stop     chan struct{} // sampler shutdown
+	wg       sync.WaitGroup
+	writerWG sync.WaitGroup
+	respWG   sync.WaitGroup
+	sampleWG sync.WaitGroup
+	started  bool
+}
+
+// RelayConfig sizes a Relay. Backends must name at least one server.
+type RelayConfig struct {
+	Backends []string  // backend server addresses, dialed at New
+	Policy   rack.Kind // inter-server dispatch rule
+	K        int       // PowerOfK sample size (0 = 2)
+
+	// SampleEvery is the depth-view refresh period: the bounded staleness
+	// of the rack tier. Zero refreshes the view on every pick.
+	SampleEvery time.Duration
+
+	// Expected pre-sizes the conservation ledger (requests per run).
+	Expected int
+
+	// Seed feeds the dispatcher's SplitMix source (PowerOfK sampling).
+	Seed uint64
+
+	// Clock overrides the monotonic wall clock (tests use synthetic
+	// clocks).
+	Clock policy.Clock
+}
+
+// RelayStats is the relay's data-plane accounting after (or during) a
+// run. Dispatched and Responded are per-backend; on a drained, healthy
+// relay they are equal element-wise and Dropped and Strays are zero.
+type RelayStats struct {
+	Forwarded  uint64   // requests relayed to a backend
+	Returned   uint64   // responses relayed back to a client
+	Dropped    uint64   // requests lost to teardown or backend failure
+	Strays     uint64   // backend responses with no pending entry
+	Dispatched []uint64 // per-backend forwarded counts
+	Responded  []uint64 // per-backend response counts
+
+	// MaxViewAge is the oldest depth observation any dispatch decision
+	// consulted: the realized staleness the SampleEvery bound permits.
+	MaxViewAge policy.Duration
+}
+
+// relayBackend is one backend server: its connection, the outbound
+// request ring (flushed by a writeLoop goroutine), the response reader,
+// and the pending table matching relay ids back to client connections.
+type relayBackend struct {
+	idx  int
+	conn net.Conn
+	ring *respRing
+	fr   *frameReader
+
+	pendMu sync.Mutex
+	pend   map[uint64]relayPending
+
+	// outstanding is dispatched minus responded: the queue-depth signal
+	// the sampler feeds the dispatcher, written by client readers and the
+	// response reader, so it gets its own cache line.
+	outstanding paddedInt64
+	dispatched  paddedInt64
+	responded   paddedInt64
+}
+
+// relayPending maps one in-flight relay id back to its origin.
+type relayPending struct {
+	cc     *relayClient
+	origID uint64
+}
+
+// relayClient is one client connection's state, shared between its
+// reader (the handle goroutine), the backend response readers that
+// complete its requests, and the writer flushing its respRing. The
+// teardown protocol is connState's: reader done + pending zero.
+type relayClient struct {
+	origin     uint32
+	ring       *respRing
+	pending    paddedInt64
+	readerDone atomic.Bool
+	drained    chan struct{} // capacity 1: teardown wake, non-blocking send
+}
+
+// NewRelay validates the configuration, dials every backend, and
+// builds the dispatcher. Start launches the data-plane goroutines.
+func NewRelay(cfg RelayConfig) (*Relay, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("live: relay needs at least one backend")
+	}
+	if cfg.SampleEvery < 0 {
+		return nil, fmt.Errorf("live: relay SampleEvery = %v, want >= 0", cfg.SampleEvery)
+	}
+	disp, err := rack.NewDispatcher(rack.Config{
+		Servers: len(cfg.Backends), Policy: cfg.Policy, K: cfg.K,
+		StalenessBound: policy.Duration(cfg.SampleEvery.Nanoseconds()) * policy.Nanosecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &Relay{
+		cfg:     cfg,
+		clock:   cfg.Clock,
+		disp:    disp,
+		rng:     rack.NewSplitMix(cfg.Seed),
+		scratch: make([]int, len(cfg.Backends)),
+		ledger:  check.NewLedger(cfg.Expected, false),
+		stop:    make(chan struct{}),
+	}
+	if r.clock == nil {
+		r.clock = newWallClock()
+	}
+	for i, addr := range cfg.Backends {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			for _, b := range r.backends {
+				b.conn.Close()
+			}
+			return nil, fmt.Errorf("live: relay backend %d (%s): %w", i, addr, err)
+		}
+		r.backends = append(r.backends, &relayBackend{
+			idx:  i,
+			conn: conn,
+			ring: newRespRing(),
+			fr:   newFrameReader(conn, connReadBuf, rpcproto.ResponseHeaderSize, rpcproto.ResponseFrameSize),
+			pend: make(map[uint64]relayPending),
+		})
+	}
+	return r, nil
+}
+
+// Start launches the per-backend writer and response-reader goroutines
+// and, with SampleEvery > 0, the depth-view sampler. Call once.
+func (r *Relay) Start() {
+	if r.started {
+		panic("live: relay Start called twice")
+	}
+	r.started = true
+	r.observeNow() // stamp the epoch so first-pick ages measure from here
+	for _, b := range r.backends {
+		b := b
+		r.writerWG.Add(1)
+		go func() {
+			defer r.writerWG.Done()
+			b.ring.writeLoop(b.conn)
+		}()
+		r.respWG.Add(1)
+		go r.respLoop(b)
+	}
+	if r.cfg.SampleEvery > 0 {
+		r.sampleWG.Add(1)
+		go r.sampleLoop(r.cfg.SampleEvery)
+	}
+}
+
+// observeNow feeds every backend's current outstanding count into the
+// dispatcher as one consistent-enough snapshot.
+func (r *Relay) observeNow() {
+	r.dispMu.Lock()
+	for i, b := range r.backends {
+		r.scratch[i] = int(b.outstanding.Load())
+	}
+	r.disp.ObserveAll(r.scratch, r.clock.Now())
+	r.dispMu.Unlock()
+}
+
+// sampleLoop refreshes the depth view on the SampleEvery cadence: the
+// live analogue of the rack tier's periodic UPDATE broadcast.
+func (r *Relay) sampleLoop(every time.Duration) {
+	defer r.sampleWG.Done()
+	tk := newSampleTicker(every)
+	defer tk.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-tk.C:
+			r.observeNow()
+		}
+	}
+}
+
+// Serve accepts client connections until the listener closes. It
+// returns nil on a clean Close.
+func (r *Relay) Serve(ln net.Listener) error {
+	r.lnMu.Lock()
+	r.ln = ln
+	closed := r.closed
+	r.lnMu.Unlock()
+	if closed {
+		ln.Close()
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		r.wg.Add(1)
+		go r.handle(conn)
+	}
+}
+
+// ServeBackground runs Serve on its own goroutine and returns a wait
+// function that closes the relay and reports Serve's error, keeping
+// goroutine syntax out of sim-linked callers (cmd/altorack).
+func (r *Relay) ServeBackground(ln net.Listener) (wait func() error) {
+	errs := make(chan error, 1) //altolint:bounded-send single send into capacity 1: Serve returns exactly once
+	go func() { errs <- r.Serve(ln) }()
+	return func() error {
+		r.Close()
+		return <-errs
+	}
+}
+
+// Close stops accepting, waits for every client connection to drain,
+// then tears down the backend data plane. Safe to call once; clients
+// are expected to half-close after their last request.
+func (r *Relay) Close() {
+	r.lnMu.Lock()
+	ln := r.ln
+	wasClosed := r.closed
+	r.closed = true
+	r.lnMu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	r.wg.Wait() // client handlers: each waits for its own in-flight responses
+	if wasClosed {
+		return
+	}
+	close(r.stop)
+	r.sampleWG.Wait()
+	for _, b := range r.backends {
+		b.ring.close()
+	}
+	r.writerWG.Wait() // outbound rings flushed
+	for _, b := range r.backends {
+		b.conn.Close()
+	}
+	r.respWG.Wait()
+}
+
+// handle is one client connection's reader: segment request frames,
+// pick a backend per request, forward. Teardown mirrors the server's
+// connState protocol.
+func (r *Relay) handle(conn net.Conn) {
+	defer r.wg.Done()
+	defer conn.Close()
+
+	cc := &relayClient{
+		origin:  uint32(r.nextConn.Add(1)),
+		ring:    newRespRing(),
+		drained: make(chan struct{}, 1),
+	}
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		cc.ring.writeLoop(conn)
+	}()
+
+	fr := newFrameReader(conn, connReadBuf, rpcproto.RequestHeaderSize, rpcproto.RequestFrameSize)
+	var req rpcproto.Request // scratch: only ID/Conn/Hops are consulted
+	for {
+		frame, err := fr.next()
+		if err != nil {
+			break // EOF, reset, or a malformed frame: the client is done sending
+		}
+		if err := rpcproto.UnmarshalInto(&req, frame); err != nil {
+			break
+		}
+		if req.Hops == ^uint8(0) {
+			break // unrelayable: already at the forwarding hop limit
+		}
+		relayID := r.nextID.Add(1) - 1
+
+		// Dispatch: one lock gives observe/pick the simulator's total
+		// order. SampleEvery == 0 is the fresh-view contract.
+		r.dispMu.Lock()
+		now := r.clock.Now()
+		if r.cfg.SampleEvery == 0 {
+			for i, b := range r.backends {
+				r.scratch[i] = int(b.outstanding.Load())
+			}
+			r.disp.ObserveAll(r.scratch, now)
+		}
+		dec := r.disp.Pick(req.Conn, now, r.rng)
+		if dec.Age > r.maxAge {
+			r.maxAge = dec.Age
+		}
+		r.dispMu.Unlock()
+
+		// Register the pending entry before the frame can leave: the
+		// backend's response must always find its origin.
+		b := r.backends[dec.Server]
+		b.pendMu.Lock()
+		b.pend[relayID] = relayPending{cc: cc, origID: req.ID}
+		b.pendMu.Unlock()
+		cc.pending.Add(1)
+		b.outstanding.Add(1)
+		b.dispatched.Add(1)
+		r.ledgerMu.Lock()
+		r.ledger.Delivered(relayID)
+		r.ledgerMu.Unlock()
+
+		queued, err := b.ring.forward(frame, relayID, cc.origin)
+		if !queued {
+			// The frame never left (backend teardown or an unrelayable
+			// frame): unwind the registration. The ledger keeps the
+			// Delivered record, so a lost request surfaces at Verify as
+			// the conservation violation it is.
+			b.pendMu.Lock()
+			delete(b.pend, relayID)
+			b.pendMu.Unlock()
+			cc.pending.Add(-1)
+			b.outstanding.Add(-1)
+			b.dispatched.Add(-1)
+			r.dropped.Add(1)
+			if err != nil {
+				break
+			}
+		}
+	}
+
+	// Client half-closed (or broke): wait for in-flight responses on the
+	// completion signal, then flush and release the writer.
+	cc.readerDone.Store(true)
+	for cc.pending.Load() > 0 {
+		<-cc.drained
+	}
+	cc.ring.close()
+	writerWG.Wait()
+}
+
+// respLoop is one backend's response reader: match each response to
+// its pending entry and hand it back to the originating client under
+// the original request id.
+func (r *Relay) respLoop(b *relayBackend) {
+	defer r.respWG.Done()
+	for {
+		frame, err := b.fr.next()
+		if err != nil {
+			return // backend closed (relay teardown) or broke
+		}
+		resp, _, err := rpcproto.DecodeResponse(frame)
+		if err != nil {
+			return
+		}
+		b.pendMu.Lock()
+		p, ok := b.pend[resp.ID]
+		if ok {
+			delete(b.pend, resp.ID)
+		}
+		b.pendMu.Unlock()
+		if !ok {
+			r.strays.Add(1)
+			continue
+		}
+		r.ledgerMu.Lock()
+		r.ledger.Completed(resp.ID)
+		r.ledgerMu.Unlock()
+		b.outstanding.Add(-1)
+		b.responded.Add(1)
+		// Append before the pending decrement: once pending hits zero the
+		// client handler may close the ring.
+		p.cc.ring.append(p.origID, resp.Status, resp.Payload)
+		if p.cc.pending.Add(-1) == 0 && p.cc.readerDone.Load() {
+			select {
+			case p.cc.drained <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// Verify closes the run's conservation ledger: every request relayed
+// exactly once and answered exactly once. Call after the clients have
+// drained (Verify appends drain findings, so call it once).
+func (r *Relay) Verify() *check.Report {
+	r.ledgerMu.Lock()
+	defer r.ledgerMu.Unlock()
+	return r.ledger.Verify()
+}
+
+// Stats snapshots the relay's data-plane accounting.
+func (r *Relay) Stats() RelayStats {
+	st := RelayStats{
+		Dropped:    uint64(r.dropped.Load()),
+		Strays:     uint64(r.strays.Load()),
+		Dispatched: make([]uint64, len(r.backends)),
+		Responded:  make([]uint64, len(r.backends)),
+	}
+	for i, b := range r.backends {
+		st.Dispatched[i] = uint64(b.dispatched.Load())
+		st.Responded[i] = uint64(b.responded.Load())
+		st.Forwarded += st.Dispatched[i]
+		st.Returned += st.Responded[i]
+	}
+	r.dispMu.Lock()
+	st.MaxViewAge = r.maxAge
+	r.dispMu.Unlock()
+	return st
+}

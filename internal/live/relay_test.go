@@ -1,0 +1,194 @@
+package live
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/rack"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+// testBackend is one in-process backend server for relay tests: a full
+// runtime + TCP server on a loopback listener, torn down and audited by
+// stop().
+type testBackend struct {
+	rt   *Runtime
+	srv  *Server
+	addr string
+	wait func() error
+}
+
+func startTestBackend(t *testing.T, cfg Config, h Handler) *testBackend {
+	t.Helper()
+	rt, err := New(cfg, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(rt)
+	return &testBackend{rt: rt, srv: srv, addr: ln.Addr().String(), wait: srv.ServeBackground(ln)}
+}
+
+// stop drains and audits the backend: conservation ledger clean, no
+// leaked arena slots, no stale releases.
+func (b *testBackend) stop(t *testing.T) *Report {
+	t.Helper()
+	if err := b.rt.Drain(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	b.rt.Close()
+	rep := b.rt.Report()
+	if err := b.wait(); err != nil {
+		t.Fatalf("backend serve: %v", err)
+	}
+	if err := rep.Check.Err(); err != nil {
+		t.Fatalf("backend invariants: %v", err)
+	}
+	if leaked, stale := b.srv.DataPlaneStats(); leaked != 0 || stale != 0 {
+		t.Fatalf("backend data plane: %d leaked, %d stale", leaked, stale)
+	}
+	return rep
+}
+
+// runRelay stands up nBackends echo servers behind a relay, drives n
+// requests through it, and returns the relay's stats after a full
+// teardown audit of every layer: relay conservation ledger, backend
+// runtime ledgers, and arena leak counters.
+func runRelay(t *testing.T, nBackends int, rc RelayConfig, lg LoadgenConfig, n int) RelayStats {
+	t.Helper()
+	var addrs []string
+	var backends []*testBackend
+	for i := 0; i < nBackends; i++ {
+		b := startTestBackend(t, Config{Groups: 2, WorkersPerGroup: 2, Expected: n}, EchoHandler{})
+		backends = append(backends, b)
+		addrs = append(addrs, b.addr)
+	}
+	rc.Backends = addrs
+	rc.Expected = n
+	relay, err := NewRelay(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait := relay.ServeBackground(ln)
+
+	lg.Addr = ln.Addr().String()
+	lg.Requests = n
+	res, err := RunLoadgen(lg)
+	if err != nil {
+		t.Fatalf("loadgen through relay: %v", err)
+	}
+	if res.Received != uint64(n) || res.BadStatus != 0 {
+		t.Fatalf("client saw %d responses (%d bad), want %d clean", res.Received, res.BadStatus, n)
+	}
+	if err := wait(); err != nil {
+		t.Fatalf("relay serve: %v", err)
+	}
+	rep := relay.Verify()
+	if err := rep.Err(); err != nil {
+		t.Fatalf("relay conservation: %v", err)
+	}
+	if rep.Delivered != uint64(n) || rep.Completed != uint64(n) {
+		t.Fatalf("relay ledger: delivered %d completed %d, want %d", rep.Delivered, rep.Completed, n)
+	}
+	for _, b := range backends {
+		b.stop(t)
+	}
+	return relay.Stats()
+}
+
+// TestRelayLoopback is the rack tier's live smoke: three backend
+// runtimes behind a power-of-2 relay, every layer's invariants audited
+// at teardown.
+func TestRelayLoopback(t *testing.T) {
+	n := 30000
+	if testing.Short() {
+		n = 3000
+	}
+	st := runRelay(t, 3,
+		RelayConfig{Policy: rack.PowerOfK, K: 2, SampleEvery: 200 * time.Microsecond, Seed: 1},
+		LoadgenConfig{Conns: 4}, n)
+	if st.Forwarded != uint64(n) || st.Returned != uint64(n) {
+		t.Fatalf("relay moved %d/%d frames, want %d/%d", st.Forwarded, st.Returned, n, n)
+	}
+	if st.Dropped != 0 || st.Strays != 0 {
+		t.Fatalf("relay dropped %d, strays %d", st.Dropped, st.Strays)
+	}
+	for i := range st.Dispatched {
+		if st.Dispatched[i] != st.Responded[i] {
+			t.Fatalf("backend %d: %d dispatched, %d responded", i, st.Dispatched[i], st.Responded[i])
+		}
+		if st.Dispatched[i] == 0 {
+			t.Fatalf("backend %d received no traffic under pow-2", i)
+		}
+	}
+	if st.MaxViewAge < 0 {
+		t.Fatalf("negative view age %v", st.MaxViewAge)
+	}
+}
+
+// TestRelayFreshView pins the SampleEvery == 0 contract end to end:
+// with a fresh depth view per pick, no dispatch decision ever consults
+// a stale entry, so the realized MaxViewAge is exactly zero.
+func TestRelayFreshView(t *testing.T) {
+	n := 5000
+	if testing.Short() {
+		n = 1000
+	}
+	st := runRelay(t, 2,
+		RelayConfig{Policy: rack.JSQ, Seed: 7},
+		LoadgenConfig{Conns: 2}, n)
+	if st.MaxViewAge != 0 {
+		t.Fatalf("fresh-view relay reported view age %v", st.MaxViewAge)
+	}
+	if st.Forwarded != uint64(n) {
+		t.Fatalf("forwarded %d, want %d", st.Forwarded, n)
+	}
+}
+
+// TestRelaySimLiveRoundRobin is the sim-vs-live rack differential: for
+// a matched request count, the live relay's round-robin dispatch must
+// distribute requests across backends exactly as the simulated rack
+// does. Round-robin consumes no randomness and no depth view, so the
+// two runtimes share one ground-truth distribution for any N; skew
+// means the live tier reordered, duplicated, or dropped a dispatch.
+// (The live side serializes arrivals through one connection so the
+// dispatch sequence, not just the counts, is the simulator's.)
+func TestRelaySimLiveRoundRobin(t *testing.T) {
+	const n, width = 3000, 3
+
+	svc := dist.Exponential{M: sim.Microsecond}
+	simRes, err := server.RunRack(
+		server.RackConfig{Servers: width, Policy: rack.RoundRobin},
+		server.Config{Kind: server.SchedAltocumulus, AC: core.DefaultParams(2, 2), Seed: 11},
+		server.Workload{
+			Arrivals: dist.Poisson{Rate: dist.LoadForRate(0.5, 4*width, svc)},
+			Service:  svc, N: n, Conns: 1,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := runRelay(t, width,
+		RelayConfig{Policy: rack.RoundRobin, Seed: 3},
+		LoadgenConfig{Conns: 1, Clients: 1}, n)
+
+	for s := 0; s < width; s++ {
+		if st.Dispatched[s] != simRes.Dispatched[s] {
+			t.Fatalf("backend %d: live relay dispatched %d, simulated rack dispatched %d",
+				s, st.Dispatched[s], simRes.Dispatched[s])
+		}
+	}
+}

@@ -88,6 +88,49 @@ func (rr *respRing) append(id uint64, st rpcproto.Status, payload []byte) {
 	rr.mu.Unlock()
 }
 
+// forward re-frames one already-encoded request frame as a relayed
+// (version-2) copy carrying newID and origin, and queues it for the
+// writer: the relay's outbound hot path, sharing append's buffer
+// recycling and backpressure contract. The frame bytes are copied
+// before forward returns, so the caller may reuse its read window
+// immediately. Returns false when the ring dropped the frame at
+// teardown or after a write failure; a non-nil error means the frame
+// itself was unrelayable (malformed, or at the hop limit) and the
+// caller should tear down its connection.
+//
+//altolint:hotpath
+func (rr *respRing) forward(frame []byte, newID uint64, origin uint32) (bool, error) {
+	rr.mu.Lock()
+	for rr.queued >= rr.limit && !rr.closed && !rr.failed {
+		rr.space.Wait()
+	}
+	if rr.closed || rr.failed {
+		rr.mu.Unlock()
+		return false, nil
+	}
+	var buf []byte
+	if n := len(rr.free); n > 0 {
+		buf = rr.free[n-1][:0]
+		rr.free = rr.free[:n-1]
+	} else {
+		//altolint:allow hotalloc one frame buffer per ring slot until the ring reaches its high-water mark; steady state recycles
+		buf = make([]byte, 0, 256)
+	}
+	buf, err := rpcproto.AppendForwarded(buf, frame, newID, origin)
+	if err != nil {
+		//altolint:allow hotalloc amortized free-list growth; bounded by limit
+		rr.free = append(rr.free, buf)
+		rr.mu.Unlock()
+		return false, err
+	}
+	//altolint:allow hotalloc amortized pending-slice growth; bounded by limit
+	rr.pending = append(rr.pending, buf)
+	rr.queued++
+	rr.more.Signal()
+	rr.mu.Unlock()
+	return true, nil
+}
+
 // close wakes the writer to flush whatever is pending and exit, and
 // unblocks any completion stalled on a full ring.
 func (rr *respRing) close() {

@@ -1,0 +1,46 @@
+package live
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseSweep parses an offered-rate sweep specification "min:max:step"
+// (RPS) as taken by the -sweep flags of cmd/altoserve and cmd/altorack.
+// Every component must be a finite, non-negative number; step must be
+// strictly positive (a zero or negative step would never advance the
+// sweep) and max must not be below min. Note that strconv accepts
+// "NaN" and "Inf" as floats — and every comparison against NaN is
+// false — so the finiteness check is explicit, not implied by the
+// range checks.
+func ParseSweep(s string) (min, max, step float64, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("live: bad sweep %q: want min:max:step", s)
+	}
+	vals := make([]float64, 3)
+	names := [3]string{"min", "max", "step"}
+	for i, p := range parts {
+		v, perr := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if perr != nil {
+			return 0, 0, 0, fmt.Errorf("live: bad sweep %s %q: not a number", names[i], p)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, 0, 0, fmt.Errorf("live: bad sweep %s %q: must be finite", names[i], p)
+		}
+		if v < 0 {
+			return 0, 0, 0, fmt.Errorf("live: bad sweep %s %q: must be >= 0", names[i], p)
+		}
+		vals[i] = v
+	}
+	min, max, step = vals[0], vals[1], vals[2]
+	if step <= 0 {
+		return 0, 0, 0, fmt.Errorf("live: bad sweep %q: step must be > 0 (a %g step never advances)", s, step)
+	}
+	if max < min {
+		return 0, 0, 0, fmt.Errorf("live: bad sweep %q: max %g below min %g", s, max, min)
+	}
+	return min, max, step, nil
+}

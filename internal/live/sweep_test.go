@@ -1,0 +1,63 @@
+package live
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSweepValid(t *testing.T) {
+	cases := []struct {
+		in             string
+		min, max, step float64
+	}{
+		{"100000:1200000:100000", 100000, 1200000, 100000},
+		{"0:10:1", 0, 10, 1},
+		{"5:5:2", 5, 5, 2}, // single-point sweep
+		{" 1 : 3 : 0.5 ", 1, 3, 0.5},
+	}
+	for _, c := range cases {
+		min, max, step, err := ParseSweep(c.in)
+		if err != nil {
+			t.Fatalf("ParseSweep(%q): %v", c.in, err)
+		}
+		if min != c.min || max != c.max || step != c.step {
+			t.Fatalf("ParseSweep(%q) = %g:%g:%g, want %g:%g:%g",
+				c.in, min, max, step, c.min, c.max, c.step)
+		}
+	}
+}
+
+// TestParseSweepRejects pins the validation contract: zero and negative
+// steps (an endless or backwards sweep), inverted ranges, non-numbers,
+// and the NaN/Inf strings strconv happily parses must all fail with an
+// error naming the offending component.
+func TestParseSweepRejects(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // substring of the error
+	}{
+		{"", "want min:max:step"},
+		{"100:200", "want min:max:step"},
+		{"1:2:3:4", "want min:max:step"},
+		{"a:200:10", "not a number"},
+		{"100:b:10", "not a number"},
+		{"100:200:c", "not a number"},
+		{"100:200:0", "step must be > 0"},
+		{"100:200:-5", "must be >= 0"},
+		{"-1:200:10", "must be >= 0"},
+		{"200:100:10", "max 100 below min 200"},
+		{"NaN:200:10", "must be finite"},
+		{"100:Inf:10", "must be finite"},
+		{"100:200:NaN", "must be finite"},
+		{"100:200:+Inf", "must be finite"},
+	}
+	for _, c := range cases {
+		_, _, _, err := ParseSweep(c.in)
+		if err == nil {
+			t.Fatalf("ParseSweep(%q) accepted, want error containing %q", c.in, c.want)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("ParseSweep(%q) = %v, want error containing %q", c.in, err, c.want)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// refErlangC is an independent Erlang-C evaluation for the agreement
+// test: the textbook closed form
+//
+//	C_k(A) = (A^k/k!)·k/(k−A) / (Σ_{i<k} A^i/i! + (A^k/k!)·k/(k−A))
+//
+// computed in log space (log-sum-exp over lnΓ) so it stays finite at
+// k = 4096, where A^k and k! overflow float64 by thousands of orders
+// of magnitude. Deliberately NOT the production recurrence
+// (queueing.ErlangC uses the Erlang-B iteration): two formulations
+// agreeing at every operating point is the drift pin.
+func refErlangC(k int, a float64) float64 {
+	if a <= 0 {
+		return 0
+	}
+	if a >= float64(k) {
+		return 1
+	}
+	lnA := math.Log(a)
+	lts := make([]float64, k+1) // lts[i] = ln(A^i/i!)
+	maxLt := math.Inf(-1)
+	for i := 0; i <= k; i++ {
+		lg, _ := math.Lgamma(float64(i) + 1)
+		lts[i] = float64(i)*lnA - lg
+		if lts[i] > maxLt {
+			maxLt = lts[i]
+		}
+	}
+	var body float64
+	for i := 0; i < k; i++ {
+		body += math.Exp(lts[i] - maxLt)
+	}
+	tail := math.Exp(lts[k]-maxLt) * float64(k) / (float64(k) - a)
+	return tail / (body + tail)
+}
+
+// refThreshold evaluates Eqn. 2 over the reference Erlang-C with the
+// model's clamping contract.
+func refThreshold(m *ThresholdModel, a float64) int {
+	var nq float64
+	if a >= float64(m.K) {
+		nq = math.Inf(1)
+	} else if a > 0 {
+		nq = refErlangC(m.K, a) * a / (float64(m.K) - a)
+	}
+	if math.IsInf(nq, 1) {
+		return m.UpperBound()
+	}
+	t := int(math.Round(m.A*(m.C*nq+m.D) + m.B))
+	if t < 1 {
+		t = 1
+	}
+	if ub := m.UpperBound(); t > ub {
+		t = ub
+	}
+	return t
+}
+
+// rackScaleLoads spans the operating points a rack tier exposes the
+// model to: essentially idle (the very-low-λ regime a 4096-core pool
+// sits in when the rack spreads a light offered load), through
+// moderate, to near saturation.
+func rackScaleLoads(k int) []float64 {
+	f := float64(k)
+	return []float64{
+		0, 1e-12, 1e-9, 1e-6, 1e-3, 0.01, 0.1, 0.5, 1, 2,
+		f * 0.25, f * 0.5, f * 0.75, f * 0.9, f * 0.99, f * 0.999, f, f * 2,
+	}
+}
+
+// TestThresholdRackScaleAgreement is the rack-scale drift pin for the
+// SLO threshold model: at worker pools up to 4096 cores — far beyond
+// the single-server core counts the model was written against — both
+// the memoized Threshold path and the uncached ThresholdExact path
+// must agree with an independent log-space Erlang-C evaluation at
+// every load, and must sit exactly at the floor threshold of 1 in the
+// very-low-λ regime (no NaN, no underflow garbage, no off-by-steps).
+// The memoized cases keep K·L modest so the breakpoint-table build
+// stays cheap; the k=4096, L=10 row exercises the exact path the memo
+// falls back to beyond its table budget.
+func TestThresholdRackScaleAgreement(t *testing.T) {
+	cases := []struct {
+		k    int
+		l    float64
+		memo bool // also drive the memoized Threshold path
+	}{
+		{16, 10, true},
+		{256, 4, true},
+		{1024, 1, true},
+		{4096, 0.004, true}, // rack-wide pool, tiny table: memo at full width
+		{4096, 10, false},   // rack-wide pool, real SLO: exact path only
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(fmt.Sprintf("k=%d/L=%g", c.k, c.l), func(t *testing.T) {
+			m := NewThresholdModel(c.k, c.l)
+			for _, a := range rackScaleLoads(c.k) {
+				want := refThreshold(m, a)
+				exact := m.ThresholdExact(a)
+				// One step of slack covers float rounding right at a
+				// breakpoint; anything more is model drift.
+				if d := exact - want; d < -1 || d > 1 {
+					t.Fatalf("ThresholdExact(k=%d, L=%g, a=%g) = %d, reference Erlang-C gives %d",
+						c.k, c.l, a, exact, want)
+				}
+				if a <= 0.01 && exact != 1 {
+					t.Fatalf("very low load a=%g at k=%d: ThresholdExact = %d, want the floor threshold 1",
+						a, c.k, exact)
+				}
+				if c.memo {
+					got := m.Threshold(a)
+					if d := got - want; d < -1 || d > 1 {
+						t.Fatalf("Threshold(k=%d, L=%g, a=%g) = %d, reference Erlang-C gives %d",
+							c.k, c.l, a, got, want)
+					}
+					if a <= 0.01 && got != 1 {
+						t.Fatalf("very low load a=%g at k=%d: memoized Threshold = %d, want 1", a, c.k, got)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,294 @@
+// Package rack is the inter-server tier of the two-level scheduler:
+// it decides which ALTOCUMULUS server in a rack receives each arriving
+// RPC, leaving intra-server scheduling to the per-server group core.
+// The shape follows RackSched (PAPERS.md): the rack scheduler sees only
+// sampled per-server queue depths — possibly stale — and must make a
+// microsecond-cheap dispatch decision on every arrival.
+//
+// Like internal/policy, this package is engine-agnostic: no simulator
+// types, no goroutines, no clocks. The simulator drives a Dispatcher
+// from engine events with a sim RNG; the live relay drives the same
+// Dispatcher under a mutex with a SplitMix source. Both get identical
+// decisions for identical observation/pick sequences, which is what the
+// sim-vs-live differential tests pin.
+package rack
+
+import (
+	"fmt"
+
+	"repro/internal/policy"
+)
+
+// Kind selects the inter-server dispatch policy.
+type Kind uint8
+
+const (
+	// RoundRobin cycles through servers in index order, ignoring load.
+	RoundRobin Kind = iota
+	// JSQ joins the shortest queue over the full (sampled) depth view;
+	// ties break to the lowest server index.
+	JSQ
+	// PowerOfK samples K distinct servers uniformly and joins the
+	// shortest of the sample; ties break to the earliest-sampled.
+	PowerOfK
+	// Affinity hashes the connection id to a fixed server, keeping a
+	// flow's requests on one server (key-affinity dispatch).
+	Affinity
+)
+
+func (k Kind) String() string {
+	switch k {
+	case RoundRobin:
+		return "rr"
+	case JSQ:
+		return "jsq"
+	case PowerOfK:
+		return "pow-k"
+	case Affinity:
+		return "affinity"
+	default:
+		return fmt.Sprintf("rack.Kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind maps a flag string to a Kind. "pow2" and "powk" spellings
+// are accepted for PowerOfK.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "rr", "roundrobin":
+		return RoundRobin, nil
+	case "jsq":
+		return JSQ, nil
+	case "pow-k", "powk", "pow2", "power-of-k":
+		return PowerOfK, nil
+	case "affinity":
+		return Affinity, nil
+	}
+	return 0, fmt.Errorf("rack: unknown policy %q (want rr|jsq|pow2|affinity)", s)
+}
+
+// Source is the randomness a Dispatcher consumes: PowerOfK sampling
+// draws Intn. sim.RNG satisfies it directly; live callers use SplitMix.
+// RoundRobin, JSQ, and Affinity never draw, so deterministic replay
+// holds per policy regardless of the source's state.
+type Source interface {
+	Intn(n int) int
+}
+
+// Config parameterises a Dispatcher.
+type Config struct {
+	// Servers is the rack width.
+	Servers int
+	// Policy selects the dispatch rule.
+	Policy Kind
+	// K is the PowerOfK sample size; 0 defaults to 2. Clamped to
+	// Servers. Ignored by the other policies.
+	K int
+	// StalenessBound, when nonzero, is the oldest depth observation the
+	// rack contract tolerates at pick time; checkers flag decisions made
+	// on a staler view. Zero means unbounded (no invariant).
+	StalenessBound policy.Duration
+}
+
+// Validate reports a descriptive error for unusable configurations.
+func (c Config) Validate() error {
+	if c.Servers <= 0 {
+		return fmt.Errorf("rack: Servers = %d, want >= 1", c.Servers)
+	}
+	if c.Policy > Affinity {
+		return fmt.Errorf("rack: unknown policy %d", c.Policy)
+	}
+	if c.K < 0 {
+		return fmt.Errorf("rack: K = %d, want >= 0", c.K)
+	}
+	if c.StalenessBound < 0 {
+		return fmt.Errorf("rack: StalenessBound = %v, want >= 0", c.StalenessBound)
+	}
+	return nil
+}
+
+// Decision is one dispatch outcome. Sampled and Depths describe the
+// view the decision consulted: the server indices examined and each
+// one's depth as seen at pick time (before the local in-flight
+// correction). Both alias dispatcher scratch, valid until the next
+// Pick; callers that retain them must copy. Age is the oldest
+// observation among the consulted entries (zero for RoundRobin and
+// Affinity, which never read the view).
+type Decision struct {
+	Server  int
+	Age     policy.Duration
+	Sampled []int
+	Depths  []int
+}
+
+// Dispatcher routes arrivals to servers from a (possibly stale) depth
+// view. It is pure state + arithmetic: not safe for concurrent use —
+// the simulator is single-threaded and the live relay serialises calls
+// under its own lock.
+type Dispatcher struct {
+	cfg Config
+	k   int
+
+	// depths is the dispatcher's current belief about per-server queue
+	// depth: the last sampled value plus one for each local dispatch
+	// since that sample (the standard anti-herding correction — without
+	// it, every arrival between two samples piles onto the same "least
+	// loaded" server). seenAt records when each entry was last fed by a
+	// real observation.
+	depths []int
+	seenAt []policy.Duration
+
+	rr      int   // next RoundRobin index
+	perm    []int // PowerOfK sampling scratch: partial Fisher-Yates
+	sampled []int // Decision.Sampled backing, full rack width
+	view    []int // Decision.Depths backing, full rack width
+}
+
+// NewDispatcher validates cfg and builds a dispatcher with every depth
+// at zero, observed at time zero.
+func NewDispatcher(cfg Config) (*Dispatcher, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.K == 0 {
+		cfg.K = 2
+	}
+	k := cfg.K
+	if k > cfg.Servers {
+		k = cfg.Servers
+	}
+	d := &Dispatcher{
+		cfg:     cfg,
+		k:       k,
+		depths:  make([]int, cfg.Servers),
+		seenAt:  make([]policy.Duration, cfg.Servers),
+		perm:    make([]int, cfg.Servers),
+		sampled: make([]int, cfg.Servers),
+		view:    make([]int, cfg.Servers),
+	}
+	for i := range d.perm {
+		d.perm[i] = i
+	}
+	return d, nil
+}
+
+// Servers returns the rack width.
+func (d *Dispatcher) Servers() int { return d.cfg.Servers }
+
+// Observe feeds one server's sampled queue depth into the view,
+// replacing the local in-flight estimate.
+func (d *Dispatcher) Observe(srv, depth int, at policy.Duration) {
+	d.depths[srv] = depth
+	d.seenAt[srv] = at
+}
+
+// ObserveAll feeds a full depth vector sampled at one instant.
+func (d *Dispatcher) ObserveAll(depths []int, at policy.Duration) {
+	copy(d.depths, depths)
+	for i := range d.seenAt {
+		d.seenAt[i] = at
+	}
+}
+
+// Depth returns the dispatcher's current view of srv's queue depth
+// (sample plus local corrections).
+func (d *Dispatcher) Depth(srv int) int { return d.depths[srv] }
+
+// Pick chooses the destination server for one arrival on connection
+// conn at time now. The chosen server's viewed depth is incremented to
+// account for the dispatch itself; the next Observe overwrites the
+// estimate with ground truth. A one-server rack short-circuits without
+// consuming randomness, so rack-of-1 replays a single-server run
+// stream-for-stream.
+//
+//altolint:hotpath
+func (d *Dispatcher) Pick(conn uint32, now policy.Duration, rng Source) Decision {
+	n := d.cfg.Servers
+	if n == 1 {
+		d.depths[0]++
+		return Decision{Server: 0, Sampled: d.sampled[:0], Depths: d.view[:0]}
+	}
+	var dec Decision
+	ns := 0 // entries of sampled/view filled this pick
+	switch d.cfg.Policy {
+	case RoundRobin:
+		dec.Server = d.rr
+		d.rr++
+		if d.rr == n {
+			d.rr = 0
+		}
+	case Affinity:
+		dec.Server = affinityServer(conn, n)
+	case JSQ:
+		best := 0
+		for i := 0; i < n; i++ {
+			d.sampled[ns] = i
+			d.view[ns] = d.depths[i]
+			ns++
+			if d.depths[i] < d.depths[best] {
+				best = i
+			}
+			if age := now - d.seenAt[i]; age > dec.Age {
+				dec.Age = age
+			}
+		}
+		dec.Server = best
+	case PowerOfK:
+		// Partial Fisher-Yates over perm: the first k slots become a
+		// uniform k-subset in sample order; perm stays a permutation so
+		// the next Pick reuses it without a reset pass.
+		best := -1
+		for i := 0; i < d.k; i++ {
+			j := i + rng.Intn(n-i)
+			d.perm[i], d.perm[j] = d.perm[j], d.perm[i]
+			s := d.perm[i]
+			d.sampled[ns] = s
+			d.view[ns] = d.depths[s]
+			ns++
+			if best < 0 || d.depths[s] < d.depths[best] {
+				best = s
+			}
+			if age := now - d.seenAt[s]; age > dec.Age {
+				dec.Age = age
+			}
+		}
+		dec.Server = best
+	}
+	d.depths[dec.Server]++
+	dec.Sampled = d.sampled[:ns]
+	dec.Depths = d.view[:ns]
+	return dec
+}
+
+// affinityServer is the stateless key-affinity map: a Fibonacci hash of
+// the connection id folded onto the rack width.
+func affinityServer(conn uint32, n int) int {
+	return int((uint64(conn) * 0x9E3779B97F4A7C15 >> 32) % uint64(n))
+}
+
+// SplitMix is a tiny deterministic Source for engine-free callers (the
+// live relay): splitmix64, the same generator sim.RNG uses for seeding.
+type SplitMix struct {
+	state uint64
+}
+
+// NewSplitMix seeds a SplitMix source.
+func NewSplitMix(seed uint64) *SplitMix { return &SplitMix{state: seed} }
+
+// Uint64 advances the generator.
+func (s *SplitMix) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). Modulo bias is irrelevant at rack
+// widths; determinism is what matters.
+func (s *SplitMix) Intn(n int) int {
+	if n <= 0 {
+		panic("rack: Intn on non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}

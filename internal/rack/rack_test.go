@@ -1,0 +1,267 @@
+package rack
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+)
+
+func mustDispatcher(t *testing.T, cfg Config) *Dispatcher {
+	t.Helper()
+	d, err := NewDispatcher(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestKindStringParseRoundTrip(t *testing.T) {
+	for _, k := range []Kind{RoundRobin, JSQ, PowerOfK, Affinity} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	for _, alias := range []string{"pow2", "powk", "power-of-k"} {
+		if k, err := ParseKind(alias); err != nil || k != PowerOfK {
+			t.Fatalf("ParseKind(%q) = %v, %v", alias, k, err)
+		}
+	}
+	if _, err := ParseKind("spray"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Servers: 0},
+		{Servers: -1, Policy: JSQ},
+		{Servers: 2, Policy: Affinity + 1},
+		{Servers: 2, K: -1},
+		{Servers: 2, StalenessBound: -policy.Duration(1)},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("Validate(%+v) accepted", cfg)
+		}
+	}
+	if err := (Config{Servers: 8, Policy: PowerOfK, K: 2}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoundRobinCycles: RR visits every server in index order and
+// consumes no randomness (rng is nil and must not be touched).
+func TestRoundRobinCycles(t *testing.T) {
+	const n = 4
+	d := mustDispatcher(t, Config{Servers: n, Policy: RoundRobin})
+	for i := 0; i < 3*n; i++ {
+		dec := d.Pick(uint32(i), 0, nil)
+		if dec.Server != i%n {
+			t.Fatalf("pick %d → server %d, want %d", i, dec.Server, i%n)
+		}
+		if dec.Age != 0 || len(dec.Sampled) != 0 {
+			t.Fatalf("RR consulted the view: %+v", dec)
+		}
+	}
+}
+
+// TestJSQPicksGlobalMin: JSQ joins the global minimum of the view,
+// ties to the lowest index, and reports the full view as its sample.
+func TestJSQPicksGlobalMin(t *testing.T) {
+	d := mustDispatcher(t, Config{Servers: 5, Policy: JSQ})
+	d.ObserveAll([]int{3, 1, 4, 1, 5}, 0)
+	dec := d.Pick(9, 0, nil)
+	if dec.Server != 1 {
+		t.Fatalf("server = %d, want 1 (lowest-index tie)", dec.Server)
+	}
+	if len(dec.Sampled) != 5 || len(dec.Depths) != 5 {
+		t.Fatalf("JSQ sample set: %v %v", dec.Sampled, dec.Depths)
+	}
+	// The local correction: server 1 now looks one deeper, so the next
+	// pick goes to the other minimum.
+	if dec = d.Pick(9, 0, nil); dec.Server != 3 {
+		t.Fatalf("second pick = %d, want 3 (anti-herding bump)", dec.Server)
+	}
+}
+
+// TestPowerOfKNeverWorse is the headline rack property: across random
+// views and picks, power-of-k never dispatches to a server strictly
+// worse than its own sample set allows — the chosen server is always a
+// minimum of the depths it sampled, and every sample is in range and
+// distinct.
+func TestPowerOfKNeverWorse(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 8} {
+		src := NewSplitMix(uint64(1000 + k))
+		depthSrc := NewSplitMix(uint64(2000 + k))
+		d := mustDispatcher(t, Config{Servers: 8, Policy: PowerOfK, K: k})
+		for iter := 0; iter < 2000; iter++ {
+			if iter%7 == 0 {
+				for s := 0; s < 8; s++ {
+					d.Observe(s, depthSrc.Intn(64), policy.Duration(iter))
+				}
+			}
+			dec := d.Pick(uint32(iter), policy.Duration(iter), src)
+			want := k
+			if want > 8 {
+				want = 8
+			}
+			if len(dec.Sampled) != want || len(dec.Depths) != want {
+				t.Fatalf("k=%d sample size %d", k, len(dec.Sampled))
+			}
+			min, chosenDepth, chosenIn := dec.Depths[0], -1, false
+			seen := map[int]bool{}
+			for i, s := range dec.Sampled {
+				if s < 0 || s >= 8 {
+					t.Fatalf("sample out of range: %d", s)
+				}
+				if seen[s] {
+					t.Fatalf("duplicate sample %d in %v", s, dec.Sampled)
+				}
+				seen[s] = true
+				if dec.Depths[i] < min {
+					min = dec.Depths[i]
+				}
+				if s == dec.Server {
+					chosenIn, chosenDepth = true, dec.Depths[i]
+				}
+			}
+			if !chosenIn {
+				t.Fatalf("chose server %d outside sample %v", dec.Server, dec.Sampled)
+			}
+			if chosenDepth != min {
+				t.Fatalf("chose depth %d, sample minimum %d (sample %v depths %v)",
+					chosenDepth, min, dec.Sampled, dec.Depths)
+			}
+		}
+	}
+}
+
+// TestAffinityStableAndSpread: a connection always maps to the same
+// server, and distinct connections cover the whole rack.
+func TestAffinityStableAndSpread(t *testing.T) {
+	d := mustDispatcher(t, Config{Servers: 8, Policy: Affinity})
+	hit := make([]bool, 8)
+	for conn := uint32(0); conn < 256; conn++ {
+		first := d.Pick(conn, 0, nil).Server
+		if again := d.Pick(conn, 0, nil).Server; again != first {
+			t.Fatalf("conn %d moved: %d then %d", conn, first, again)
+		}
+		hit[first] = true
+	}
+	for s, ok := range hit {
+		if !ok {
+			t.Fatalf("server %d never chosen across 256 connections", s)
+		}
+	}
+}
+
+// TestStalenessAge: Age reports the oldest consulted observation, and
+// a fresh ObserveAll resets it.
+func TestStalenessAge(t *testing.T) {
+	d := mustDispatcher(t, Config{Servers: 4, Policy: JSQ})
+	d.ObserveAll([]int{0, 0, 0, 0}, 10*policy.Microsecond)
+	d.Observe(2, 5, 40*policy.Microsecond)
+	dec := d.Pick(1, 100*policy.Microsecond, nil)
+	if dec.Age != 90*policy.Microsecond {
+		t.Fatalf("age = %v, want 90us (oldest entry)", dec.Age)
+	}
+	d.ObserveAll([]int{0, 0, 0, 0}, 100*policy.Microsecond)
+	if dec = d.Pick(1, 100*policy.Microsecond, nil); dec.Age != 0 {
+		t.Fatalf("age after fresh sample = %v, want 0", dec.Age)
+	}
+}
+
+// TestRackOfOneShortCircuit: a one-server rack consumes no randomness
+// regardless of policy, so a rack-of-1 run replays the single-server
+// RNG streams exactly.
+func TestRackOfOneShortCircuit(t *testing.T) {
+	for _, p := range []Kind{RoundRobin, JSQ, PowerOfK, Affinity} {
+		d := mustDispatcher(t, Config{Servers: 1, Policy: p})
+		for i := 0; i < 10; i++ {
+			if dec := d.Pick(uint32(i), policy.Duration(i), nil); dec.Server != 0 {
+				t.Fatalf("%v: server %d", p, dec.Server)
+			}
+		}
+		if d.Depth(0) != 10 {
+			t.Fatalf("%v: depth %d, want 10", p, d.Depth(0))
+		}
+	}
+}
+
+// TestDeterministicReplay: identical observe/pick sequences produce
+// identical decisions — the property the sim-vs-live differential
+// rests on. Observations landing between two picks commute when they
+// target distinct servers, so completion-order shuffles inside a
+// sampling interval cannot change any decision.
+func TestDeterministicReplay(t *testing.T) {
+	run := func(seed uint64, reverse bool) []int {
+		d, err := NewDispatcher(Config{Servers: 6, Policy: PowerOfK, K: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := NewSplitMix(seed)
+		depths := NewSplitMix(seed ^ 0xabcdef)
+		var picks []int
+		for step := 0; step < 500; step++ {
+			// A batch of per-server completions observed between picks, in
+			// forward or reverse order: distinct servers, so order must not
+			// matter.
+			batch := [6]int{}
+			for s := range batch {
+				batch[s] = depths.Intn(32)
+			}
+			if reverse {
+				for s := 5; s >= 0; s-- {
+					d.Observe(s, batch[s], policy.Duration(step))
+				}
+			} else {
+				for s := 0; s <= 5; s++ {
+					d.Observe(s, batch[s], policy.Duration(step))
+				}
+			}
+			picks = append(picks, d.Pick(uint32(step), policy.Duration(step), src).Server)
+		}
+		return picks
+	}
+	a, b := run(7, false), run(7, true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pick %d diverged under shuffled completion order: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestPickZeroAlloc pins the dispatch hot path at zero allocations.
+func TestPickZeroAlloc(t *testing.T) {
+	d := mustDispatcher(t, Config{Servers: 16, Policy: PowerOfK, K: 4})
+	src := NewSplitMix(3)
+	var conn uint32
+	if avg := testing.AllocsPerRun(200, func() {
+		conn++
+		d.Pick(conn, policy.Duration(conn), src)
+	}); avg != 0 {
+		t.Fatalf("Pick allocates %.1f times per dispatch, want 0", avg)
+	}
+}
+
+func TestSplitMix(t *testing.T) {
+	a, b := NewSplitMix(42), NewSplitMix(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("SplitMix not deterministic")
+		}
+	}
+	c := NewSplitMix(42)
+	for i := 0; i < 1000; i++ {
+		if v := c.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	c.Intn(0)
+}

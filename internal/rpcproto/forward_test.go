@@ -1,0 +1,156 @@
+package rpcproto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestForwardedRoundTrip pins the version-2 wire form: a request with
+// forwarding state marshals to a 24-byte-header frame and decodes back
+// with Origin/Hops intact through both decode paths.
+func TestForwardedRoundTrip(t *testing.T) {
+	in := &Request{ID: 42, Conn: 7, Op: OpSet, Origin: 0xa1b2c3d4, Hops: 2, Payload: []byte("k=v")}
+	buf, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[13] != wireVersionFwd {
+		t.Fatalf("version byte = %d, want %d", buf[13], wireVersionFwd)
+	}
+	if len(buf) != ForwardedHeaderSize+len(in.Payload) {
+		t.Fatalf("frame len = %d, want %d", len(buf), ForwardedHeaderSize+len(in.Payload))
+	}
+	if n, err := RequestFrameSize(buf[:RequestHeaderSize]); err != nil || n != len(buf) {
+		t.Fatalf("RequestFrameSize = %d, %v; want %d", n, err, len(buf))
+	}
+	out, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.Conn != in.Conn || out.Op != in.Op ||
+		out.Origin != in.Origin || out.Hops != in.Hops || out.Size != len(buf) {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	if !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("payload mismatch: %q", out.Payload)
+	}
+	var into Request
+	if err := UnmarshalInto(&into, buf); err != nil {
+		t.Fatal(err)
+	}
+	if into.Origin != in.Origin || into.Hops != in.Hops || into.Size != len(buf) {
+		t.Fatalf("UnmarshalInto forwarding fields: %+v", into)
+	}
+}
+
+// TestDirectRequestsStayVersion1 guards the compact path: requests with
+// zero forwarding state must keep the 16-byte version-1 header so
+// existing clients and goldens see identical bytes.
+func TestDirectRequestsStayVersion1(t *testing.T) {
+	buf, err := Marshal(&Request{ID: 1, Conn: 2, Op: OpGet, Payload: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[13] != wireVersion {
+		t.Fatalf("version byte = %d, want %d", buf[13], wireVersion)
+	}
+	if len(buf) != RequestHeaderSize+1 {
+		t.Fatalf("frame len = %d, want %d", len(buf), RequestHeaderSize+1)
+	}
+}
+
+// TestAppendForwarded covers the relay rewrite: id replaced, origin
+// stamped, hops incremented, everything else byte-preserved — for both
+// a fresh client (v1) frame and an already-forwarded (v2) frame.
+func TestAppendForwarded(t *testing.T) {
+	orig := &Request{ID: 900, Conn: 17, Op: OpScan, Payload: []byte("payload-bytes")}
+	v1, err := Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd, err := AppendForwarded(nil, v1, 5, 0xcafe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(fwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 5 || got.Conn != orig.Conn || got.Op != orig.Op ||
+		got.Origin != 0xcafe || got.Hops != 1 {
+		t.Fatalf("forwarded v1: %+v", got)
+	}
+	if !bytes.Equal(got.Payload, orig.Payload) {
+		t.Fatalf("payload mismatch: %q", got.Payload)
+	}
+
+	// Forwarding a forwarded frame bumps hops and re-stamps origin.
+	fwd2, err := AppendForwarded(nil, fwd, 6, 0xbeef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := Unmarshal(fwd2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.ID != 6 || got2.Origin != 0xbeef || got2.Hops != 2 || got2.Conn != orig.Conn {
+		t.Fatalf("forwarded v2: %+v", got2)
+	}
+
+	// Appending onto an existing buffer extends, never clobbers.
+	prefix := []byte("prefix")
+	joined, err := AppendForwarded(append([]byte(nil), prefix...), v1, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(joined, prefix) {
+		t.Fatal("AppendForwarded clobbered the destination prefix")
+	}
+	if n, err := RequestFrameSize(joined[len(prefix):]); err != nil || n != len(joined)-len(prefix) {
+		t.Fatalf("appended frame size = %d, %v", n, err)
+	}
+}
+
+func TestAppendForwardedErrors(t *testing.T) {
+	v1, _ := Marshal(&Request{ID: 1, Payload: []byte("abc")})
+	if _, err := AppendForwarded(nil, v1[:RequestHeaderSize-1], 2, 0); err != ErrShortBuffer {
+		t.Fatalf("short header: %v", err)
+	}
+	if _, err := AppendForwarded(nil, v1[:len(v1)-1], 2, 0); err != ErrShortBuffer {
+		t.Fatalf("truncated payload: %v", err)
+	}
+	bad := append([]byte(nil), v1...)
+	bad[13] = 99
+	if _, err := AppendForwarded(nil, bad, 2, 0); err != ErrBadVersion {
+		t.Fatalf("bad version: %v", err)
+	}
+	// Hop counter at the ceiling: the frame must be rejected, not wrapped.
+	maxed, _ := Marshal(&Request{ID: 1, Origin: 1, Hops: ^uint8(0), Payload: []byte("abc")})
+	if _, err := AppendForwarded(nil, maxed, 2, 0); err != ErrHopLimit {
+		t.Fatalf("hop limit: %v", err)
+	}
+	// Nonzero reserved bytes in a v2 frame are rejected end to end.
+	fwd, _ := AppendForwarded(nil, v1, 2, 3)
+	fwd[23] = 7
+	if _, err := Unmarshal(fwd); err != ErrBadReserved {
+		t.Fatalf("reserved: %v", err)
+	}
+	if _, err := AppendForwarded(nil, fwd, 3, 0); err != ErrBadReserved {
+		t.Fatalf("reserved via forward: %v", err)
+	}
+}
+
+// TestAppendForwardedZeroAlloc pins the relay hot path: rewriting into
+// a destination with capacity must not allocate.
+func TestAppendForwardedZeroAlloc(t *testing.T) {
+	v1, _ := Marshal(&Request{ID: 1, Conn: 2, Payload: make([]byte, 256)})
+	dst := make([]byte, 0, 1024)
+	if avg := testing.AllocsPerRun(100, func() {
+		var err error
+		if _, err = AppendForwarded(dst[:0], v1, 7, 9); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("AppendForwarded allocates %.1f times per rewrite, want 0", avg)
+	}
+}

@@ -42,32 +42,87 @@ const ResponseHeaderSize = 12
 // stream transports that read a header first and then the payload.
 const RequestHeaderSize = headerSize
 
+// ForwardedHeaderSize is the version-2 (rack-forwarded) request header
+// footprint: the version-1 header plus the forwarding extension.
+const ForwardedHeaderSize = fwdHeaderSize
+
 // RequestFrameSize returns the total wire length of the request frame
-// whose first RequestHeaderSize bytes are hdr.
+// whose first RequestHeaderSize bytes are hdr. Both wire versions are
+// sized from the same 16-byte prefix: version 2 keeps the payload
+// length at the version-1 offset.
 func RequestFrameSize(hdr []byte) (int, error) {
 	if len(hdr) < headerSize {
 		return 0, ErrShortBuffer
 	}
-	if hdr[13] != wireVersion {
+	plen := int(binary.LittleEndian.Uint16(hdr[14:16]))
+	switch hdr[13] {
+	case wireVersion:
+		return headerSize + plen, nil
+	case wireVersionFwd:
+		return fwdHeaderSize + plen, nil
+	default:
 		return 0, ErrBadVersion
 	}
-	return headerSize + int(binary.LittleEndian.Uint16(hdr[14:16])), nil
 }
 
 // AppendRequest encodes r onto dst and returns the extended slice. It is
 // the allocation-free form of Marshal for senders that reuse a buffer.
+// Requests with forwarding state (nonzero Origin or Hops) are emitted as
+// version-2 frames; direct client requests stay on the compact version-1
+// form.
 func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 	if len(r.Payload) > maxPayload {
 		return dst, ErrPayloadTooLarge
 	}
-	var hdr [headerSize]byte
+	var hdr [fwdHeaderSize]byte
 	binary.LittleEndian.PutUint64(hdr[0:8], r.ID)
 	binary.LittleEndian.PutUint32(hdr[8:12], r.Conn)
 	hdr[12] = byte(r.Op)
-	hdr[13] = wireVersion
 	binary.LittleEndian.PutUint16(hdr[14:16], uint16(len(r.Payload)))
-	dst = append(dst, hdr[:]...)
+	if r.Origin != 0 || r.Hops != 0 {
+		hdr[13] = wireVersionFwd
+		binary.LittleEndian.PutUint32(hdr[16:20], r.Origin)
+		hdr[20] = r.Hops
+		dst = append(dst, hdr[:]...)
+	} else {
+		hdr[13] = wireVersion
+		dst = append(dst, hdr[:headerSize]...)
+	}
 	return append(dst, r.Payload...), nil
+}
+
+// AppendForwarded rewrites one complete request frame (either wire
+// version) into a version-2 forwarded frame appended to dst: the id is
+// replaced with newID (the relay's dense backend-side id), the origin
+// field is set to origin (the front-end connection the request arrived
+// on), and the hop count is incremented. The connection id, op, and
+// payload bytes are relayed untouched, so a backend decodes exactly the
+// request the client sent plus the forwarding provenance. This is the
+// relay's hot path: one bounded copy onto dst, no intermediate decode.
+//
+//altolint:hotpath
+func AppendForwarded(dst []byte, frame []byte, newID uint64, origin uint32) ([]byte, error) {
+	hdrLen, plen, _, hops, err := requestHeader(frame)
+	if err != nil {
+		return dst, err
+	}
+	if len(frame) < hdrLen+plen {
+		return dst, ErrShortBuffer
+	}
+	if hops == ^uint8(0) {
+		return dst, ErrHopLimit
+	}
+	var hdr [fwdHeaderSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], newID)
+	copy(hdr[8:13], frame[8:13]) // conn + op
+	hdr[13] = wireVersionFwd
+	binary.LittleEndian.PutUint16(hdr[14:16], uint16(plen))
+	binary.LittleEndian.PutUint32(hdr[16:20], origin)
+	hdr[20] = hops + 1
+	//altolint:allow hotalloc amortized dst growth; the relay reuses a per-backend ring buffer as dst
+	dst = append(dst, hdr[:]...)
+	//altolint:allow hotalloc amortized dst growth; same reused destination buffer
+	return append(dst, frame[hdrLen:hdrLen+plen]...), nil
 }
 
 // AppendResponse encodes a response frame onto dst and returns the

@@ -57,6 +57,15 @@ type Request struct {
 	Predicted bool     // was predicted to violate SLO (selected for migration)
 	GroupHint int      // group/queue the request was initially steered to
 
+	// Rack-forwarding state, carried on the wire only by version-2
+	// frames (relayed through a rack front end such as cmd/altorack).
+	// Origin is the connection id on the front end the request arrived
+	// on — backends echo the relay-assigned ID, and the relay uses its
+	// pending table to route the response back to Origin. Hops counts
+	// forwarding stages (0 = direct client, 1 = one relay tier).
+	Origin uint32
+	Hops   uint8
+
 	// Payload carries the application bytes (e.g. a MICA key/value);
 	// synthetic workloads leave it nil.
 	Payload []byte
@@ -126,17 +135,28 @@ func DescriptorFor(r *Request) Descriptor {
 
 // Wire format ------------------------------------------------------------
 
-// header layout (16 bytes):
+// header layout, version 1 (16 bytes):
 //
 //	0:8   request id
 //	8:12  connection id
 //	12    op
 //	13    version
 //	14:16 payload length
+//
+// Version 2 is the rack-forwarded form: the first 16 bytes keep the
+// exact version-1 layout (in particular the payload length stays at
+// 14:16, so a transport can size either frame from a 16-byte prefix),
+// followed by an 8-byte forwarding extension:
+//
+//	16:20 origin connection id (front-end conn the request arrived on)
+//	20    hops (forwarding stages so far)
+//	21:24 reserved, must be zero
 const (
-	headerSize  = 16
-	wireVersion = 1
-	maxPayload  = 64 << 10 // 64 KiB, far above the paper's <2 KB RPCs
+	headerSize     = 16
+	fwdHeaderSize  = 24
+	wireVersion    = 1
+	wireVersionFwd = 2
+	maxPayload     = 64 << 10 // 64 KiB, far above the paper's <2 KB RPCs
 )
 
 var (
@@ -146,7 +166,38 @@ var (
 	ErrBadVersion = errors.New("rpcproto: unsupported wire version")
 	// ErrPayloadTooLarge indicates a payload over the 64 KiB cap.
 	ErrPayloadTooLarge = errors.New("rpcproto: payload too large")
+	// ErrBadReserved indicates nonzero reserved bytes in a forwarded
+	// (version-2) header; rejecting them keeps the bits available.
+	ErrBadReserved = errors.New("rpcproto: nonzero reserved bytes in forwarded header")
+	// ErrHopLimit indicates a frame forwarded more times than the
+	// 8-bit hop counter can record — always a routing loop in practice.
+	ErrHopLimit = errors.New("rpcproto: forwarding hop limit exceeded")
 )
+
+// requestHeader parses the fixed request header at the front of buf:
+// the header length consumed, the payload length, and the forwarding
+// extension (zero for version-1 frames). The payload itself is not
+// bounds-checked here.
+func requestHeader(buf []byte) (hdrLen, plen int, origin uint32, hops uint8, err error) {
+	if len(buf) < headerSize {
+		return 0, 0, 0, 0, ErrShortBuffer
+	}
+	plen = int(binary.LittleEndian.Uint16(buf[14:16]))
+	switch buf[13] {
+	case wireVersion:
+		return headerSize, plen, 0, 0, nil
+	case wireVersionFwd:
+		if len(buf) < fwdHeaderSize {
+			return 0, 0, 0, 0, ErrShortBuffer
+		}
+		if buf[21] != 0 || buf[22] != 0 || buf[23] != 0 {
+			return 0, 0, 0, 0, ErrBadReserved
+		}
+		return fwdHeaderSize, plen, binary.LittleEndian.Uint32(buf[16:20]), buf[20], nil
+	default:
+		return 0, 0, 0, 0, ErrBadVersion
+	}
+}
 
 // Marshal encodes a request into its network representation. This is the
 // real serialisation work an RPC stack performs; the simulator charges
@@ -160,26 +211,27 @@ func Marshal(r *Request) ([]byte, error) {
 }
 
 // Unmarshal decodes a network message into a fresh Request (scheduling
-// state zeroed). The Size field records the wire footprint.
+// state zeroed). Both wire versions are accepted; version-2 frames fill
+// the Origin/Hops forwarding fields. The Size field records the wire
+// footprint.
 func Unmarshal(buf []byte) (*Request, error) {
-	if len(buf) < headerSize {
-		return nil, ErrShortBuffer
+	hdrLen, plen, origin, hops, err := requestHeader(buf)
+	if err != nil {
+		return nil, err
 	}
-	if buf[13] != wireVersion {
-		return nil, ErrBadVersion
-	}
-	plen := int(binary.LittleEndian.Uint16(buf[14:16]))
-	if len(buf) < headerSize+plen {
+	if len(buf) < hdrLen+plen {
 		return nil, ErrShortBuffer
 	}
 	r := &Request{
-		ID:   binary.LittleEndian.Uint64(buf[0:8]),
-		Conn: binary.LittleEndian.Uint32(buf[8:12]),
-		Op:   Op(buf[12]),
-		Size: headerSize + plen,
+		ID:     binary.LittleEndian.Uint64(buf[0:8]),
+		Conn:   binary.LittleEndian.Uint32(buf[8:12]),
+		Op:     Op(buf[12]),
+		Size:   hdrLen + plen,
+		Origin: origin,
+		Hops:   hops,
 	}
 	if plen > 0 {
-		r.Payload = append([]byte(nil), buf[headerSize:headerSize+plen]...)
+		r.Payload = append([]byte(nil), buf[hdrLen:hdrLen+plen]...)
 	}
 	return r, nil
 }
@@ -198,23 +250,22 @@ func UnmarshalInto(r *Request, buf []byte) error {
 	payload := r.Payload[:0]
 	*r = Request{}
 	r.Payload = payload
-	if len(buf) < headerSize {
-		return ErrShortBuffer
+	hdrLen, plen, origin, hops, err := requestHeader(buf)
+	if err != nil {
+		return err
 	}
-	if buf[13] != wireVersion {
-		return ErrBadVersion
-	}
-	plen := int(binary.LittleEndian.Uint16(buf[14:16]))
-	if len(buf) < headerSize+plen {
+	if len(buf) < hdrLen+plen {
 		return ErrShortBuffer
 	}
 	r.ID = binary.LittleEndian.Uint64(buf[0:8])
 	r.Conn = binary.LittleEndian.Uint32(buf[8:12])
 	r.Op = Op(buf[12])
-	r.Size = headerSize + plen
+	r.Size = hdrLen + plen
+	r.Origin = origin
+	r.Hops = hops
 	if plen > 0 {
 		//altolint:allow hotalloc amortized payload-capacity growth; recycled slots reuse the backing array
-		r.Payload = append(payload, buf[headerSize:headerSize+plen]...)
+		r.Payload = append(payload, buf[hdrLen:hdrLen+plen]...)
 	}
 	return nil
 }

@@ -261,6 +261,18 @@ func FuzzUnmarshalInto(f *testing.F) {
 	bad[13] = 0
 	f.Add(bad)
 	f.Add([]byte{})
+	// Rack-forwarded (version-2) frames: a request carrying forwarding
+	// provenance, one relayed through AppendForwarded, a v2 header
+	// truncated inside the forwarding extension, and one with nonzero
+	// reserved bytes.
+	fwd, _ := Marshal(&Request{ID: 4, Conn: 11, Op: OpGet, Origin: 0xfeed, Hops: 1, Payload: []byte("rack")})
+	f.Add(fwd)
+	relayed, _ := AppendForwarded(nil, seed, 77, 0xbeef)
+	f.Add(relayed)
+	f.Add(fwd[:headerSize+2])
+	reserved := append([]byte(nil), fwd...)
+	reserved[22] = 1
+	f.Add(reserved)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		want, wantErr := Unmarshal(data)
 		got := &Request{Payload: make([]byte, 0, 16)}
@@ -271,7 +283,8 @@ func FuzzUnmarshalInto(f *testing.F) {
 		if wantErr != nil {
 			return
 		}
-		if got.ID != want.ID || got.Conn != want.Conn || got.Op != want.Op || got.Size != want.Size {
+		if got.ID != want.ID || got.Conn != want.Conn || got.Op != want.Op || got.Size != want.Size ||
+			got.Origin != want.Origin || got.Hops != want.Hops {
 			t.Fatalf("field mismatch: %+v vs %+v", got, want)
 		}
 		if !bytes.Equal(got.Payload, want.Payload) {

@@ -18,6 +18,11 @@
 #                     Decide + guard + batch planning) on warm scratch;
 #                     allocs/op must be 0 (TestPolicyTickZeroAlloc is
 #                     the hard gate)
+#   RackDispatch/*    the inter-server tier's per-arrival Pick on a warm
+#                     16-server depth view, one sub-benchmark per
+#                     dispatch policy (rr, jsq, pow-k, affinity);
+#                     allocs/op must be 0 (TestRackDispatchZeroAlloc is
+#                     the hard gate)
 #   LiveLoopback      the real goroutine runtime end to end over TCP
 #                     loopback: 20k RPCs per iteration on a persistent
 #                     warmed session. rpc/s is the headline number
@@ -39,7 +44,7 @@ raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' \
-    -bench 'BenchmarkEngineEvents$|BenchmarkRequestLifecycle$|BenchmarkQueueLens|BenchmarkFig10Serial$|BenchmarkFig10Par4$|BenchmarkPolicyTick$|BenchmarkLiveLoopback$' \
+    -bench 'BenchmarkEngineEvents$|BenchmarkRequestLifecycle$|BenchmarkQueueLens|BenchmarkFig10Serial$|BenchmarkFig10Par4$|BenchmarkPolicyTick$|BenchmarkRackDispatch|BenchmarkLiveLoopback$' \
     -benchmem -benchtime "${BENCHTIME:-1s}" . | tee "$raw"
 
 go run ./cmd/benchjson <"$raw" >BENCH_sim.json

@@ -11,7 +11,11 @@
 #                      alloc data plane), warn-only elsewhere
 #                      (compiler-version dependent)
 #   4. go build        everything compiles
-#   5. go test -race   full suite under the race detector
+#   5. go test -race   full suite under the race detector, then two
+#                      extra bounded -race passes over internal/live and
+#                      the rack-tier smoke: the rack experiment at quick
+#                      scale (checker on) plus two bounded altorack
+#                      loopback soaks under -race
 #   6. coverage ratchet the invariant-bearing packages (internal/sim,
 #                      internal/sched, internal/check) must stay above
 #                      their recorded coverage floors
@@ -81,6 +85,18 @@ echo "== live runtime soak (race, bounded)"
 # beats a log of cascading corruption.
 GORACE=halt_on_error=1 go test -race -count=2 -timeout 300s ./internal/live/...
 
+echo "== rack tier smoke (sim quick scale + altorack loopback soak, race, bounded)"
+# Sim side: the rack experiment regenerated at quick scale with the
+# rack checker attached (rack-of-1 byte-identity and staleness audits
+# run inside it). Live side: the full two-tier data plane — spawned
+# backends behind a relay — under the race detector, once with sampled
+# power-of-2 dispatch and once with a fresh-view JSQ pass. altorack
+# exits non-zero on any conservation, balance, ledger, or arena-leak
+# violation, so both runs gate on the invariants, not the throughput.
+go run ./cmd/altobench -exp rack -scale quick -check >/dev/null
+GORACE=halt_on_error=1 go run -race ./cmd/altorack -spawn 3 -policy pow2 -n 20000 -conns 4 >/dev/null
+GORACE=halt_on_error=1 go run -race ./cmd/altorack -spawn 2 -policy jsq -sample 0 -n 10000 -conns 2 >/dev/null
+
 echo "== coverage ratchet"
 # Floors sit a few points below measured coverage; raise them when
 # coverage rises, never lower them to admit a regression.
@@ -117,7 +133,7 @@ echo "== zero-alloc regression guard (non-gating)"
 # TestLiveLoopbackZeroAlloc in the race run above).
 if [[ -f BENCH_sim.json ]]; then
     allocraw=$(mktemp)
-    go test -run '^$' -bench 'BenchmarkEngineEvents$|BenchmarkQueueLens|BenchmarkPolicyTick$' \
+    go test -run '^$' -bench 'BenchmarkEngineEvents$|BenchmarkQueueLens|BenchmarkPolicyTick$|BenchmarkRackDispatch' \
         -benchmem -benchtime 10000x . >"$allocraw" 2>&1 || true
     go test -run '^$' -bench 'BenchmarkLiveLoopback$' \
         -benchmem -benchtime 3x . >>"$allocraw" 2>&1 || true
