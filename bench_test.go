@@ -456,3 +456,103 @@ func BenchmarkEngineEvents(b *testing.B) {
 	}
 	eng.RunAll()
 }
+
+func nopEvent() {}
+
+// BenchmarkEngineEventsDeep measures the event loop with a deep pending
+// backlog parked ~1 simulated second out: the timer wheel's near-band
+// push/pop should stay flat as the backlog grows (the far heap holds it
+// untouched), where a single binary heap pays O(log pending) per
+// operation. The measured mix is ~7/8 in-window deltas and 1/8 past the
+// ~4.2 us window, so migration and the far heap see steady traffic.
+func BenchmarkEngineEventsDeep(b *testing.B) {
+	// Sub-benchmark names must not end in digits: go test's own -N
+	// GOMAXPROCS suffix (and benchjson's parser) would swallow them.
+	for _, c := range []struct {
+		name  string
+		depth int
+	}{{"pending-10k", 10_000}, {"pending-100k", 100_000}, {"pending-1M", 1_000_000}} {
+		b.Run(c.name, func(b *testing.B) {
+			eng := sim.NewEngine()
+			for j := 0; j < c.depth; j++ {
+				eng.After(sim.Second+sim.Time(j)*sim.Microsecond, nopEvent)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := sim.Nanosecond * sim.Time(1+i%3000)
+				if i%8 == 7 {
+					d = 33 * sim.Microsecond // past the wheel window: far heap
+				}
+				eng.After(d, nopEvent)
+				if i%4096 == 4095 {
+					eng.Run(eng.Now() + 4*sim.Microsecond)
+				}
+			}
+			b.StopTimer()
+			eng.RunAll()
+		})
+	}
+}
+
+// BenchmarkBigTopoTick measures one manager's per-tick decision on
+// big-topology grids: a handful of queue-depth changes land in the
+// RankTracker, then threshold + DecideRanked run over the repaired
+// order. This is the O(active) contract in isolation — the tick pays
+// for the 8 queues that changed, not the whole group view. Watch
+// allocs/op: it must be 0 (TestRankTrackerZeroAlloc and
+// TestPolicyTickZeroAlloc are the hard gates).
+func BenchmarkBigTopoTick(b *testing.B) {
+	for _, g := range []struct {
+		name   string
+		groups int
+	}{{"1024-cores", 64}, {"4096-cores", 128}} {
+		b.Run(g.name, func(b *testing.B) {
+			tr := policy.NewRankTracker(g.groups)
+			model := policy.NewThresholdModel(15, 10)
+			dests := make([]int, 0, g.groups)
+			for q := 0; q < g.groups; q++ {
+				tr.Set(q, (q*7)%23)
+			}
+			tr.Order()
+			sink := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for k := 0; k < 8; k++ {
+					tr.Set((i*13+k*29)%g.groups, (i+k*5)%31)
+				}
+				t := model.Threshold(0.8)
+				_, _, plan := policy.DecideRanked(tr.View(), tr.Order(), i%g.groups, t, 16, 3, true, dests)
+				sink += len(plan)
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkBigTopoQuick runs one 1024-core AC grid (64 groups of 15+1,
+// 1 us period, load 0.5, 200 us of simulated time) per iteration — the
+// wall-time record for the big-topology engine, derived into
+// BENCH_sim.json as bigtopo_quick_ms (non-gating: absolute wall time is
+// host-bound).
+func BenchmarkBigTopoQuick(b *testing.B) {
+	svc := dist.Exponential{M: sim.Microsecond}
+	p := core.DefaultParams(64, 15)
+	p.Period = sim.Microsecond
+	rate := dist.LoadForRate(0.5, 64*15, svc)
+	n := int(rate * (200 * sim.Microsecond).Seconds())
+	for i := 0; i < b.N; i++ {
+		cfg := server.Config{
+			Kind: server.SchedAltocumulus, AC: p,
+			Stack: rpcproto.StackNanoRPC, Steer: nic.SteerConnection,
+			Seed: uint64(i) + 1, SLO: 50 * sim.Microsecond,
+		}
+		if _, err := server.Run(cfg, server.Workload{
+			Arrivals: dist.Poisson{Rate: rate}, Service: svc,
+			N: n, Warmup: n / 10,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -49,8 +49,9 @@ import (
 
 // escapesDefaultPatterns are the hotpath packages the -escapes gate
 // covers when no patterns are given: the policy core and arena (shared
-// per-request code) and the live runtime.
-var escapesDefaultPatterns = []string{"internal/policy", "internal/arena", "internal/live"}
+// per-request code), the live runtime, and the simulator's event engine
+// (the timer wheel's push/pop fast paths carry every simulated event).
+var escapesDefaultPatterns = []string{"internal/policy", "internal/arena", "internal/live", "internal/sim"}
 
 // escapesAllowFile is the checked-in allowlist, relative to the module
 // root.

@@ -17,14 +17,15 @@
 //
 // With -regress <committed.json> the tool instead compares the fresh
 // run on stdin against the committed record and reports steady-state
-// allocation regressions: any benchmark whose committed allocs/op was 0
-// (the zero-alloc hot paths) that now allocates. It exits 1 on
-// regression so callers can decide whether that gates (check.sh wraps
-// it as a warning). Environment-bound derived metrics
-// (fig10_par4_speedup, live_loopback_rpcs) are printed as named
-// informational notes and never affect the exit status — see
-// EXPERIMENTS.md for why the speedup cannot exceed 1.0 on a one-core
-// box.
+// regressions: any benchmark whose committed allocs/op was 0 (the
+// zero-alloc hot paths) that now allocates, and any timeGated benchmark
+// (the bare EngineEvents loop) whose ns/op grew past its allowed
+// factor. It exits 1 on regression so callers can decide whether that
+// gates (check.sh wraps it as a warning). Environment-bound derived
+// metrics (fig10_par4_speedup, live_loopback_rpcs, bigtopo_quick_ms)
+// are printed as named informational notes and never affect the exit
+// status — see EXPERIMENTS.md for why the speedup cannot exceed 1.0 on
+// a one-core box.
 package main
 
 import (
@@ -121,6 +122,11 @@ func run(in *bufio.Scanner) record {
 	if rpcs := metric("LiveLoopback", "rpc/s"); rpcs > 0 {
 		derive("live_loopback_rpcs", rpcs)
 	}
+	// Wall time to simulate one 1024-core grid for 200 us at load 0.5 —
+	// the big-topology engine's headline, in milliseconds.
+	if ns := metric("BigTopoQuick", "ns/op"); ns > 0 {
+		derive("bigtopo_quick_ms", ns/1e6)
+	}
 	return rec
 }
 
@@ -170,13 +176,56 @@ func allocRegressions(committed, fresh record) []string {
 	return out
 }
 
+// timeGated names the benchmarks whose ns/op gates -regress, with the
+// allowed growth factor over the committed record. Only the bare event
+// loop is on the list: it is a few dozen nanoseconds of pure CPU with no
+// I/O or goroutine scheduling, so run-to-run noise is small and a 1.5x
+// slowdown means the scheduler's push/pop fast path genuinely regressed
+// (the timer wheel dropped the committed record ~4x below the old
+// binary-heap seed; the gate keeps that win). Wall-clock-heavy
+// benchmarks stay off the list — their ns/op is host-bound.
+var timeGated = map[string]float64{"EngineEvents": 1.5}
+
+// timeGateMinIters is the fewest iterations a fresh run must have for
+// its ns/op to count as a steady-state sample. check.sh's quick alloc
+// guard runs the suite at -benchtime 10000x, where a 25 ns loop is
+// dominated by one-time warm-up (first ring-lap drain, cold caches) and
+// reads several times its true cost; only bench.sh's seconds-long runs
+// measure what the gate is for.
+const timeGateMinIters = 1_000_000
+
+// timeRegressions compares gated benchmarks' ns/op against the committed
+// record and returns one line per regression past the allowed factor.
+// As with allocs, benchmarks absent from either side are skipped, as are
+// fresh runs too short to be steady-state.
+func timeRegressions(committed, fresh record) []string {
+	baseline := make(map[string]float64, len(timeGated))
+	for _, b := range committed.Benchmarks {
+		if _, gated := timeGated[b.Name]; gated {
+			baseline[b.Name] = b.Metrics["ns/op"]
+		}
+	}
+	var out []string
+	for _, b := range fresh.Benchmarks {
+		base, ok := baseline[b.Name]
+		got := b.Metrics["ns/op"]
+		if !ok || base <= 0 || b.Iterations < timeGateMinIters || got <= timeGated[b.Name]*base {
+			continue
+		}
+		out = append(out, fmt.Sprintf(
+			"%s: committed %g ns/op, now %g (> %gx) — the event-loop fast path slowed down",
+			b.Name, base, got, timeGated[b.Name]))
+	}
+	return out
+}
+
 // nonGatingDerived names the derived metrics -regress reports but never
-// gates on. Both are bound to the machine the run happened on —
+// gates on. All are bound to the machine the run happened on —
 // fig10_par4_speedup needs >= 2 real cores to exceed 1.0 (the fleet
 // workers otherwise time-slice one CPU; see EXPERIMENTS.md), and
-// absolute loopback throughput shifts with the host — so drift is worth
-// a line in the log, not a failed build.
-var nonGatingDerived = []string{"fig10_par4_speedup", "live_loopback_rpcs"}
+// absolute loopback throughput and grid-simulation wall time shift with
+// the host — so drift is worth a line in the log, not a failed build.
+var nonGatingDerived = []string{"fig10_par4_speedup", "live_loopback_rpcs", "bigtopo_quick_ms"}
 
 // derivedNotes renders one informational line per non-gating derived
 // metric present in the fresh record, against the committed baseline
@@ -225,10 +274,14 @@ func main() {
 		for _, r := range regs {
 			fmt.Println("alloc regression:", r)
 		}
-		if len(regs) > 0 {
+		tregs := timeRegressions(committed, rec)
+		for _, r := range tregs {
+			fmt.Println("time regression:", r)
+		}
+		if len(regs)+len(tregs) > 0 {
 			os.Exit(1)
 		}
-		fmt.Printf("no alloc regressions against %s (%d benchmarks compared)\n",
+		fmt.Printf("no alloc or time regressions against %s (%d benchmarks compared)\n",
 			*regress, len(rec.Benchmarks))
 		return
 	}

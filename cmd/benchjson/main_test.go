@@ -15,6 +15,7 @@ BenchmarkFig10Serial-8    	       2	 700000000 ns/op
 BenchmarkFig10Par4-8      	       4	 350000000 ns/op
 BenchmarkSimulatorThroughput-8	      12	  95000000 ns/op	   526315 simreq/s
 BenchmarkLiveLoopback-8   	      64	  16200000 ns/op	       810.0 ns/rpc	   1234567 rpc/s	  950000 B/op	    2100 allocs/op
+BenchmarkBigTopoQuick-8   	       1	3500000000 ns/op	 23000000 B/op	   28000 allocs/op
 PASS
 ok  	repro	12.345s
 `
@@ -24,8 +25,8 @@ func TestRunParsesBenchOutput(t *testing.T) {
 	if rec.Goos != "linux" || rec.Goarch != "amd64" || rec.Package != "repro" {
 		t.Errorf("metadata not captured: %+v", rec)
 	}
-	if len(rec.Benchmarks) != 5 {
-		t.Fatalf("want 5 benchmarks, got %d: %+v", len(rec.Benchmarks), rec.Benchmarks)
+	if len(rec.Benchmarks) != 6 {
+		t.Fatalf("want 6 benchmarks, got %d: %+v", len(rec.Benchmarks), rec.Benchmarks)
 	}
 	eng := rec.Benchmarks[0]
 	if eng.Name != "EngineEvents" || eng.Procs != 8 || eng.Iterations != 8621462 {
@@ -42,6 +43,43 @@ func TestRunParsesBenchOutput(t *testing.T) {
 	}
 	if got := rec.Derived["live_loopback_rpcs"]; got != 1234567 {
 		t.Errorf("live_loopback_rpcs: want 1234567, got %v", got)
+	}
+	if got := rec.Derived["bigtopo_quick_ms"]; got != 3500 {
+		t.Errorf("bigtopo_quick_ms: want 3500, got %v", got)
+	}
+}
+
+// TestTimeRegressions pins the ns/op gate: only timeGated benchmarks
+// are compared, and only growth past the allowed factor trips it.
+func TestTimeRegressions(t *testing.T) {
+	committed := record{Benchmarks: []benchmark{
+		{Name: "EngineEvents", Metrics: map[string]float64{"ns/op": 40}},
+		{Name: "Fig10Serial", Metrics: map[string]float64{"ns/op": 7e8}},
+	}}
+	clean := record{Benchmarks: []benchmark{
+		{Name: "EngineEvents", Iterations: 5e7, Metrics: map[string]float64{"ns/op": 55}}, // < 1.5x: noise band
+		{Name: "Fig10Serial", Iterations: 5e7, Metrics: map[string]float64{"ns/op": 3e9}}, // not gated
+	}}
+	if regs := timeRegressions(committed, clean); len(regs) != 0 {
+		t.Fatalf("clean run flagged: %v", regs)
+	}
+	slow := record{Benchmarks: []benchmark{
+		{Name: "EngineEvents", Iterations: 5e7, Metrics: map[string]float64{"ns/op": 70}}, // > 1.5x: regression
+	}}
+	regs := timeRegressions(committed, slow)
+	if len(regs) != 1 || !strings.Contains(regs[0], "EngineEvents") {
+		t.Fatalf("want the EngineEvents time regression, got %v", regs)
+	}
+	// A gated benchmark with no committed baseline is skipped.
+	if regs := timeRegressions(record{}, slow); len(regs) != 0 {
+		t.Fatalf("baseline-free benchmark gated: %v", regs)
+	}
+	// A short -benchtime Nx smoke is warm-up, not steady state: skipped.
+	short := record{Benchmarks: []benchmark{
+		{Name: "EngineEvents", Iterations: 10000, Metrics: map[string]float64{"ns/op": 200}},
+	}}
+	if regs := timeRegressions(committed, short); len(regs) != 0 {
+		t.Fatalf("short run gated: %v", regs)
 	}
 }
 

@@ -24,7 +24,13 @@ type group struct {
 	claimed []int // in-flight dispatches per worker
 	local   []exec.Deque
 	netrx   exec.Deque
-	view    []int // synchronized queue-length vector q (via UPDATE)
+	// view is the synchronized queue-length vector q (via UPDATE). It
+	// aliases rank's live vector: every write goes through rank.Set so
+	// the descending-rank permutation repairs incrementally — a tick
+	// over G groups pays for the entries that changed since the last
+	// tick, not for re-sorting all G (O(active), not O(cores)).
+	view []int
+	rank *policy.RankTracker
 
 	mr   *hwmsg.MRFile
 	send *hwmsg.FIFO
@@ -46,9 +52,11 @@ type group struct {
 // destination group's synchronized view of the sender refreshes. It is a
 // package-level arg-event trampoline (arg = destination group,
 // n = sender id in the high 32 bits, observed queue length in the low
-// 32), so the per-tick broadcast allocates nothing.
+// 32), so the per-tick broadcast allocates nothing. The write goes
+// through the rank tracker: an unchanged length is dropped, a changed
+// one joins the dirty set the next decide() repairs.
 func updateLand(arg any, n int64) {
-	arg.(*group).view[n>>32] = int(int32(n))
+	arg.(*group).rank.Set(int(n>>32), int(int32(n)))
 }
 
 // Scheduler is the ALTOCUMULUS runtime: Algorithm 1 running on every
@@ -71,10 +79,10 @@ type Scheduler struct {
 	ticking bool
 	stopped bool
 
-	// Tick-time scratch (pre-sized to Groups so it never grows): rank
-	// permutation and destination set for the §VI pattern classification.
-	orderScratch []int
-	destScratch  []int
+	// Tick-time scratch (pre-sized to Groups so it never grows): the
+	// destination set for the §VI pattern classification. The rank
+	// permutation lives in each group's RankTracker.
+	destScratch []int
 }
 
 // New builds an ALTOCUMULUS scheduler. steer distributes arrivals across
@@ -99,8 +107,7 @@ func New(eng *sim.Engine, p Params, cost fabric.CostModel, steer *nic.Steerer, d
 		done:  done,
 		obs:   sched.NopObserver{},
 
-		orderScratch: make([]int, 0, p.Groups),
-		destScratch:  make([]int, 0, p.Groups),
+		destScratch: make([]int, 0, p.Groups),
 	}
 	tilesPerGroup := p.WorkersPerGroup + 1
 	for gid := 0; gid < p.Groups; gid++ {
@@ -110,11 +117,12 @@ func New(eng *sim.Engine, p Params, cost fabric.CostModel, steer *nic.Steerer, d
 			workers: make([]*exec.Core, p.WorkersPerGroup),
 			claimed: make([]int, p.WorkersPerGroup),
 			local:   make([]exec.Deque, p.WorkersPerGroup),
-			view:    make([]int, p.Groups),
+			rank:    policy.NewRankTracker(p.Groups),
 			mr:      hwmsg.NewMRFile(p.MRCapacity),
 			send:    hwmsg.NewFIFO(p.FIFOCapacity),
 			recv:    hwmsg.NewFIFO(p.FIFOCapacity),
 		}
+		g.view = g.rank.View()
 		g.pr.Configure(p.Period, p.Bulk, p.Concurrency)
 		g.tickFn = func() { s.tick(g) }
 		g.landFns = make([]func(any, int64), p.WorkersPerGroup)
@@ -344,15 +352,17 @@ func (s *Scheduler) tick(g *group) {
 	// faster than its own execution; when the configured period is
 	// shorter than the runtime cost (e.g. MSR ops at a 100 ns period) the
 	// effective period stretches, capping the runtime's manager-core duty
-	// cycle at 50% so request dispatch is never starved.
+	// cycle at 50% so request dispatch is never starved. Rearm rides the
+	// engine's periodic fast path: the tick keeps its slab slot and
+	// bucket bookkeeping instead of a delete+insert each period.
 	next := sim.Time(policy.EffectivePeriod(policy.Duration(g.pr.Period), policy.Duration(runtimeCost)))
-	s.eng.After(next, g.tickFn)
+	s.eng.Rearm(next)
 
 	// Refresh own view entry and broadcast UPDATE to the other managers.
 	// Each UPDATE rides an arg-event (destination group + packed
 	// sender/qlen) so the broadcast allocates nothing.
 	qlen := g.netrx.Len()
-	g.view[g.id] = qlen
+	g.rank.Set(g.id, qlen)
 	for _, h := range s.groups {
 		if h.id == g.id {
 			continue
@@ -390,15 +400,16 @@ func (s *Scheduler) tick(g *group) {
 	}
 }
 
-// decide implements predict() by delegating to policy.Decide: the
+// decide implements predict() by delegating to policy.DecideRanked: the
 // migration destination queue ids per the threshold condition and the
 // Hill/Valley/Pairing pattern classification of §VI. core's only job is
-// feeding the synchronized view and folding the outcome into Stats.
+// feeding the synchronized view — with the rank permutation repaired
+// incrementally from the tick's dirty set — and folding the outcome
+// into Stats.
 func (s *Scheduler) decide(g *group, t, qlen int) []int {
-	view := g.view
-	view[g.id] = qlen
-	trigger, pattern, dests := policy.Decide(view, g.id, t, g.pr.Bulk, g.pr.Concurrency,
-		!s.P.DisablePatterns, s.orderScratch, s.destScratch)
+	g.rank.Set(g.id, qlen)
+	trigger, pattern, dests := policy.DecideRanked(g.view, g.rank.Order(), g.id, t, g.pr.Bulk, g.pr.Concurrency,
+		!s.P.DisablePatterns, s.destScratch)
 	switch trigger {
 	case policy.TriggerPattern:
 		switch pattern {

@@ -50,6 +50,19 @@ func Classify(view []int, self, bulk, conc int) (Pattern, []int) {
 //
 //altolint:hotpath
 func ClassifyInto(view []int, self, bulk, conc int, order, dests []int) (Pattern, []int) {
+	if len(view) < 2 {
+		return PatternNone, nil
+	}
+	return ClassifyRanked(view, rankDescendingInto(view, order), self, bulk, conc, dests)
+}
+
+// ClassifyRanked is ClassifyInto for callers that maintain the rank
+// permutation incrementally (RankTracker): order must hold the indices
+// of view sorted by length descending, ties to the lower index — the
+// exact rankDescendingInto order. order is read, never written.
+//
+//altolint:hotpath
+func ClassifyRanked(view, order []int, self, bulk, conc int, dests []int) (Pattern, []int) {
 	n := len(view)
 	if n < 2 || self < 0 || self >= n {
 		return PatternNone, nil
@@ -60,7 +73,6 @@ func ClassifyInto(view []int, self, bulk, conc int, order, dests []int) (Pattern
 	if conc < 1 {
 		conc = 1
 	}
-	order = rankDescendingInto(view, order)
 	longest, second := order[0], order[1]
 	shortest, secondShortest := order[n-1], order[n-2]
 
@@ -136,7 +148,14 @@ func ShortestOthers(view []int, self, k int) []int {
 //
 //altolint:hotpath
 func ShortestOthersInto(view []int, self, k int, order, out []int) []int {
-	order = rankDescendingInto(view, order)
+	return ShortestOthersRanked(rankDescendingInto(view, order), self, k, out)
+}
+
+// ShortestOthersRanked is ShortestOthersInto over a precomputed rank
+// permutation (same contract as ClassifyRanked).
+//
+//altolint:hotpath
+func ShortestOthersRanked(order []int, self, k int, out []int) []int {
 	out = out[:0]
 	for i := len(order) - 1; i >= 0 && len(out) < k; i-- {
 		if d := order[i]; d != self {

@@ -40,11 +40,21 @@ func (t Trigger) String() string {
 //
 //altolint:hotpath
 func Decide(view []int, self, threshold, bulk, conc int, patterns bool, order, dests []int) (Trigger, Pattern, []int) {
+	return DecideRanked(view, rankDescendingInto(view, order), self, threshold, bulk, conc, patterns, dests)
+}
+
+// DecideRanked is Decide over a precomputed rank permutation (the
+// RankTracker's incrementally repaired order; same contract as
+// ClassifyRanked). The wide-topology manager tick uses this so a tick
+// pays for the queues that changed, not for re-ranking every queue.
+//
+//altolint:hotpath
+func DecideRanked(view, order []int, self, threshold, bulk, conc int, patterns bool, dests []int) (Trigger, Pattern, []int) {
 	if conc > len(view)-1 {
 		conc = len(view) - 1
 	}
 	if patterns {
-		pattern, d := ClassifyInto(view, self, bulk, conc, order, dests)
+		pattern, d := ClassifyRanked(view, order, self, bulk, conc, dests)
 		if len(d) > 0 {
 			return TriggerPattern, pattern, d
 		}
@@ -52,7 +62,7 @@ func Decide(view []int, self, threshold, bulk, conc int, patterns bool, order, d
 	// Threshold condition: local queue beyond T sheds to the shortest
 	// queues.
 	if view[self] > threshold {
-		return TriggerThreshold, PatternNone, ShortestOthersInto(view, self, conc, order, dests)
+		return TriggerThreshold, PatternNone, ShortestOthersRanked(order, self, conc, dests)
 	}
 	return TriggerNone, PatternNone, nil
 }

@@ -1,0 +1,129 @@
+package policy
+
+// RankTracker maintains the descending-queue-length rank permutation
+// incrementally, so a manager tick over a wide topology pays for the
+// queues whose depth changed since the last tick, not for every queue.
+//
+// The comparator — length descending, ties broken by lower index — is a
+// strict total order, so the sorted permutation is unique; the tracker
+// repairs it by bubbling each changed element to its place. Set is O(1)
+// (it records the change in a dirty set); Order repairs and returns the
+// permutation in O(dirty + total displacement). With d changed queues
+// in a window of n, a tick costs O(d) instead of the O(n²) worst case
+// of re-sorting from scratch — the "4096-core group with 40 busy cores
+// pays for 40, not 4096" contract.
+//
+// Correctness of the bubble repair: all comparisons read final values
+// (Set updates the vector immediately), and Order repeats repair
+// passes over the dirty set until one makes no move. A single pass is
+// not enough — a dirty element's bubble can stop at a neighbor that is
+// itself dirty and out of place, never crossing it to reach its true
+// rank — but at the fixpoint every dirty element is adjacent-consistent,
+// settled elements keep their (sorted) relative order, so the whole
+// array is adjacent-consistent and, the comparator being total, equals
+// the unique sorted permutation. Every swap removes one adjacent
+// inversion under the final comparator, so the loop terminates after
+// at most the total displacement in swaps. TestRankTrackerMatchesSort
+// drives this against the reference insertion sort.
+type RankTracker struct {
+	view  []int
+	order []int // current permutation: order[r] = queue with rank r
+	pos   []int // inverse: pos[q] = rank of queue q
+	dirty []int // queues whose value changed since the last Order
+	mark  []bool
+}
+
+// NewRankTracker returns a tracker over n queues, all at depth zero.
+// The initial permutation is the identity — the correct descending
+// order for an all-zero vector under the lower-index tie-break.
+func NewRankTracker(n int) *RankTracker {
+	t := &RankTracker{
+		view:  make([]int, n),
+		order: make([]int, n),
+		pos:   make([]int, n),
+		dirty: make([]int, 0, n),
+		mark:  make([]bool, n),
+	}
+	for i := range t.order {
+		t.order[i] = i
+		t.pos[i] = i
+	}
+	return t
+}
+
+// View returns the live queue-length vector. Callers may read it freely
+// (e.g. to pass to DecideRanked) but must write through Set.
+func (t *RankTracker) View() []int { return t.view }
+
+// Len returns the number of tracked queues.
+func (t *RankTracker) Len() int { return len(t.view) }
+
+// Set records queue q's depth. Equal writes are dropped; changed queues
+// join the dirty set for the next Order call.
+//
+//altolint:hotpath
+func (t *RankTracker) Set(q, v int) {
+	if t.view[q] == v {
+		return
+	}
+	t.view[q] = v
+	if !t.mark[q] {
+		t.mark[q] = true
+		t.dirty = append(t.dirty, q) //altolint:allow hotalloc scratch reuse: dirty is preallocated to n, never grows
+	}
+}
+
+// Order repairs the permutation for all dirty queues and returns it.
+// The returned slice is owned by the tracker and valid until the next
+// Set; callers must not modify it.
+//
+//altolint:hotpath
+func (t *RankTracker) Order() []int {
+	for moved := len(t.dirty) > 0; moved; {
+		moved = false
+		for _, q := range t.dirty {
+			if t.reposition(q) {
+				moved = true
+			}
+		}
+	}
+	for _, q := range t.dirty {
+		t.mark[q] = false
+	}
+	t.dirty = t.dirty[:0]
+	return t.order
+}
+
+// ranksBefore reports whether queue a sorts before queue b: longer
+// first, ties to the lower index — the same comparator as
+// rankDescendingInto.
+func (t *RankTracker) ranksBefore(a, b int) bool {
+	if t.view[a] != t.view[b] {
+		return t.view[a] > t.view[b]
+	}
+	return a < b
+}
+
+// reposition bubbles queue q from its current rank to an
+// adjacent-consistent rank, updating the inverse permutation as it
+// goes, and reports whether it moved.
+//
+//altolint:hotpath
+func (t *RankTracker) reposition(q int) bool {
+	start := t.pos[q]
+	p := start
+	for p > 0 && t.ranksBefore(q, t.order[p-1]) {
+		o := t.order[p-1]
+		t.order[p-1], t.order[p] = q, o
+		t.pos[o] = p
+		p--
+	}
+	for p+1 < len(t.order) && t.ranksBefore(t.order[p+1], q) {
+		o := t.order[p+1]
+		t.order[p+1], t.order[p] = q, o
+		t.pos[o] = p
+		p++
+	}
+	t.pos[q] = p
+	return p != start
+}

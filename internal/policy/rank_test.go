@@ -1,0 +1,78 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRankTrackerMatchesSort is the reference-sort property test the
+// RankTracker doc promises: after arbitrary Set sequences — sparse
+// updates, bursts, equal rewrites, resets to zero — Order must equal
+// rankDescendingInto over the same vector, for every prefix of the
+// update stream (Order interleaves with Set, so partially-repaired
+// state carries across calls).
+func TestRankTrackerMatchesSort(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(64)
+		tr := NewRankTracker(n)
+		var scratch []int
+		for step := 0; step < 300; step++ {
+			// A burst touches between zero and n queues before the next
+			// Order call, covering the d << n sparse case and the full
+			// re-sort case alike.
+			for burst := rng.Intn(n + 1); burst > 0; burst-- {
+				q := rng.Intn(n)
+				var v int
+				switch rng.Intn(4) {
+				case 0:
+					v = 0 // idle
+				case 1:
+					v = tr.View()[q] // equal rewrite: must be dropped
+				default:
+					v = rng.Intn(50)
+				}
+				tr.Set(q, v)
+			}
+			got := tr.Order()
+			scratch = rankDescendingInto(tr.View(), scratch)
+			if len(got) != n || len(scratch) != n {
+				t.Fatalf("seed %d step %d: order len %d, reference len %d, want %d", seed, step, len(got), len(scratch), n)
+			}
+			for r := range got {
+				if got[r] != scratch[r] {
+					t.Fatalf("seed %d step %d: rank %d is queue %d, reference %d (view %v)",
+						seed, step, r, got[r], scratch[r], tr.View())
+				}
+			}
+			// The inverse permutation must stay consistent.
+			for r, q := range got {
+				if tr.pos[q] != r {
+					t.Fatalf("seed %d step %d: pos[%d] = %d, order says %d", seed, step, q, tr.pos[q], r)
+				}
+			}
+		}
+	}
+}
+
+// TestRankTrackerZeroAlloc gates the manager-tick contract: Set and
+// Order on a warmed tracker allocate nothing.
+func TestRankTrackerZeroAlloc(t *testing.T) {
+	tr := NewRankTracker(256)
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]int, 64)
+	for i := range vals {
+		vals[i] = rng.Intn(100)
+	}
+	k := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 16; i++ {
+			k++
+			tr.Set((k*37)%256, vals[k%len(vals)])
+		}
+		tr.Order()
+	})
+	if allocs != 0 {
+		t.Fatalf("RankTracker Set/Order allocates %.1f per tick, want 0", allocs)
+	}
+}

@@ -61,17 +61,17 @@ type JBSQ struct {
 	probe      Probe
 	rr         int      // round-robin scan pointer over cores
 	engineFree sim.Time // central engine busy-until
-	draining   bool
+	resume     *sim.Timer
 
 	// Callbacks bound once at construction so the per-request path never
 	// allocates a closure: landFns[i] is the NIC-push arg-event trampoline
 	// landing a request in core i's local queue, doneFns/preemptFns are
-	// core i's completion callbacks, resumeFn re-runs drain when the
-	// central engine frees.
+	// core i's completion callbacks, resume re-runs drain when the
+	// central engine frees (a Timer: the re-arm-heavy retry reuses one
+	// slab slot for the scheduler's whole lifetime).
 	landFns    []func(any, int64)
 	doneFns    []func(*rpcproto.Request)
 	preemptFns []func(*rpcproto.Request)
-	resumeFn   func()
 }
 
 // NewJBSQ builds a JBSQ(bound) hardware scheduler over n cores. quantum
@@ -122,10 +122,7 @@ func NewJBSQ(eng *sim.Engine, n int, variant JBSQVariant, bound int, xfer, engin
 			s.tryStart(i)
 		}
 	}
-	s.resumeFn = func() {
-		s.draining = false
-		s.drain()
-	}
+	s.resume = eng.NewTimer(func() { s.drain() })
 	return s
 }
 
@@ -165,9 +162,8 @@ func (s *JBSQ) drain() {
 		// previous decision, retry when it frees.
 		now := s.eng.Now()
 		if s.engineFree > now {
-			if !s.draining {
-				s.draining = true
-				s.eng.At(s.engineFree, s.resumeFn)
+			if !s.resume.Armed() {
+				s.resume.Arm(s.engineFree)
 			}
 			return
 		}

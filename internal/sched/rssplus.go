@@ -123,8 +123,10 @@ func (s *RSSPlus) rebalance() {
 	if s.stopped {
 		return
 	}
+	// Rearm rides the engine's periodic fast path: the rebalance tick
+	// keeps its slab slot instead of a delete+insert each interval.
 	defer func() {
-		s.eng.After(s.Interval, s.rebalanceFn)
+		s.eng.Rearm(s.Interval)
 	}()
 	s.Rebalances++
 	defer func() {

@@ -221,7 +221,7 @@ func RunRackWith(sc *Scratch, rc RackConfig, cfg Config, wl Workload) (*RackResu
 		cfg.Cost = fabric.Default()
 	}
 
-	eng := sim.NewEngine()
+	eng := newEngine(cfg)
 	root := sim.NewRNG(cfg.Seed)
 	arrRNG := root.Fork(1)
 	svcRNG := root.Fork(2)

@@ -101,6 +101,13 @@ type Config struct {
 	// so allocation-sensitive regressions can be bisected against the
 	// plain-heap path (altobench -noarena).
 	NoArena bool
+
+	// HeapSched runs this simulation on the slab binary-heap event
+	// scheduler instead of the default timer wheel. Results are
+	// byte-identical either way (both backends fire in (at, seq) order);
+	// the reference backend exists so scheduler bugs can be bisected
+	// differentially (altobench -heapsched), mirroring NoArena.
+	HeapSched bool
 }
 
 // arenaEnabled is the process-wide default, written once at startup
@@ -114,6 +121,28 @@ func SetArenaEnabled(on bool) { arenaEnabled = on }
 
 // ArenaEnabled reports the process-wide default.
 func ArenaEnabled() bool { return arenaEnabled }
+
+// heapSched is the process-wide event-scheduler default, written once
+// at startup (the altobench -heapsched flag) before any run begins —
+// the same contract as SetArenaEnabled.
+var heapSched = false
+
+// SetHeapSched flips the process-wide scheduler default to the slab
+// binary heap. Call it only before runs start (flag parsing); per-run
+// opt-in is Config.HeapSched.
+func SetHeapSched(on bool) { heapSched = on }
+
+// HeapSchedEnabled reports the process-wide default.
+func HeapSchedEnabled() bool { return heapSched }
+
+// newEngine builds the run's event engine per the config and the
+// process-wide default.
+func newEngine(cfg Config) *sim.Engine {
+	if cfg.HeapSched || heapSched {
+		return sim.NewEngineHeap()
+	}
+	return sim.NewEngine()
+}
 
 // Scratch holds per-worker reusable state for a sequence of runs: the
 // request arena (slabs stay warm across runs) and the handle table.
@@ -273,7 +302,7 @@ func RunWith(sc *Scratch, cfg Config, wl Workload) (*Result, error) {
 		cfg.Cost = fabric.Default()
 	}
 
-	eng := sim.NewEngine()
+	eng := newEngine(cfg)
 	root := sim.NewRNG(cfg.Seed)
 	arrRNG := root.Fork(1)
 	svcRNG := root.Fork(2)

@@ -25,6 +25,7 @@ type event struct {
 	argN   int64
 	gen    uint32
 	dead   bool
+	timer  bool // slot owned by a Timer: never returned to the free list
 }
 
 // EventID identifies a scheduled event so it can be cancelled. The zero
@@ -36,7 +37,7 @@ type EventID struct {
 }
 
 // Cancel marks the event dead; it will be dropped when popped or when
-// the heap compacts. Cancelling an already-fired or already-cancelled
+// the scheduler compacts. Cancelling an already-fired or already-cancelled
 // event is a no-op: the slot's generation advances when it is recycled,
 // so a stale id no longer matches.
 func (id EventID) Cancel() {
@@ -53,12 +54,7 @@ func (id EventID) Cancel() {
 	ev.actArg = nil
 	ev.arg = nil
 	e.pending--
-	// Compact once dead entries dominate, so cancellation-heavy
-	// schedulers (JBSQ re-arms, manager period timers) cannot grow the
-	// heap without bound.
-	if n := len(e.heap); n > 1 && n-e.pending > n/2 {
-		e.compact()
-	}
+	e.maybeCompact()
 }
 
 // Valid reports whether the id refers to a scheduled event.
@@ -68,23 +64,52 @@ func (id EventID) Valid() bool { return id.eng != nil }
 // an entire simulation runs on one goroutine (the simulated hardware is
 // parallel, the simulator is not — same as ZSim's bound-phase model
 // collapsed to a strict event order).
+//
+// Two scheduler backends share the slab: the default timer wheel
+// (wheel.go) and the original slab binary heap, kept as a differential
+// reference behind NewEngineHeap. Both fire events in identical
+// (at, seq) order; the fuzz oracle drives them against each other.
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  []event // slot slab; EventID.idx and heap entries index it
+	events  []event // slot slab; EventID.idx and queue entries index it
 	free    []int32 // recycled slab slots
-	heap    []int32 // binary min-heap of slab indices keyed on (at, seq)
-	pending int     // live (scheduled, not cancelled) events
-	nEvent  uint64  // total events executed, for reporting
+	heap    []int32 // binary min-heap of slab indices; nil under the wheel
+	wheel   *timerWheel
+	pending int    // live (scheduled, not cancelled) events
+	nEvent  uint64 // total events executed, for reporting
 	stop    bool
+	firing  int32 // slab index of the callback currently executing, -1 otherwise
+	rearmed bool  // the executing callback called Rearm
 }
 
-// NewEngine returns an engine with the clock at zero.
+// NewEngine returns an engine with the clock at zero, scheduling on the
+// timer-wheel backend.
 func NewEngine() *Engine {
+	return newEngineWheel(wheelGBits, wheelSlotBits)
+}
+
+// newEngineWheel builds a wheel-backed engine with explicit geometry.
+// Tests use tiny wheels to force bucket-boundary, wrap and overflow
+// paths with small timestamps.
+func newEngineWheel(gBits, slotBits uint) *Engine {
+	return &Engine{
+		events: make([]event, 0, 1024),
+		free:   make([]int32, 0, 1024),
+		wheel:  newWheel(gBits, slotBits),
+		firing: -1,
+	}
+}
+
+// NewEngineHeap returns an engine scheduling on the slab binary heap —
+// the pre-wheel scheduler, kept as the differential reference
+// (server.Config.HeapSched / altobench -heapsched select it end to end).
+func NewEngineHeap() *Engine {
 	return &Engine{
 		events: make([]event, 0, 1024),
 		free:   make([]int32, 0, 1024),
 		heap:   make([]int32, 0, 1024),
+		firing: -1,
 	}
 }
 
@@ -94,16 +119,75 @@ func (e *Engine) Now() Time { return e.now }
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.nEvent }
 
+// qpush / qpop / qpeekAt / qlen / qcompact dispatch to the active
+// backend. qlen counts queued entries dead included, so the compaction
+// trigger sees the same population either way.
+
+//altolint:hotpath
+func (e *Engine) qpush(i int32) {
+	if e.wheel != nil {
+		e.wpush(i)
+	} else {
+		e.push(i)
+	}
+}
+
+//altolint:hotpath
+func (e *Engine) qpop() int32 {
+	if e.wheel != nil {
+		return e.wpop()
+	}
+	i := e.heap[0]
+	e.popTop()
+	return i
+}
+
+//altolint:hotpath
+func (e *Engine) qpeekAt() (Time, bool) {
+	if e.wheel != nil {
+		return e.wpeekAt()
+	}
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.events[e.heap[0]].at, true
+}
+
+func (e *Engine) qlen() int {
+	if e.wheel != nil {
+		return e.wlen()
+	}
+	return len(e.heap)
+}
+
+// maybeCompact compacts once dead entries dominate, so
+// cancellation-heavy schedulers (JBSQ re-arms, manager period timers)
+// cannot grow the queue without bound.
+func (e *Engine) maybeCompact() {
+	if n := e.qlen(); n > 1 && n-e.pending > n/2 {
+		if e.wheel != nil {
+			e.wcompact()
+		} else {
+			e.compact()
+		}
+	}
+}
+
+// takeSlot pops a slot from the free list (or grows the slab) without
+// filling it.
+func (e *Engine) takeSlot() int32 {
+	if n := len(e.free); n > 0 {
+		i := e.free[n-1]
+		e.free = e.free[:n-1]
+		return i
+	}
+	e.events = append(e.events, event{})
+	return int32(len(e.events) - 1)
+}
+
 // alloc takes a slot from the free list (or grows the slab) and fills it.
 func (e *Engine) alloc(t Time, f func()) int32 {
-	var i int32
-	if n := len(e.free); n > 0 {
-		i = e.free[n-1]
-		e.free = e.free[:n-1]
-	} else {
-		e.events = append(e.events, event{})
-		i = int32(len(e.events) - 1)
-	}
+	i := e.takeSlot()
 	ev := &e.events[i]
 	ev.at = t
 	ev.seq = e.seq
@@ -115,14 +199,7 @@ func (e *Engine) alloc(t Time, f func()) int32 {
 
 // allocArg is alloc for argument-carrying events.
 func (e *Engine) allocArg(t Time, f func(any, int64), arg any, n int64) int32 {
-	var i int32
-	if fl := len(e.free); fl > 0 {
-		i = e.free[fl-1]
-		e.free = e.free[:fl-1]
-	} else {
-		e.events = append(e.events, event{})
-		i = int32(len(e.events) - 1)
-	}
+	i := e.takeSlot()
 	ev := &e.events[i]
 	ev.at = t
 	ev.seq = e.seq
@@ -147,6 +224,20 @@ func (e *Engine) release(i int32) {
 	e.free = append(e.free, i)
 }
 
+// dropDead disposes of a dead entry removed from the queue. Ordinary
+// slots recycle through the free list; Timer-owned slots stay put (the
+// generation bump alone invalidates them) so a re-Arm reuses the slot
+// without touching the free list.
+func (e *Engine) dropDead(i int32) {
+	ev := &e.events[i]
+	if ev.timer {
+		ev.gen++
+		ev.dead = false
+		return
+	}
+	e.release(i)
+}
+
 // At schedules f to run at absolute time t. Scheduling in the past is
 // clamped to "now" (fires next, after already-queued events at now).
 func (e *Engine) At(t Time, f func()) EventID {
@@ -155,7 +246,7 @@ func (e *Engine) At(t Time, f func()) EventID {
 	}
 	i := e.alloc(t, f)
 	gen := e.events[i].gen
-	e.push(i)
+	e.qpush(i)
 	e.pending++
 	return EventID{eng: e, gen: gen, idx: i}
 }
@@ -180,7 +271,7 @@ func (e *Engine) AtArg(t Time, f func(arg any, n int64), arg any, n int64) Event
 	}
 	i := e.allocArg(t, f, arg, n)
 	gen := e.events[i].gen
-	e.push(i)
+	e.qpush(i)
 	e.pending++
 	return EventID{eng: e, gen: gen, idx: i}
 }
@@ -193,8 +284,71 @@ func (e *Engine) AfterArg(d Time, f func(arg any, n int64), arg any, n int64) Ev
 	return e.AtArg(e.now+d, f, arg, n)
 }
 
+// Rearm reschedules the currently executing callback's own event d
+// after now, reusing its slab slot: no free-list round trip, no heap
+// sift on the wheel backend — the O(1) fast path for periodic events
+// (manager Period ticks, rebalance timers). The callback and payload
+// are retained as-is. Ordering is identical to calling After(d, self)
+// at the same program point: the event takes the next sequence number.
+// Panics outside a callback or on a second Rearm in one callback.
+//
+//altolint:hotpath
+func (e *Engine) Rearm(d Time) EventID {
+	i := e.firing
+	if i < 0 {
+		panic("sim: Rearm outside an event callback")
+	}
+	if e.rearmed {
+		panic("sim: Rearm called twice in one callback")
+	}
+	if d < 0 {
+		d = 0
+	}
+	ev := &e.events[i]
+	ev.at = e.now + d
+	ev.seq = e.seq
+	e.seq++
+	e.rearmed = true
+	e.qpush(i)
+	e.pending++
+	return EventID{eng: e, gen: ev.gen, idx: i}
+}
+
 // Stop makes Run return after the current event completes.
 func (e *Engine) Stop() { e.stop = true }
+
+// fire executes the live entry i. The generation bump happens before
+// the callback (stale EventIDs are invalid from the callback's point of
+// view, exactly as with the old release-before-run ordering); the slot
+// returns to the free list after the callback unless it was rearmed or
+// is Timer-owned.
+//
+//altolint:hotpath
+func (e *Engine) fire(i int32) {
+	ev := &e.events[i]
+	ev.gen++
+	act, actArg, arg, argN := ev.act, ev.actArg, ev.arg, ev.argN
+	e.firing = i
+	e.rearmed = false
+	if act != nil {
+		act()
+	} else {
+		actArg(arg, argN)
+	}
+	e.firing = -1
+	if e.rearmed {
+		return
+	}
+	// The callback may have grown the slab; re-take the pointer.
+	ev = &e.events[i]
+	if ev.timer {
+		return
+	}
+	ev.act = nil
+	ev.actArg = nil
+	ev.arg = nil
+	e.free = append(e.free, i) //altolint:allow hotalloc amortized free-list growth into a retained backing array
+}
 
 // Run executes events until the queue is empty or the clock passes until.
 // Events scheduled exactly at until still run. Returns the number of
@@ -202,32 +356,24 @@ func (e *Engine) Stop() { e.stop = true }
 func (e *Engine) Run(until Time) uint64 {
 	e.stop = false
 	var n uint64
-	for len(e.heap) > 0 && !e.stop {
-		i := e.heap[0]
-		ev := &e.events[i]
-		if ev.at > until {
+	for !e.stop {
+		at, ok := e.qpeekAt()
+		if !ok || at > until {
 			break
 		}
-		e.popTop()
+		i := e.qpop()
+		ev := &e.events[i]
 		if ev.dead {
-			e.release(i)
+			e.dropDead(i)
 			continue
 		}
 		e.pending--
 		e.now = ev.at
-		act, actArg, arg, argN := ev.act, ev.actArg, ev.arg, ev.argN
-		// Recycle before running: the callback may schedule new events into
-		// this very slot, and ev is invalid once the slab grows.
-		e.release(i)
-		if act != nil {
-			act()
-		} else {
-			actArg(arg, argN)
-		}
+		e.fire(i)
 		n++
 		e.nEvent++
 	}
-	if e.now < until && len(e.heap) == 0 {
+	if e.now < until && e.qlen() == 0 {
 		e.now = until
 	}
 	return n
@@ -238,23 +384,16 @@ func (e *Engine) Run(until Time) uint64 {
 func (e *Engine) RunAll() uint64 {
 	e.stop = false
 	var n uint64
-	for len(e.heap) > 0 && !e.stop {
-		i := e.heap[0]
+	for !e.stop && e.qlen() > 0 {
+		i := e.qpop()
 		ev := &e.events[i]
-		e.popTop()
 		if ev.dead {
-			e.release(i)
+			e.dropDead(i)
 			continue
 		}
 		e.pending--
 		e.now = ev.at
-		act, actArg, arg, argN := ev.act, ev.actArg, ev.arg, ev.argN
-		e.release(i)
-		if act != nil {
-			act()
-		} else {
-			actArg(arg, argN)
-		}
+		e.fire(i)
 		n++
 		e.nEvent++
 	}
@@ -267,19 +406,100 @@ func (e *Engine) Pending() int { return e.pending }
 
 // Every runs f at now+d, now+2d, ... until f returns false. The
 // callback runs as an ordinary event, so it observes the simulation
-// between event callbacks, never mid-callback. Used for periodic
-// instrumentation such as invariant checkpoints.
+// between event callbacks, never mid-callback. Rescheduling rides the
+// Rearm fast path: the periodic event keeps its slab slot for its whole
+// lifetime. Used for periodic instrumentation such as invariant
+// checkpoints.
 func (e *Engine) Every(d Time, f func() bool) {
 	if d <= 0 {
 		panic("sim: Every with non-positive period")
 	}
-	var tick func()
-	tick = func() {
+	tick := func() {
 		if f() {
-			e.After(d, tick)
+			e.Rearm(d)
 		}
 	}
 	e.After(d, tick)
+}
+
+// Timer is a reusable one-shot timer owning a dedicated slab slot.
+// Arm/Disarm/fire cycles touch neither the free list nor the slot's
+// callback, making re-arm-heavy schedulers (JBSQ's drain retry)
+// allocation-free and O(1) per cycle. A Timer is not armed after
+// NewTimer; it fires at most once per Arm.
+type Timer struct {
+	eng *Engine
+	f   func()
+	idx int32
+	gen uint32
+}
+
+// NewTimer returns a timer that runs f when it fires.
+func (e *Engine) NewTimer(f func()) *Timer {
+	i := e.takeSlot()
+	ev := &e.events[i]
+	ev.timer = true
+	ev.act = f
+	ev.dead = false
+	// gen-1 can never match the slot's current generation, so the
+	// fresh timer reports unarmed.
+	return &Timer{eng: e, f: f, idx: i, gen: ev.gen - 1}
+}
+
+// Armed reports whether the timer is scheduled and not yet fired. It is
+// false inside the timer's own callback (the generation advances before
+// the callback runs), so a firing timer can re-Arm itself.
+func (tm *Timer) Armed() bool {
+	ev := &tm.eng.events[tm.idx]
+	return ev.timer && ev.gen == tm.gen && !ev.dead
+}
+
+// Arm schedules the timer at absolute time t (clamped to now). The
+// common cycle — Arm, fire, Arm again — reuses the owned slot. If a
+// previous Disarm left a dead entry still queued, the slot is detached
+// to drain as ordinary garbage and a fresh slot is taken; the zombie
+// never fires. Panics if the timer is already armed.
+//
+//altolint:hotpath
+func (tm *Timer) Arm(t Time) {
+	e := tm.eng
+	ev := &e.events[tm.idx]
+	if ev.timer && ev.gen == tm.gen && !ev.dead {
+		panic("sim: Arm on an armed Timer")
+	}
+	if ev.dead {
+		// Zombie from a Disarm still queued: hand the slot over to the
+		// normal dead-entry path and take a fresh one.
+		ev.timer = false
+		tm.idx = e.takeSlot()
+		ev = &e.events[tm.idx]
+		ev.timer = true
+	}
+	if t < e.now {
+		t = e.now
+	}
+	ev.at = t
+	ev.seq = e.seq
+	e.seq++
+	ev.act = tm.f
+	ev.dead = false
+	tm.gen = ev.gen
+	e.qpush(tm.idx)
+	e.pending++
+}
+
+// Disarm cancels a pending Arm; a no-op when not armed. The dead entry
+// drains like a cancelled event (pop or compaction) but keeps the slot
+// bound to the timer when it does.
+func (tm *Timer) Disarm() {
+	e := tm.eng
+	ev := &e.events[tm.idx]
+	if !ev.timer || ev.gen != tm.gen || ev.dead {
+		return
+	}
+	ev.dead = true
+	e.pending--
+	e.maybeCompact()
 }
 
 // compact drops dead entries from the heap and restores heap order.
@@ -289,7 +509,7 @@ func (e *Engine) compact() {
 	kept := e.heap[:0]
 	for _, i := range e.heap {
 		if e.events[i].dead {
-			e.release(i)
+			e.dropDead(i)
 		} else {
 			kept = append(kept, i)
 		}
@@ -302,14 +522,10 @@ func (e *Engine) compact() {
 
 // push / popTop implement a classic binary min-heap keyed on (at, seq).
 // Hand-rolled (rather than container/heap) to avoid interface boxing on
-// the hottest path of the simulator.
+// the hottest path of the heap backend.
 
 func (e *Engine) less(i, j int) bool {
-	a, b := &e.events[e.heap[i]], &e.events[e.heap[j]]
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
+	return e.entryLess(e.heap[i], e.heap[j])
 }
 
 func (e *Engine) push(idx int32) {

@@ -152,8 +152,10 @@ func TestEngineCancel(t *testing.T) {
 
 func TestEngineCancelCompaction(t *testing.T) {
 	// Cancelling the bulk of the queue must shrink the heap (dead-entry
-	// compaction) and keep Pending, a live O(1) counter, exact.
-	e := NewEngine()
+	// compaction) and keep Pending, a live O(1) counter, exact. Pinned
+	// to the heap backend; TestEngineWheelCancelCompaction covers the
+	// wheel's equivalent bound.
+	e := NewEngineHeap()
 	const n = 10000
 	ids := make([]EventID, 0, n)
 	for i := 0; i < n; i++ {

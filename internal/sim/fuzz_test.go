@@ -6,12 +6,17 @@ import (
 	"testing"
 )
 
-// The fuzzer drives the hand-rolled slab heap and a container/heap
-// oracle through the same schedule/cancel/run script decoded from the
-// fuzz input, then demands identical firing order, firing times, and
-// pending counts. Chained schedules (callbacks that schedule from
-// inside the event loop) exercise the release-before-run slot reuse;
-// cancels of stale ids exercise the generation guard.
+// The fuzzer drives the slab binary heap, the production timer wheel,
+// and a deliberately tiny wheel (16-tick buckets, 8 slots, so the fuzz
+// inputs constantly cross bucket boundaries and overflow into the far
+// heap) through the same schedule/cancel/run script decoded from the
+// fuzz input, then demands all three match a container/heap oracle on
+// firing order, firing times, clock, and pending counts. Chained
+// schedules (callbacks that schedule from inside the event loop)
+// exercise the release-before-run slot reuse; cancels of stale ids
+// exercise the generation guard; far-horizon deltas (raw%7==3 scales
+// the delta by 2^14) exercise the wheel's overflow heap and the
+// empty-wheel fast-forward.
 
 type oracleEvent struct {
 	at    Time
@@ -119,31 +124,64 @@ func (o *oracle) run(until Time, all bool) {
 	}
 }
 
+// rig wraps one Engine under differential test with its own firing log
+// and id table, so several scheduler backends can replay the same
+// script independently.
+type rig struct {
+	name   string
+	eng    *Engine
+	log    []int
+	logAt  []Time
+	ids    map[int]EventID
+	nextID int
+}
+
+func newRig(name string, eng *Engine) *rig {
+	return &rig{name: name, eng: eng, ids: map[int]EventID{}}
+}
+
+func (r *rig) mkAct(id int, chain Time) func() {
+	return func() {
+		r.log = append(r.log, id)
+		r.logAt = append(r.logAt, r.eng.Now())
+		if chain > 0 {
+			cid := r.nextID
+			r.nextID++
+			r.ids[cid] = r.eng.After(chain, r.mkAct(cid, 0))
+		}
+	}
+}
+
+func (r *rig) schedule(delta, chain Time) {
+	id := r.nextID
+	r.nextID++
+	r.ids[id] = r.eng.At(r.eng.Now()+delta, r.mkAct(id, chain))
+}
+
 func FuzzEngineHeap(f *testing.F) {
 	f.Add([]byte{0, 10, 0, 0, 0, 5, 0, 2, 20, 0})
 	f.Add([]byte{0, 1, 0, 3, 0, 2, 0, 1, 0, 0, 3})
 	f.Add([]byte{0, 0, 128, 0, 0, 1, 1, 0, 3, 1, 0})
 	f.Add([]byte{0, 4, 0, 7, 2, 255, 255, 0, 4, 0, 0, 1, 1, 3})
+	// Window boundary: a far-horizon event (raw%7==3 scales by 2^14)
+	// beyond the tiny wheel's window, then near events, then a bounded
+	// run crossing the boundary, then drain.
+	f.Add([]byte{0, 255, 0, 0, 6, 1, 0, 0, 16, 2, 255, 255, 3})
+	// Dead-far rewind: schedule a far event, cancel it, drain (pops the
+	// dead entry, fast-forwarding the wheel), then schedule near again.
+	f.Add([]byte{0, 24, 0, 1, 0, 0, 3, 0, 100, 0, 3})
+	// Slot stepping: events spread over many buckets, a bounded run
+	// that leaves some behind, then a short event behind the cursor.
+	f.Add([]byte{0, 16, 0, 0, 32, 0, 0, 64, 0, 0, 128, 0, 2, 64, 0, 0, 8, 0, 3})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		eng := NewEngine()
 		o := newOracle()
-
-		var engLog []int
-		var engLogAt []Time
-		ids := map[int]EventID{} // engine ids by oracle id
-		nextID := 0
-		var mkAct func(id int, chain Time) func()
-		mkAct = func(id int, chain Time) func() {
-			return func() {
-				engLog = append(engLog, id)
-				engLogAt = append(engLogAt, eng.Now())
-				if chain > 0 {
-					cid := nextID
-					nextID++
-					ids[cid] = eng.After(chain, mkAct(cid, 0))
-				}
-			}
+		rigs := []*rig{
+			newRig("heap", NewEngineHeap()),
+			newRig("wheel", NewEngine()),
+			// Tiny wheel: 2^4-tick buckets, 2^3 slots — a 128-tick
+			// window that the 16-bit deltas overflow constantly.
+			newRig("wheel4x3", newEngineWheel(4, 3)),
 		}
 
 		u16 := func(i int) uint16 {
@@ -156,33 +194,43 @@ func FuzzEngineHeap(f *testing.F) {
 			return 0
 		}
 
-		lastNow := eng.Now()
+		lastNow := Time(0)
 		ops := 0
 		for i := 0; i < len(data) && ops < 256; ops++ {
 			op := data[i] % 4
 			i++
 			switch op {
-			case 0: // schedule, possibly in the past, possibly chaining
+			case 0: // schedule, possibly in the past, possibly chaining, possibly far
 				raw := u16(i)
 				i += 2
 				delta := Time(int16(raw)) // negative deltas test past-clamping
+				if raw%7 == 3 {
+					// Far horizon: push past the production wheel's
+					// ~4 µs window so the overflow heap and the
+					// empty-wheel fast-forward see real traffic.
+					delta = Time(raw) << 14
+				}
 				chain := Time(0)
 				if raw%5 == 0 {
 					chain = Time(raw%97) + 1
 				}
-				id := nextID
-				nextID++
-				ids[id] = eng.At(eng.Now()+delta, mkAct(id, chain))
+				for _, r := range rigs {
+					r.schedule(delta, chain)
+				}
 				o.schedule(o.now+delta, chain)
 			case 1: // cancel an arbitrary id (maybe fired/cancelled already)
-				if nextID > 0 {
-					k := int(u16(i)) % nextID
+				if o.nextID > 0 {
+					k := int(u16(i)) % o.nextID
 					i += 2
-					ids[k].Cancel()
+					for _, r := range rigs {
+						r.ids[k].Cancel()
+					}
 					o.cancel(k)
 					// Double cancel must be a no-op.
 					if k%3 == 0 {
-						ids[k].Cancel()
+						for _, r := range rigs {
+							r.ids[k].Cancel()
+						}
 						o.cancel(k)
 					}
 				} else {
@@ -191,45 +239,54 @@ func FuzzEngineHeap(f *testing.F) {
 			case 2: // bounded run
 				d := Time(u16(i))
 				i += 2
-				until := eng.Now() + d
-				eng.Run(until)
-				o.run(until, false)
+				for _, r := range rigs {
+					r.eng.Run(r.eng.Now() + d)
+				}
+				o.run(o.now+d, false)
 			case 3: // drain
-				eng.RunAll()
+				for _, r := range rigs {
+					r.eng.RunAll()
+				}
 				o.run(0, true)
 			}
 
-			if eng.Now() < lastNow {
-				t.Fatalf("op %d: clock moved backwards %v -> %v", ops, lastNow, eng.Now())
+			for _, r := range rigs {
+				if r.eng.Now() < lastNow {
+					t.Fatalf("op %d [%s]: clock moved backwards %v -> %v", ops, r.name, lastNow, r.eng.Now())
+				}
+				if r.eng.Now() != o.now {
+					t.Fatalf("op %d [%s]: Now() = %v, oracle %v", ops, r.name, r.eng.Now(), o.now)
+				}
+				if r.eng.Pending() != o.pending {
+					t.Fatalf("op %d [%s]: Pending() = %d, oracle %d", ops, r.name, r.eng.Pending(), o.pending)
+				}
 			}
-			lastNow = eng.Now()
-			if eng.Now() != o.now {
-				t.Fatalf("op %d: Now() = %v, oracle %v", ops, eng.Now(), o.now)
-			}
-			if eng.Pending() != o.pending {
-				t.Fatalf("op %d: Pending() = %d, oracle %d", ops, eng.Pending(), o.pending)
-			}
+			lastNow = o.now
 		}
-		eng.RunAll()
+		for _, r := range rigs {
+			r.eng.RunAll()
+		}
 		o.run(0, true)
 
-		if eng.Pending() != 0 {
-			t.Fatalf("Pending() = %d after drain", eng.Pending())
-		}
-		if len(engLog) != len(o.log) {
-			t.Fatalf("fired %d events, oracle fired %d", len(engLog), len(o.log))
-		}
-		for i := range engLog {
-			if engLog[i] != o.log[i] {
-				t.Fatalf("firing order diverges at %d: engine id %d, oracle id %d", i, engLog[i], o.log[i])
+		for _, r := range rigs {
+			if r.eng.Pending() != 0 {
+				t.Fatalf("[%s] Pending() = %d after drain", r.name, r.eng.Pending())
 			}
-			if engLogAt[i] != o.logAt[i] {
-				t.Fatalf("event %d fired at %v, oracle at %v", engLog[i], engLogAt[i], o.logAt[i])
+			if len(r.log) != len(o.log) {
+				t.Fatalf("[%s] fired %d events, oracle fired %d", r.name, len(r.log), len(o.log))
 			}
-		}
-		for i := 1; i < len(engLogAt); i++ {
-			if engLogAt[i] < engLogAt[i-1] {
-				t.Fatalf("firing times not monotone at %d: %v after %v", i, engLogAt[i], engLogAt[i-1])
+			for i := range r.log {
+				if r.log[i] != o.log[i] {
+					t.Fatalf("[%s] firing order diverges at %d: engine id %d, oracle id %d", r.name, i, r.log[i], o.log[i])
+				}
+				if r.logAt[i] != o.logAt[i] {
+					t.Fatalf("[%s] event %d fired at %v, oracle at %v", r.name, r.log[i], r.logAt[i], o.logAt[i])
+				}
+			}
+			for i := 1; i < len(r.logAt); i++ {
+				if r.logAt[i] < r.logAt[i-1] {
+					t.Fatalf("[%s] firing times not monotone at %d: %v after %v", r.name, i, r.logAt[i], r.logAt[i-1])
+				}
 			}
 		}
 	})

@@ -1,0 +1,508 @@
+package sim
+
+import "math/bits"
+
+// timerWheel is the default event scheduler backend: a single-level
+// calendar queue (timer wheel) for the dense near-horizon band, with a
+// binary-heap overflow ("far heap") for long-horizon events.
+//
+// The workload this is tuned for is the simulator's own event mix:
+// almost everything — service completions, NoC hops, manager period
+// ticks, UPDATE landings — fires within a few microseconds of now,
+// while a thin tail (MMPP phase changes, snapshot timers) sits hundreds
+// of microseconds out. The wheel gives the dense band O(1) push and
+// O(1) amortised pop; the tail pays heap cost but is rare.
+//
+// Layout:
+//
+//   - Buckets cover 2^gBits picoseconds each (wheelGBits = 12 → ~4.1 ns),
+//     and the ring has 2^slotBits of them (wheelSlotBits = 10 → 1024
+//     buckets ≈ 4.2 µs of horizon). A slot's ring index is the bucket
+//     number of the absolute timestamp, masked: (at>>gBits)&slotMask —
+//     so entries never need rehashing when the cursor moves.
+//   - base is the G-aligned start of the cursor's bucket; every entry in
+//     the ring satisfies base ≤ at < base+window, so a ring index is
+//     unambiguous. Events at or past base+window go to the far heap and
+//     migrate in as the cursor advances.
+//   - occ is an occupancy bitmap over slots; advancing the cursor scans
+//     it word-wise, so sparse stretches cost O(slots/64) instead of one
+//     step per empty bucket. smin tracks each occupied slot's minimum
+//     timestamp (dead entries included), which makes peek exact without
+//     sorting a slot before its bucket is due.
+//   - curq is the cursor bucket's drain buffer: the slot's entries are
+//     moved there and sorted by (at, seq) when the cursor lands on the
+//     bucket, restoring the global FIFO tie-break order the heap backend
+//     provides. In-bucket pushes (d < G) insert in order directly.
+//
+// Peek never mutates the cursor: base only advances inside wpop, when a
+// pop is guaranteed, so a Run(until) that stops short of the next event
+// cannot strand base past now (pushes assume at ≥ base after wrewind).
+type timerWheel struct {
+	gBits    uint // log2 of bucket width in picoseconds
+	slotMask int  // len(slots)-1; len(slots) is a power of two
+	gsize    Time // bucket width: 1<<gBits
+	window   Time // ring horizon: gsize<<slotBits
+	base     Time // G-aligned start of the cursor bucket; ≤ every ring entry
+	cur      int  // ring index of base's bucket
+	slots    [][]int32
+	smin     []Time   // per-slot min at, valid while the occ bit is set
+	occ      []uint64 // occupancy bitmap over slots
+	curq     []int32  // cursor bucket drained in (at, seq) order
+	curHead  int      // next undrained index into curq
+	count    int      // entries in slots+curq (dead included; far excluded)
+	far      []int32  // min-heap of slab indices keyed (at, seq), at ≥ base+window
+}
+
+// Default geometry: ~4.1 ns buckets, ~4.2 µs near horizon. Service
+// times, NoC hops and manager periods are all well inside the window;
+// MMPP dwell (~200 µs) and snapshot cadences overflow to the far heap.
+const (
+	wheelGBits    = 12
+	wheelSlotBits = 10
+)
+
+func newWheel(gBits, slotBits uint) *timerWheel {
+	n := 1 << slotBits
+	return &timerWheel{
+		gBits:    gBits,
+		slotMask: n - 1,
+		gsize:    Time(1) << gBits,
+		window:   Time(1) << (gBits + slotBits),
+		slots:    make([][]int32, n),
+		smin:     make([]Time, n),
+		occ:      make([]uint64, (n+63)/64),
+	}
+}
+
+func (w *timerWheel) slotOf(at Time) int { return int(at>>w.gBits) & w.slotMask }
+
+// entryLess orders slab entries by (at, seq) — the FIFO tie-break both
+// backends share. seq is unique, so this is a strict total order.
+//
+//altolint:hotpath
+func (e *Engine) entryLess(a, b int32) bool {
+	ea, eb := &e.events[a], &e.events[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+// wpush routes a slab entry into the cursor bucket, the ring, or the
+// far heap.
+//
+//altolint:hotpath
+func (e *Engine) wpush(i int32) {
+	w := e.wheel
+	at := e.events[i].at
+	if w.count == 0 && len(w.far) == 0 {
+		// Empty scheduler: rebase to the entry so a long event-free
+		// stretch (Run past the horizon) cannot strand the window
+		// behind now and spill near events into the far heap.
+		w.base = at &^ (w.gsize - 1)
+		w.cur = w.slotOf(at)
+	}
+	d := at - w.base
+	if d < 0 {
+		// The cursor ran ahead of now (a dead entry popped in the
+		// future advanced it without firing anything); rewind.
+		e.wrewind(at)
+		d = at - w.base
+	}
+	if d >= w.window {
+		e.farPush(i)
+		return
+	}
+	e.wplace(i, at, d)
+}
+
+// wplace files an in-window entry (0 ≤ d < window) into the cursor
+// drain buffer or its ring slot.
+//
+//altolint:hotpath
+func (e *Engine) wplace(i int32, at, d Time) {
+	w := e.wheel
+	if d < w.gsize {
+		e.winsertCur(i)
+		w.count++
+		return
+	}
+	s := w.slotOf(at)
+	w.slots[s] = append(w.slots[s], i) //altolint:allow hotalloc amortized ring-slot growth into retained backing arrays
+	if w.occ[s>>6]&(1<<uint(s&63)) == 0 {
+		w.occ[s>>6] |= 1 << uint(s&63)
+		w.smin[s] = at
+	} else if at < w.smin[s] {
+		w.smin[s] = at
+	}
+	w.count++
+}
+
+// winsertCur inserts an entry into the cursor drain buffer, keeping
+// curq[curHead:] sorted by (at, seq). The common case — seq rises
+// monotonically and same-instant events arrive in FIFO order — is an
+// O(1) append after a single tail comparison.
+//
+//altolint:hotpath
+func (e *Engine) winsertCur(i int32) {
+	w := e.wheel
+	q := w.curq
+	if w.curHead == len(q) {
+		q = q[:0]
+		w.curHead = 0
+	}
+	if len(q) == w.curHead || !e.entryLess(i, q[len(q)-1]) {
+		w.curq = append(q, i) //altolint:allow hotalloc amortized drain-buffer growth into a retained backing array
+		return
+	}
+	lo, hi := w.curHead, len(q)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if e.entryLess(q[mid], i) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	q = append(q, i) //altolint:allow hotalloc amortized drain-buffer growth into a retained backing array
+	copy(q[lo+1:], q[lo:])
+	q[lo] = i
+	w.curq = q
+}
+
+// wrewind moves the cursor backwards to at's bucket. This is the rare
+// repair path for pushes below base: popping a dead entry advances the
+// cursor without advancing now, so a later push at ≥ now can land
+// before base. Ring entries whose timestamps fall outside the rewound
+// window spill to the far heap; migration brings them back as the
+// cursor re-advances.
+func (e *Engine) wrewind(at Time) {
+	w := e.wheel
+	newBase := at &^ (w.gsize - 1)
+	oldCur := w.cur
+	delta := w.base - newBase
+	if delta >= w.window {
+		// Rewound past a full lap: every ring entry is now out of
+		// window. Spill everything.
+		for k := w.curHead; k < len(w.curq); k++ {
+			e.farPush(w.curq[k])
+		}
+		w.curq = w.curq[:0]
+		w.curHead = 0
+		for word, m := range w.occ {
+			for m != 0 {
+				s := word<<6 + bits.TrailingZeros64(m)
+				m &= m - 1
+				for _, i := range w.slots[s] {
+					e.farPush(i)
+				}
+				w.slots[s] = w.slots[s][:0]
+			}
+			w.occ[word] = 0
+		}
+		w.count = 0
+	} else {
+		// Return the cursor bucket's undrained remainder to its ring
+		// slot (its times stay in window), then spill the ring range
+		// [newCur, oldCur): under the old window those slots held the
+		// band [newBase+window, base+window), which the rewound window
+		// no longer covers.
+		if rem := w.curq[w.curHead:]; len(rem) > 0 {
+			w.slots[oldCur] = append(w.slots[oldCur][:0], rem...)
+			w.occ[oldCur>>6] |= 1 << uint(oldCur&63)
+			// rem is (at, seq)-sorted, so its head holds the minimum.
+			w.smin[oldCur] = e.events[rem[0]].at
+		}
+		w.curq = w.curq[:0]
+		w.curHead = 0
+		newCur := w.slotOf(newBase)
+		for s := newCur; s != oldCur; s = (s + 1) & w.slotMask {
+			if w.occ[s>>6]&(1<<uint(s&63)) == 0 {
+				continue
+			}
+			for _, i := range w.slots[s] {
+				e.farPush(i)
+				w.count--
+			}
+			w.slots[s] = w.slots[s][:0]
+			w.occ[s>>6] &^= 1 << uint(s&63)
+		}
+	}
+	w.base = newBase
+	w.cur = w.slotOf(newBase)
+}
+
+// wpop removes and returns the earliest entry (dead included). The
+// caller guarantees the scheduler is non-empty.
+//
+//altolint:hotpath
+func (e *Engine) wpop() int32 {
+	w := e.wheel
+	for {
+		if w.curHead < len(w.curq) {
+			i := w.curq[w.curHead]
+			w.curHead++
+			w.count--
+			if w.curHead == len(w.curq) {
+				w.curq = w.curq[:0]
+				w.curHead = 0
+			}
+			return i
+		}
+		if w.count == 0 {
+			// Only far events remain: jump the cursor to the far top's
+			// bucket in one step instead of rotating through empty
+			// buckets, then migrate the newly in-window band.
+			at := e.events[w.far[0]].at
+			w.base = at &^ (w.gsize - 1)
+			w.cur = w.slotOf(at)
+			e.wmigrate()
+			continue
+		}
+		s, steps := w.nextOccupied()
+		w.cur = s
+		w.base += Time(steps) << w.gBits
+		e.wmigrate()
+		w.curq = append(w.curq[:0], w.slots[s]...) //altolint:allow hotalloc amortized drain-buffer growth into a retained backing array
+		w.slots[s] = w.slots[s][:0]
+		w.occ[s>>6] &^= 1 << uint(s&63)
+		w.curHead = 0
+		e.wsortCur()
+	}
+}
+
+// nextOccupied scans the occupancy bitmap for the first occupied slot
+// strictly after the cursor (ring order) and returns it with its
+// forward distance. The caller guarantees count > 0.
+//
+//altolint:hotpath
+func (w *timerWheel) nextOccupied() (slot, steps int) {
+	start := (w.cur + 1) & w.slotMask
+	word := start >> 6
+	m := w.occ[word] >> uint(start&63) << uint(start&63)
+	for {
+		if m != 0 {
+			s := word<<6 + bits.TrailingZeros64(m)
+			return s, (s - w.cur + w.slotMask + 1) & w.slotMask
+		}
+		word++
+		if word == len(w.occ) {
+			word = 0
+		}
+		m = w.occ[word]
+	}
+}
+
+// wmigrate pulls far-heap entries that the advanced window now covers
+// into the ring. Far entries satisfy at ≥ base_prev+window, so after
+// any forward base move d = at-base stays non-negative.
+//
+//altolint:hotpath
+func (e *Engine) wmigrate() {
+	w := e.wheel
+	limit := w.base + w.window
+	for len(w.far) > 0 {
+		i := w.far[0]
+		at := e.events[i].at
+		if at >= limit {
+			return
+		}
+		e.farPopTop()
+		e.wplace(i, at, at-w.base)
+	}
+}
+
+// wsortCur sorts the freshly loaded drain buffer by (at, seq). Buckets
+// usually fill in FIFO order (seq rises with push time), so an O(n)
+// sorted check runs first; small buckets insertion-sort, large ones
+// heapsort. Keys are unique, so the unstable heapsort is still
+// deterministic.
+//
+//altolint:hotpath
+func (e *Engine) wsortCur() {
+	q := e.wheel.curq
+	n := len(q)
+	if n < 2 {
+		return
+	}
+	sorted := true
+	for k := 1; k < n; k++ {
+		if e.entryLess(q[k], q[k-1]) {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	if n <= 48 {
+		for k := 1; k < n; k++ {
+			v := q[k]
+			j := k - 1
+			for j >= 0 && e.entryLess(v, q[j]) {
+				q[j+1] = q[j]
+				j--
+			}
+			q[j+1] = v
+		}
+		return
+	}
+	// In-place heapsort: build a max-heap, then swap the max to the
+	// shrinking tail.
+	for k := n/2 - 1; k >= 0; k-- {
+		e.maxSiftDown(q, k, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		q[0], q[end] = q[end], q[0]
+		e.maxSiftDown(q, 0, end)
+	}
+}
+
+func (e *Engine) maxSiftDown(q []int32, i, n int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && e.entryLess(q[largest], q[l]) {
+			largest = l
+		}
+		if r < n && e.entryLess(q[largest], q[r]) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		q[i], q[largest] = q[largest], q[i]
+		i = largest
+	}
+}
+
+// wpeekAt returns the earliest queued timestamp (dead entries included)
+// without moving the cursor.
+//
+//altolint:hotpath
+func (e *Engine) wpeekAt() (Time, bool) {
+	w := e.wheel
+	if w.curHead < len(w.curq) {
+		return e.events[w.curq[w.curHead]].at, true
+	}
+	if w.count > 0 {
+		s, _ := w.nextOccupied()
+		return w.smin[s], true
+	}
+	if len(w.far) > 0 {
+		return e.events[w.far[0]].at, true
+	}
+	return 0, false
+}
+
+// wlen counts queued entries, dead included — the same population the
+// heap backend's len(heap) reports, so the compaction trigger behaves
+// identically on both backends.
+func (e *Engine) wlen() int { return e.wheel.count + len(e.wheel.far) }
+
+// wcompact drops dead entries from the drain buffer, the ring and the
+// far heap, releasing their slots. Linear in queued entries; amortised
+// O(1) per cancellation since it only runs when dead entries dominate.
+func (e *Engine) wcompact() {
+	w := e.wheel
+	kept := w.curq[:0]
+	for _, i := range w.curq[w.curHead:] {
+		if e.events[i].dead {
+			e.dropDead(i)
+			w.count--
+		} else {
+			kept = append(kept, i)
+		}
+	}
+	w.curq = kept
+	w.curHead = 0
+	for word := range w.occ {
+		m := w.occ[word]
+		for m != 0 {
+			s := word<<6 + bits.TrailingZeros64(m)
+			m &= m - 1
+			lst := w.slots[s]
+			kl := lst[:0]
+			for _, i := range lst {
+				if e.events[i].dead {
+					e.dropDead(i)
+					w.count--
+				} else {
+					kl = append(kl, i)
+				}
+			}
+			w.slots[s] = kl
+			if len(kl) == 0 {
+				w.occ[s>>6] &^= 1 << uint(s&63)
+				continue
+			}
+			mn := e.events[kl[0]].at
+			for _, i := range kl[1:] {
+				if at := e.events[i].at; at < mn {
+					mn = at
+				}
+			}
+			w.smin[s] = mn
+		}
+	}
+	fk := w.far[:0]
+	for _, i := range w.far {
+		if e.events[i].dead {
+			e.dropDead(i)
+		} else {
+			fk = append(fk, i)
+		}
+	}
+	w.far = fk
+	for k := len(w.far)/2 - 1; k >= 0; k-- {
+		e.farSiftDown(k)
+	}
+}
+
+// Far heap: a classic binary min-heap of slab indices keyed (at, seq),
+// holding everything at or beyond base+window.
+
+//altolint:hotpath
+func (e *Engine) farPush(i int32) {
+	w := e.wheel
+	w.far = append(w.far, i) //altolint:allow hotalloc amortized far-heap growth into a retained backing array
+	j := len(w.far) - 1
+	for j > 0 {
+		parent := (j - 1) / 2
+		if !e.entryLess(w.far[j], w.far[parent]) {
+			break
+		}
+		w.far[j], w.far[parent] = w.far[parent], w.far[j]
+		j = parent
+	}
+}
+
+//altolint:hotpath
+func (e *Engine) farPopTop() {
+	w := e.wheel
+	h := w.far
+	last := len(h) - 1
+	h[0] = h[last]
+	w.far = h[:last]
+	e.farSiftDown(0)
+}
+
+//altolint:hotpath
+func (e *Engine) farSiftDown(i int) {
+	h := e.wheel.far
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h) && e.entryLess(h[l], h[smallest]) {
+			smallest = l
+		}
+		if r < len(h) && e.entryLess(h[r], h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}

@@ -4,7 +4,19 @@
 # Runs the benchmarks that gate the two perf-critical paths:
 #
 #   EngineEvents      bare event-loop push/pop cost; allocs/op must be 0
-#                     (the slab + free-list heap recycles every event slot)
+#                     (the slab + free-list recycles every event slot) and
+#                     ns/op is gated by benchjson -regress (<=1.5x the
+#                     committed record)
+#   EngineEventsDeep/* the same loop with a 10k/100k/1M pending backlog
+#                     parked in the far heap; the timer wheel's near-band
+#                     cost must stay flat while a binary heap would pay
+#                     O(log pending) — allocs/op must be 0
+#   BigTopoTick/*     one manager tick (8 sparse RankTracker updates +
+#                     threshold + DecideRanked) on 1024- and 4096-core
+#                     group views; the O(active) contract in microcosm,
+#                     allocs/op must be 0
+#   BigTopoQuick      one 1024-core AC grid, load 0.5, 200 us simulated;
+#                     wall time derives bigtopo_quick_ms (non-gating)
 #   RequestLifecycle  the steady-state per-request path end to end on a
 #                     warm Scratch; ns/req and the (per-run, amortized)
 #                     allocs/op record the zero-alloc lifecycle
@@ -44,7 +56,7 @@ raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' \
-    -bench 'BenchmarkEngineEvents$|BenchmarkRequestLifecycle$|BenchmarkQueueLens|BenchmarkFig10Serial$|BenchmarkFig10Par4$|BenchmarkPolicyTick$|BenchmarkRackDispatch|BenchmarkLiveLoopback$' \
+    -bench 'BenchmarkEngineEvents$|BenchmarkEngineEventsDeep|BenchmarkBigTopoTick|BenchmarkBigTopoQuick$|BenchmarkRequestLifecycle$|BenchmarkQueueLens|BenchmarkFig10Serial$|BenchmarkFig10Par4$|BenchmarkPolicyTick$|BenchmarkRackDispatch|BenchmarkLiveLoopback$' \
     -benchmem -benchtime "${BENCHTIME:-1s}" . | tee "$raw"
 
 go run ./cmd/benchjson <"$raw" >BENCH_sim.json

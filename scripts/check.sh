@@ -23,11 +23,14 @@
 #                      container/heap oracle) and FuzzTraceRoundTrip
 #                      (CSV/JSONL codec round trip) over the committed
 #                      corpora plus fresh mutations
-#   8. altobench smoke every registered experiment regenerates at quick
+#   8. bigtopo smoke   the 1024-core big-topology grids at quick scale
+#                      with the checker on, timed so the wall cost of
+#                      the timer-wheel engine at scale stays visible
+#   9. altobench smoke every registered experiment regenerates at quick
 #                      scale with the online invariant checker attached
 #                      (runs through the cross-run fleet at GOMAXPROCS
 #                      width, so this is fast on CI runners)
-#   9. alloc guard     a quick run of the zero-alloc benchmarks compared
+#  10. alloc guard     a quick run of the zero-alloc benchmarks compared
 #                      against the committed BENCH_sim.json; any hot
 #                      path that regresses from 0 allocs/op prints a
 #                      WARNING (non-gating: timing noise never blocks a
@@ -123,6 +126,15 @@ echo "== fuzz smoke (30s)"
 go test ./internal/sim -run '^$' -fuzz '^FuzzEngineHeap$' -fuzztime 15s >/dev/null
 go test ./internal/trace -run '^$' -fuzz '^FuzzTraceRoundTrip$' -fuzztime 15s >/dev/null
 
+echo "== big-topology smoke (1024-core grids, quick scale, invariant checker on)"
+# The bigtopo experiment is the heaviest registered run (9 grid points,
+# ~15M invariant checks); an explicit timed step keeps its wall time
+# visible in every check log. The printed seconds are informational —
+# the committed wall-time record is bigtopo_quick_ms in BENCH_sim.json.
+bigtopo_start=$SECONDS
+go run ./cmd/altobench -exp bigtopo -scale quick -check >/dev/null
+echo "   bigtopo quick: $((SECONDS - bigtopo_start))s wall"
+
 echo "== altobench smoke (all experiments, quick scale, invariant checker on)"
 go run ./cmd/altobench -exp all -scale quick -check >/dev/null
 
@@ -133,7 +145,7 @@ echo "== zero-alloc regression guard (non-gating)"
 # TestLiveLoopbackZeroAlloc in the race run above).
 if [[ -f BENCH_sim.json ]]; then
     allocraw=$(mktemp)
-    go test -run '^$' -bench 'BenchmarkEngineEvents$|BenchmarkQueueLens|BenchmarkPolicyTick$|BenchmarkRackDispatch' \
+    go test -run '^$' -bench 'BenchmarkEngineEvents$|BenchmarkEngineEventsDeep|BenchmarkBigTopoTick|BenchmarkQueueLens|BenchmarkPolicyTick$|BenchmarkRackDispatch' \
         -benchmem -benchtime 10000x . >"$allocraw" 2>&1 || true
     go test -run '^$' -bench 'BenchmarkLiveLoopback$' \
         -benchmem -benchtime 3x . >>"$allocraw" 2>&1 || true
