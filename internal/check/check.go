@@ -191,6 +191,8 @@ type Checker struct {
 	coreBusy []bool     // indexed by core id
 	state    []uint8    // indexed by request id
 	migrated []int32    // indexed by request id: RequeueMigrate landings
+	migPhase []uint8    // indexed by request id: phase the migrate count belongs to
+	phase    []uint8    // indexed by request id: last phase seen at a forwarded boundary
 
 	queued    int // requests across all shadow queues
 	running   int // requests executing
@@ -217,6 +219,8 @@ func New(opt Options) *Checker {
 	if opt.Expected > 0 {
 		c.state = make([]uint8, opt.Expected)
 		c.migrated = make([]int32, opt.Expected)
+		c.migPhase = make([]uint8, opt.Expected)
+		c.phase = make([]uint8, opt.Expected)
 	}
 	return c
 }
@@ -367,6 +371,7 @@ var requeueDuring = [...]string{
 	sched.RequeuePreempt:  "requeued (preempt)",
 	sched.RequeueMigrate:  "requeued (migrate)",
 	sched.RequeueNack:     "requeued (nack)",
+	sched.RequeueForward:  "requeued (forward)",
 }
 
 // OnRequeue implements sched.Probe.
@@ -382,6 +387,17 @@ func (c *Checker) OnRequeue(r *rpcproto.Request, qid int, cause sched.RequeueCau
 		for uint64(len(c.migrated)) <= r.ID {
 			c.migrated = append(c.migrated, 0) //altolint:allow hotalloc migrated slab is preallocated to Expected; growth only on ID overflow
 		}
+		for uint64(len(c.migPhase)) <= r.ID {
+			c.migPhase = append(c.migPhase, 0) //altolint:allow hotalloc migPhase slab is preallocated to Expected; growth only on ID overflow
+		}
+		// Migrate-once is scoped per phase (DESIGN.md §15): the count
+		// resets when the request's phase has advanced since its last
+		// migration. Unphased requests stay at phase 0, so the count
+		// never resets and the classic §VI invariant holds verbatim.
+		if c.migPhase[r.ID] != r.Phase {
+			c.migPhase[r.ID] = r.Phase
+			c.migrated[r.ID] = 0
+		}
 		c.migrated[r.ID]++
 		c.checks++
 		if n := c.migrated[r.ID]; n > 1 && !c.opt.AllowRemigration {
@@ -390,6 +406,42 @@ func (c *Checker) OnRequeue(r *rpcproto.Request, qid int, cause sched.RequeueCau
 		}
 	}
 	c.enqueue(r, qid, qlen, "OnRequeue")
+}
+
+// OnPhaseDone implements sched.PhaseProbe: core finished a non-final
+// phase of r and the scheduler took the request off it to forward the
+// next phase (r.Phase has already advanced). Back-to-back local
+// continuations emit no event, so observed boundaries need only be
+// strictly increasing in phase, not consecutive.
+//
+//altolint:hotpath
+func (c *Checker) OnPhaseDone(r *rpcproto.Request, core int) {
+	if c.expectState(r, -1, stateRunning, "phase-forwarded") {
+		c.running--
+	}
+	c.ensureCore(core)
+	c.checks++
+	if !c.coreBusy[core] {
+		c.record("double-dispatch", r.ID, -1, fmt.Sprintf(
+			"core %d finished a phase of request %d while marked idle", core, r.ID))
+	}
+	c.coreBusy[core] = false
+	c.setState(r.ID, stateTransit)
+	c.checks++
+	if !r.Phased() || r.Phase == 0 || r.Phase >= r.NumPhases {
+		c.record("phase-order", r.ID, -1, fmt.Sprintf(
+			"phase boundary at phase %d of a %d-phase request", r.Phase, r.NumPhases))
+		return
+	}
+	for uint64(len(c.phase)) <= r.ID {
+		c.phase = append(c.phase, 0) //altolint:allow hotalloc phase slab is preallocated to Expected; growth only on ID overflow
+	}
+	c.checks++
+	if last := c.phase[r.ID]; r.Phase <= last {
+		c.record("phase-order", r.ID, -1, fmt.Sprintf(
+			"phase boundary at phase %d after a boundary at phase %d", r.Phase, last))
+	}
+	c.phase[r.ID] = r.Phase
 }
 
 // OnDequeue implements sched.Probe.
@@ -510,9 +562,36 @@ func (c *Checker) onDone(r *rpcproto.Request) {
 	c.checks++
 	if r.Finish == 0 {
 		c.record("conservation", r.ID, -1, "Done with zero finish time")
-	} else if r.Finish < r.Arrival+r.Service {
-		c.record("conservation", r.ID, -1, fmt.Sprintf(
-			"finish %v precedes arrival %v + service %v", r.Finish, r.Arrival, r.Service))
+	} else if !r.Phased() {
+		if r.Finish < r.Arrival+r.Service {
+			c.record("conservation", r.ID, -1, fmt.Sprintf(
+				"finish %v precedes arrival %v + service %v", r.Finish, r.Arrival, r.Service))
+		}
+	} else {
+		// Per-phase conservation: with accelerator speedups the chain
+		// can finish faster than the base Service sum, but never faster
+		// than the sum of each phase's best-case duration.
+		if min := r.MinService(); r.Finish < r.Arrival+min {
+			c.record("conservation", r.ID, -1, fmt.Sprintf(
+				"finish %v precedes arrival %v + minimum chain service %v", r.Finish, r.Arrival, min))
+		}
+		// Phase order at completion: every phase ended, timestamps
+		// nondecreasing from arrival, the last one at Finish, and the
+		// request parked on its final phase.
+		c.checks++
+		ok := r.Phase == r.NumPhases-1 && r.PhaseEnd[r.NumPhases-1] == r.Finish
+		prev := r.Arrival
+		for i := 0; ok && i < int(r.NumPhases); i++ {
+			if r.PhaseEnd[i] < prev {
+				ok = false
+			}
+			prev = r.PhaseEnd[i]
+		}
+		if !ok {
+			c.record("phase-order", r.ID, -1, fmt.Sprintf(
+				"completed on phase %d/%d with phase ends %v (arrival %v, finish %v)",
+				r.Phase, r.NumPhases, r.PhaseEnd[:r.NumPhases], r.Arrival, r.Finish))
+		}
 	}
 }
 
@@ -611,3 +690,4 @@ func (c *Checker) Finalize() *Report {
 }
 
 var _ sched.Probe = (*Checker)(nil)
+var _ sched.PhaseProbe = (*Checker)(nil)

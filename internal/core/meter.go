@@ -27,10 +27,19 @@ func NewLoadMeter() *LoadMeter { return &LoadMeter{Alpha: 0.3} }
 
 // Arrival records one arriving request.
 func (m *LoadMeter) Arrival(r *rpcproto.Request) {
+	m.ArrivalDur(r.Service)
+}
+
+// ArrivalDur records one arrival with an explicit service duration.
+// Per-class meters use it with the duration of the single phase landing
+// on the class rather than the request's whole-chain Service.
+//
+//altolint:hotpath
+func (m *LoadMeter) ArrivalDur(d sim.Time) {
 	m.winCount++
 	// Service-time EWMA, per request (weight decays slowly so rare long
 	// requests register without dominating).
-	s := r.Service.Seconds()
+	s := d.Seconds()
 	if m.svcWeight == 0 {
 		m.meanSvc = s
 		m.svcWeight = 1

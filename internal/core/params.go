@@ -57,6 +57,36 @@ func (p SelectPolicy) String() string {
 	return "tail"
 }
 
+// ForwardPolicy chooses the destination group when a finished phase of
+// a multi-phase request must move to another core class (DESIGN.md
+// §15). All policies fall back to staying local when no group serves
+// the next phase's class.
+type ForwardPolicy int
+
+const (
+	// ForwardStayLocal continues the next phase on the same worker even
+	// when its class differs (run-to-completion; affine speedups apply
+	// only when the classes happen to match). The degenerate baseline.
+	ForwardStayLocal ForwardPolicy = iota
+	// ForwardLeastLoaded enqueues the next phase onto the shortest NetRX
+	// among the groups of its class (JSQ-in-class).
+	ForwardLeastLoaded
+	// ForwardPowK samples ForwardK groups of the class and picks the
+	// shortest (pow-k-in-class, the rack dispatch machinery reused).
+	ForwardPowK
+)
+
+func (f ForwardPolicy) String() string {
+	switch f {
+	case ForwardLeastLoaded:
+		return "least-loaded"
+	case ForwardPowK:
+		return "pow-k"
+	default:
+		return "stay-local"
+	}
+}
+
 // Params configures an ALTOCUMULUS scheduler. §III-A lists the system
 // parameters (Concurrency, Period, Bulk); the rest describe the machine
 // and enable the ablations DESIGN.md calls out.
@@ -85,6 +115,25 @@ type Params struct {
 	DisableGuard      bool // drop Algorithm 1 line 8's q[j]-S < q[dst]+S check
 	AllowRemigration  bool // lift the migrate-at-most-once restriction
 	NaiveThreshold    bool // predict with T = k*L+1 instead of the Erlang-C model (§IV's naive baseline)
+
+	// Heterogeneous core groups (DESIGN.md §15). GroupClass assigns a
+	// hardware class to each group (nil = all class 0, the homogeneous
+	// configuration; len must equal Groups and every class in 0..max
+	// must be served by at least one group). Migration (UPDATE/MIGRATE)
+	// is scoped to same-class peers; multi-phase requests move between
+	// classes through the forwarding seam instead.
+	GroupClass []uint8
+	// Forward picks the destination group when a finished phase needs
+	// another class. ForwardK is the pow-k sample size (default 2) and
+	// ForwardSeed seeds its sampling RNG (the server harness defaults
+	// it to the run seed).
+	Forward     ForwardPolicy
+	ForwardK    int
+	ForwardSeed uint64
+	// ClassPeriods optionally overrides the manager period per class
+	// (len = number of classes, every entry > 0). Nil keeps Period for
+	// every class.
+	ClassPeriods []sim.Time
 }
 
 // GroupWidth is the paper's tile width: one manager core plus fifteen
@@ -146,7 +195,54 @@ func (p Params) Validate() error {
 	case p.SLOMultiplier <= 0:
 		return fmt.Errorf("core: SLOMultiplier = %v, need > 0", p.SLOMultiplier)
 	}
+	if p.GroupClass != nil {
+		if len(p.GroupClass) != p.Groups {
+			return fmt.Errorf("core: GroupClass has %d entries for %d groups", len(p.GroupClass), p.Groups)
+		}
+		seen := make([]bool, p.NumClasses())
+		for _, c := range p.GroupClass {
+			seen[c] = true
+		}
+		for c, ok := range seen {
+			if !ok {
+				return fmt.Errorf("core: class %d has no serving group (classes must be dense 0..%d)", c, len(seen)-1)
+			}
+		}
+	}
+	if p.ForwardK < 0 {
+		return fmt.Errorf("core: ForwardK = %d, need >= 0", p.ForwardK)
+	}
+	if p.ClassPeriods != nil {
+		if n := p.NumClasses(); len(p.ClassPeriods) != n {
+			return fmt.Errorf("core: ClassPeriods has %d entries for %d classes", len(p.ClassPeriods), n)
+		}
+		for c, d := range p.ClassPeriods {
+			if d <= 0 {
+				return fmt.Errorf("core: ClassPeriods[%d] = %v, need > 0", c, d)
+			}
+		}
+	}
 	return nil
+}
+
+// NumClasses returns the number of core classes: max(GroupClass)+1, or
+// 1 when GroupClass is nil (homogeneous).
+func (p Params) NumClasses() int {
+	max := uint8(0)
+	for _, c := range p.GroupClass {
+		if c > max {
+			max = c
+		}
+	}
+	return int(max) + 1
+}
+
+// ClassOf returns the class of group g.
+func (p Params) ClassOf(g int) uint8 {
+	if p.GroupClass == nil {
+		return 0
+	}
+	return p.GroupClass[g]
 }
 
 // TotalCores returns the core count including managers.
@@ -169,4 +265,7 @@ type Stats struct {
 	ValleyEvents  uint64
 	PairingEvents uint64
 	ThresholdEvts uint64 // threshold-exceeded trigger events
+
+	PhaseForwards uint64 // phase boundaries forwarded to another group
+	PhaseStays    uint64 // phase boundaries continued on the same worker
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/hwmsg"
 	"repro/internal/nic"
 	"repro/internal/policy"
+	"repro/internal/rack"
 	"repro/internal/rpcproto"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -24,11 +25,24 @@ type group struct {
 	claimed []int // in-flight dispatches per worker
 	local   []exec.Deque
 	netrx   exec.Deque
-	// view is the synchronized queue-length vector q (via UPDATE). It
-	// aliases rank's live vector: every write goes through rank.Set so
-	// the descending-rank permutation repairs incrementally — a tick
-	// over G groups pays for the entries that changed since the last
-	// tick, not for re-sorting all G (O(active), not O(cores)).
+
+	// Heterogeneity (DESIGN.md §15): the group's hardware class, the
+	// ascending ids of the groups sharing it (its migration peers), and
+	// this group's index within that peer list. Migration state — the
+	// synchronized view, rank permutation, UPDATE broadcast, decide() —
+	// is all expressed in peer-index space. Homogeneous configurations
+	// have peers == all groups and peerIdx == id, so every packed value
+	// and event order is bit-identical to the pre-class runtime.
+	class   uint8
+	peers   []int
+	peerIdx int
+
+	// view is the synchronized queue-length vector q (via UPDATE),
+	// indexed by peer. It aliases rank's live vector: every write goes
+	// through rank.Set so the descending-rank permutation repairs
+	// incrementally — a tick over G peers pays for the entries that
+	// changed since the last tick, not for re-sorting all G (O(active),
+	// not O(cores)).
 	view []int
 	rank *policy.RankTracker
 
@@ -42,19 +56,22 @@ type group struct {
 	// Callbacks bound once at construction so the per-request and
 	// per-tick paths never allocate closures: tickFn is this manager's
 	// Algorithm 1 iteration, landFns[w] the dispatch-landing arg-event
-	// trampoline for worker w, doneFns[w] worker w's completion callback.
-	tickFn  func()
-	landFns []func(any, int64)
-	doneFns []func(*rpcproto.Request)
+	// trampoline for worker w, doneFns[w] worker w's completion
+	// callback, phaseLandFn the arg-event trampoline for a forwarded
+	// phase landing on this group's NetRX.
+	tickFn      func()
+	landFns     []func(any, int64)
+	doneFns     []func(*rpcproto.Request)
+	phaseLandFn func(any, int64)
 }
 
 // updateLand applies one UPDATE message landing at a manager: the
 // destination group's synchronized view of the sender refreshes. It is a
 // package-level arg-event trampoline (arg = destination group,
-// n = sender id in the high 32 bits, observed queue length in the low
-// 32), so the per-tick broadcast allocates nothing. The write goes
-// through the rank tracker: an unchanged length is dropped, a changed
-// one joins the dirty set the next decide() repairs.
+// n = sender peer index in the high 32 bits, observed queue length in
+// the low 32), so the per-tick broadcast allocates nothing. The write
+// goes through the rank tracker: an unchanged length is dropped, a
+// changed one joins the dirty set the next decide() repairs.
 func updateLand(arg any, n int64) {
 	arg.(*group).rank.Set(int(n>>32), int(int32(n)))
 }
@@ -83,6 +100,21 @@ type Scheduler struct {
 	// destination set for the §VI pattern classification. The rank
 	// permutation lives in each group's RankTracker.
 	destScratch []int
+
+	// Heterogeneous-group state (DESIGN.md §15), nil/1 when every group
+	// is class 0 so homogeneous runs never touch it: the per-class group
+	// lists, per-class load meters and planning table (threshold model +
+	// period per class), and the phase-forwarding machinery — one rack
+	// dispatcher per class (JSQ / pow-k over the class's NetRX depths)
+	// with a per-class depth scratch and a dedicated sampling RNG.
+	classes     int
+	classGroups [][]int
+	classMeters []*LoadMeter
+	plan        *policy.ClassPlan
+	classDisp   []*rack.Dispatcher
+	classDepths [][]int
+	fwdRNG      *rack.SplitMix
+	phaseProbe  sched.PhaseProbe
 }
 
 // New builds an ALTOCUMULUS scheduler. steer distributes arrivals across
@@ -109,28 +141,78 @@ func New(eng *sim.Engine, p Params, cost fabric.CostModel, steer *nic.Steerer, d
 
 		destScratch: make([]int, 0, p.Groups),
 	}
-	tilesPerGroup := p.WorkersPerGroup + 1
+
+	// Class layout. Homogeneous configurations get classes == 1 and one
+	// peer list covering every group; the per-class planning/forwarding
+	// state stays nil so no heterogeneous path is reachable.
+	s.classes = p.NumClasses()
+	s.classGroups = make([][]int, s.classes)
 	for gid := 0; gid < p.Groups; gid++ {
+		c := p.ClassOf(gid)
+		s.classGroups[c] = append(s.classGroups[c], gid)
+	}
+	if s.classes > 1 {
+		s.plan = policy.NewClassPlan(s.classes)
+		s.classMeters = make([]*LoadMeter, s.classes)
+		s.classDisp = make([]*rack.Dispatcher, s.classes)
+		s.classDepths = make([][]int, s.classes)
+		s.fwdRNG = rack.NewSplitMix(p.ForwardSeed)
+		kind := rack.JSQ
+		if p.Forward == ForwardPowK {
+			kind = rack.PowerOfK
+		}
+		for c := 0; c < s.classes; c++ {
+			per := p.Period
+			if p.ClassPeriods != nil {
+				per = p.ClassPeriods[c]
+			}
+			s.plan.SetClass(c, policy.NewThresholdModel(p.WorkersPerGroup, p.SLOMultiplier), policy.Duration(per))
+			s.classMeters[c] = NewLoadMeter()
+			d, err := rack.NewDispatcher(rack.Config{Servers: len(s.classGroups[c]), Policy: kind, K: p.ForwardK})
+			if err != nil {
+				return nil, fmt.Errorf("core: class %d forward dispatcher: %w", c, err)
+			}
+			s.classDisp[c] = d
+			s.classDepths[c] = make([]int, len(s.classGroups[c]))
+		}
+	}
+
+	tilesPerGroup := p.WorkersPerGroup + 1
+	peerCursor := make([]int, s.classes)
+	for gid := 0; gid < p.Groups; gid++ {
+		cls := p.ClassOf(gid)
+		peers := s.classGroups[cls]
 		g := &group{
 			id:      gid,
 			tile:    gid * tilesPerGroup, // manager occupies the group's first tile
 			workers: make([]*exec.Core, p.WorkersPerGroup),
 			claimed: make([]int, p.WorkersPerGroup),
 			local:   make([]exec.Deque, p.WorkersPerGroup),
-			rank:    policy.NewRankTracker(p.Groups),
+			class:   cls,
+			peers:   peers,
+			peerIdx: peerCursor[cls],
+			rank:    policy.NewRankTracker(len(peers)),
 			mr:      hwmsg.NewMRFile(p.MRCapacity),
 			send:    hwmsg.NewFIFO(p.FIFOCapacity),
 			recv:    hwmsg.NewFIFO(p.FIFOCapacity),
 		}
+		peerCursor[cls]++
 		g.view = g.rank.View()
-		g.pr.Configure(p.Period, p.Bulk, p.Concurrency)
+		period := p.Period
+		if s.plan != nil {
+			period = sim.Time(s.plan.Period(int(cls)))
+		}
+		g.pr.Configure(period, p.Bulk, p.Concurrency)
 		g.tickFn = func() { s.tick(g) }
+		g.phaseLandFn = func(arg any, _ int64) { s.phaseLand(g, arg.(*rpcproto.Request)) }
 		g.landFns = make([]func(any, int64), p.WorkersPerGroup)
 		g.doneFns = make([]func(*rpcproto.Request), p.WorkersPerGroup)
 		for w := 0; w < p.WorkersPerGroup; w++ {
 			tile := g.tile + 1 + w
 			g.workers[w] = exec.NewCore(eng, gid*p.WorkersPerGroup+w, tile)
+			g.workers[w].Class = cls
 			w := w
+			g.workers[w].OnPhase = func(r *rpcproto.Request) bool { return s.phaseAdvance(g, w, r) }
 			g.landFns[w] = func(arg any, _ int64) { s.dispatchLand(g, w, arg.(*rpcproto.Request)) }
 			g.doneFns[w] = func(r *rpcproto.Request) {
 				if s.probe != nil {
@@ -147,7 +229,10 @@ func New(eng *sim.Engine, p Params, cost fabric.CostModel, steer *nic.Steerer, d
 }
 
 // SetObserver installs instrumentation.
-func (s *Scheduler) SetObserver(o sched.Observer) { s.obs, s.probe = o, sched.ProbeOf(o) }
+func (s *Scheduler) SetObserver(o sched.Observer) {
+	s.obs, s.probe = o, sched.ProbeOf(o)
+	s.phaseProbe = sched.PhaseProbeOf(o)
+}
 
 // localQueueID is the probe id of worker (gid, w)'s local queue: the
 // NetRX queues occupy ids 0..Groups-1, local queues follow in worker
@@ -167,6 +252,21 @@ func (s *Scheduler) Name() string {
 func (s *Scheduler) Deliver(r *rpcproto.Request) {
 	s.startTicks()
 	g := s.groups[s.steer.Steer(r)]
+	if s.classes > 1 {
+		// Heterogeneous groups: the NIC steers by class-oblivious hash,
+		// so remap onto the groups serving the first phase's class
+		// (deterministically, preserving the steerer's spread).
+		cls := int(r.PhaseClass[0]) // 0 for unphased requests
+		if cls < s.classes && int(g.class) != cls {
+			lst := s.classGroups[cls]
+			g = s.groups[lst[g.id%len(lst)]]
+		}
+		d := r.Service
+		if r.Phased() {
+			d = r.PhaseDur(g.class)
+		}
+		s.classMeters[g.class].ArrivalDur(d)
+	}
 	r.GroupHint = g.id
 	s.Meter.Arrival(r)
 	s.obs.OnEnqueue(r, g.id, g.netrx.Len())
@@ -321,7 +421,9 @@ func (s *Scheduler) startTicks() {
 	}
 	s.ticking = true
 	for _, g := range s.groups {
-		s.eng.After(s.P.Period, g.tickFn)
+		// g.pr.Period is the class period (== Params.Period when
+		// homogeneous or ClassPeriods is nil).
+		s.eng.After(g.pr.Period, g.tickFn)
 	}
 }
 
@@ -335,6 +437,11 @@ func (s *Scheduler) tick(g *group) {
 	// Close the measurement window once per period (first manager only).
 	if g.id == 0 {
 		s.Meter.Tick(s.eng.Now())
+	}
+	// With heterogeneous groups each class has its own meter, ticked by
+	// the class's first group (class periods may differ).
+	if s.plan != nil && g.id == s.classGroups[g.class][0] {
+		s.classMeters[g.class].Tick(s.eng.Now())
 	}
 
 	// Charge the runtime's software/hardware interface cost on the
@@ -358,23 +465,33 @@ func (s *Scheduler) tick(g *group) {
 	next := sim.Time(policy.EffectivePeriod(policy.Duration(g.pr.Period), policy.Duration(runtimeCost)))
 	s.eng.Rearm(next)
 
-	// Refresh own view entry and broadcast UPDATE to the other managers.
-	// Each UPDATE rides an arg-event (destination group + packed
-	// sender/qlen) so the broadcast allocates nothing.
+	// Refresh own view entry and broadcast UPDATE to the managers of
+	// this group's class peers (all managers when homogeneous). Each
+	// UPDATE rides an arg-event (destination group + packed sender peer
+	// index/qlen) so the broadcast allocates nothing.
 	qlen := g.netrx.Len()
-	g.rank.Set(g.id, qlen)
-	for _, h := range s.groups {
+	g.rank.Set(g.peerIdx, qlen)
+	for _, pid := range g.peers {
+		h := s.groups[pid]
 		if h.id == g.id {
 			continue
 		}
 		_, arrive := s.msgSend(g, h.tile, hwmsg.UpdateWireSize)
 		s.Stats.UpdatesSent++
-		s.eng.AtArg(now+arrive, updateLand, h, int64(g.id)<<32|int64(qlen))
+		s.eng.AtArg(now+arrive, updateLand, h, int64(g.peerIdx)<<32|int64(qlen))
 	}
 
 	// Threshold from the analytical model under the measured load (or
-	// the naive k*L+1 bound under the NaiveThreshold ablation).
-	t := s.Model.Threshold(s.Meter.OfferedPerGroup(s.P.Groups))
+	// the naive k*L+1 bound under the NaiveThreshold ablation). With
+	// heterogeneous groups the threshold is per class: the class's own
+	// meter and group count feed the class's model.
+	var t int
+	if s.plan != nil {
+		cls := int(g.class)
+		t = s.plan.Threshold(cls, s.classMeters[cls].OfferedPerGroup(len(s.classGroups[cls])))
+	} else {
+		t = s.Model.Threshold(s.Meter.OfferedPerGroup(s.P.Groups))
+	}
 	if s.P.NaiveThreshold {
 		t = s.Model.UpperBound()
 	}
@@ -391,12 +508,14 @@ func (s *Scheduler) tick(g *group) {
 		}
 	}
 
-	if s.P.DisableMigration || s.P.Groups < 2 {
+	if s.P.DisableMigration || len(g.peers) < 2 {
 		return
 	}
+	// decide works in peer-index space; map destinations back to group
+	// ids and hand each its synchronized view entry.
 	dests := s.decide(g, t, qlen)
 	for _, d := range dests {
-		s.sendMigrate(g, s.groups[d], g.pr.BatchSize())
+		s.sendMigrate(g, s.groups[g.peers[d]], g.view[d], g.pr.BatchSize())
 	}
 }
 
@@ -407,8 +526,8 @@ func (s *Scheduler) tick(g *group) {
 // incrementally from the tick's dirty set — and folding the outcome
 // into Stats.
 func (s *Scheduler) decide(g *group, t, qlen int) []int {
-	g.rank.Set(g.id, qlen)
-	trigger, pattern, dests := policy.DecideRanked(g.view, g.rank.Order(), g.id, t, g.pr.Bulk, g.pr.Concurrency,
+	g.rank.Set(g.peerIdx, qlen)
+	trigger, pattern, dests := policy.DecideRanked(g.view, g.rank.Order(), g.peerIdx, t, g.pr.Bulk, g.pr.Concurrency,
 		!s.P.DisablePatterns, s.destScratch)
 	switch trigger {
 	case policy.TriggerPattern:
@@ -427,14 +546,16 @@ func (s *Scheduler) decide(g *group, t, qlen int) []int {
 }
 
 // sendMigrate builds and injects one MIGRATE of up to batch requests from
-// g's NetRX tail toward dst (§V-A message walk-through).
-func (s *Scheduler) sendMigrate(g, dst *group, batch int) {
+// g's NetRX tail toward dst (§V-A message walk-through). dstView is g's
+// synchronized view of dst's queue length (peer-indexed, supplied by the
+// caller).
+func (s *Scheduler) sendMigrate(g, dst *group, dstView, batch int) {
 	if dst.id == g.id {
 		return
 	}
 	// Algorithm 1 line 8: forbid migrations that would leave the
 	// destination no better off.
-	srcLen, dstView := g.netrx.Len(), g.view[dst.id]
+	srcLen := g.netrx.Len()
 	if !s.P.DisableGuard && !policy.GuardAllows(srcLen, dstView, batch) {
 		s.Stats.GuardSkips++
 		return
@@ -455,7 +576,9 @@ func (s *Scheduler) sendMigrate(g, dst *group, batch int) {
 		} else {
 			r = g.netrx.At(i)
 		}
-		return r.Migrated && !s.P.AllowRemigration
+		// Migrate-once is scoped per phase: the executor clears the
+		// latch at every phase boundary (policy.CanMigrate).
+		return !policy.CanMigrate(r.Migrated, s.P.AllowRemigration)
 	})
 	reqs := make([]*rpcproto.Request, 0, batch)
 	for len(reqs) < count {
@@ -551,6 +674,86 @@ func (s *Scheduler) receiveMigrate(src, dst *group, m *hwmsg.Migrate) {
 	// ACK back to the source, which then invalidates its MR entries.
 	_, ackAt := s.msgSend(dst, src.tile, hwmsg.AckWireSize)
 	s.eng.At(now+ackAt, func() { src.mr.Invalidate(len(m.Descs)) })
+}
+
+// phaseAdvance is the executor's OnPhase seam (DESIGN.md §15), called
+// at every non-final phase boundary of a phased request running on
+// worker w of group g (r.Phase already advanced). Returning false keeps
+// the next phase on the same worker, back to back; returning true means
+// the request was taken off the worker and its next phase enqueued —
+// after an offload delay when crossing groups — onto the NetRX of the
+// group the forwarding policy picked for the phase's class.
+//
+//altolint:hotpath
+func (s *Scheduler) phaseAdvance(g *group, w int, r *rpcproto.Request) bool {
+	if s.P.Forward == ForwardStayLocal || s.classes <= 1 {
+		s.Stats.PhaseStays++
+		return false
+	}
+	cls := int(r.PhaseClass[r.Phase])
+	if cls >= s.classes {
+		// No group serves this class (profile broader than the machine):
+		// documented fallback is to stay local.
+		s.Stats.PhaseStays++
+		return false
+	}
+	dst := s.forwardDest(g, cls)
+	if s.phaseProbe != nil {
+		s.phaseProbe.OnPhaseDone(r, g.workers[w].ID)
+	}
+	s.Stats.PhaseForwards++
+	var delay sim.Time
+	if dst != g {
+		// Offload (transfer) cost is charged only when the phase
+		// actually crosses groups.
+		delay = r.PhaseOffload[r.Phase]
+	}
+	s.eng.AfterArg(delay, dst.phaseLandFn, r, 0)
+	// The worker freed up the instant the phase completed: pull its next
+	// local request, then let the group keep dispatching from NetRX.
+	s.tryStart(g, w)
+	s.dispatch(g)
+	return true
+}
+
+// forwardDest picks the group to run a phase of class cls on, via the
+// class's rack dispatcher: fresh NetRX depths are observed, then the
+// configured policy (JSQ-in-class or pow-k-in-class) picks. The
+// dispatcher's anti-herding correction covers back-to-back boundaries
+// between observations.
+//
+//altolint:hotpath
+func (s *Scheduler) forwardDest(g *group, cls int) *group {
+	lst := s.classGroups[cls]
+	if len(lst) == 1 {
+		return s.groups[lst[0]]
+	}
+	now := policy.Duration(s.eng.Now())
+	depths := s.classDepths[cls]
+	for i, gid := range lst {
+		depths[i] = s.groups[gid].netrx.Len()
+	}
+	d := s.classDisp[cls]
+	d.ObserveAll(depths, now)
+	dec := d.Pick(0, now, s.fwdRNG)
+	return s.groups[lst[dec.Server]]
+}
+
+// phaseLand lands a forwarded phase on group g's NetRX: the request
+// re-queues (RequeueForward) and the group's dispatch pulls it to a
+// worker of the phase's class like any other arrival.
+//
+//altolint:hotpath
+func (s *Scheduler) phaseLand(g *group, r *rpcproto.Request) {
+	if s.probe != nil {
+		s.probe.OnRequeue(r, g.id, sched.RequeueForward, g.netrx.Len())
+	}
+	r.Enq = s.eng.Now()
+	if s.classMeters != nil {
+		s.classMeters[g.class].ArrivalDur(r.PhaseDur(g.class))
+	}
+	g.netrx.PushTail(r)
+	s.dispatch(g)
 }
 
 var _ sched.Scheduler = (*Scheduler)(nil)

@@ -1,0 +1,112 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/rpcproto"
+	"repro/internal/sim"
+)
+
+func TestPhaseProfileApply(t *testing.T) {
+	p := NewPhaseProfile("kv4",
+		PhaseSpec{Name: "parse", Dist: Fixed{V: 10 * sim.Nanosecond}},
+		PhaseSpec{Name: "index", Dist: Fixed{V: 20 * sim.Nanosecond}, Class: 1, Speedup: 2},
+		PhaseSpec{Name: "data", Dist: Exponential{M: 30 * sim.Nanosecond}, Class: 1, Speedup: 4, Offload: 5 * sim.Nanosecond},
+		PhaseSpec{Name: "respond", Dist: Fixed{V: 7 * sim.Nanosecond}},
+	)
+	rng := sim.NewRNG(1)
+	var r rpcproto.Request
+	p.Apply(&r, rng)
+
+	if r.NumPhases != 4 || r.Phase != 0 {
+		t.Fatalf("NumPhases=%d Phase=%d, want 4/0", r.NumPhases, r.Phase)
+	}
+	var total sim.Time
+	for i := 0; i < 4; i++ {
+		total += r.PhaseSvc[i]
+	}
+	if r.Service != total {
+		t.Errorf("Service %v != phase sum %v", r.Service, total)
+	}
+	if r.PhaseSvc[0] != 10*sim.Nanosecond || r.PhaseAcc[0] != 10*sim.Nanosecond {
+		t.Errorf("neutral phase 0 scaled: svc=%v acc=%v", r.PhaseSvc[0], r.PhaseAcc[0])
+	}
+	if r.PhaseAcc[1] != 10*sim.Nanosecond {
+		t.Errorf("phase 1 speedup 2x: acc=%v, want 10ns", r.PhaseAcc[1])
+	}
+	if want := sim.Time(float64(r.PhaseSvc[2]) / 4); r.PhaseAcc[2] != want {
+		t.Errorf("phase 2 speedup 4x: acc=%v, want %v", r.PhaseAcc[2], want)
+	}
+	if r.PhaseOffload[2] != 5*sim.Nanosecond || r.PhaseClass[2] != 1 {
+		t.Errorf("phase 2 offload/class: %v/%d", r.PhaseOffload[2], r.PhaseClass[2])
+	}
+	if p.Classes() != 2 || p.Neutral() || p.Len() != 4 {
+		t.Errorf("Classes=%d Neutral=%v Len=%d, want 2/false/4", p.Classes(), p.Neutral(), p.Len())
+	}
+	if p.Name() != "kv4" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+// TestOnePhaseNeutralStream locks the byte-identity seed: a one-phase
+// neutral profile must consume exactly the draws a bare distribution
+// would, producing the identical Service stream.
+func TestOnePhaseNeutralStream(t *testing.T) {
+	base := Exponential{M: 500 * sim.Nanosecond}
+	p := NewPhaseProfile("", PhaseSpec{Dist: base})
+	if !p.Neutral() {
+		t.Fatal("one neutral phase must report Neutral")
+	}
+	a, b := sim.NewRNG(42), sim.NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		var r rpcproto.Request
+		p.Apply(&r, a)
+		want := base.Sample(b)
+		if r.Service != want || r.PhaseSvc[0] != want || r.PhaseAcc[0] != want {
+			t.Fatalf("draw %d: profile %v/%v/%v, bare %v", i, r.Service, r.PhaseSvc[0], r.PhaseAcc[0], want)
+		}
+		if r.NumPhases != 1 || r.PhaseClass[0] != 0 || r.PhaseOffload[0] != 0 {
+			t.Fatalf("draw %d: non-neutral fields: %+v", i, r)
+		}
+	}
+}
+
+func TestPhaseProfileServiceDist(t *testing.T) {
+	p := NewPhaseProfile("",
+		PhaseSpec{Dist: Fixed{V: 10 * sim.Nanosecond}},
+		PhaseSpec{Dist: Fixed{V: 30 * sim.Nanosecond}, Class: 1, Speedup: 3},
+	)
+	if got := p.Mean(); got != 40*sim.Nanosecond {
+		t.Errorf("Mean = %v, want 40ns", got)
+	}
+	if got := p.MeanOn(); got != 20*sim.Nanosecond {
+		t.Errorf("MeanOn = %v, want 20ns (10 + 30/3)", got)
+	}
+	if got := p.Sample(sim.NewRNG(1)); got != 40*sim.Nanosecond {
+		t.Errorf("Sample = %v, want 40ns", got)
+	}
+	if got := p.Name(); got != "phases(fixed(10.000ns)>fixed(30.000ns))" {
+		t.Errorf("default Name = %q", got)
+	}
+}
+
+func TestNewPhaseProfilePanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("empty", func() { NewPhaseProfile("x") })
+	expectPanic("nil dist", func() { NewPhaseProfile("x", PhaseSpec{}) })
+	expectPanic("too many", func() {
+		specs := make([]PhaseSpec, rpcproto.MaxPhases+1)
+		for i := range specs {
+			specs[i] = PhaseSpec{Dist: Fixed{V: sim.Nanosecond}}
+		}
+		NewPhaseProfile("x", specs...)
+	})
+}

@@ -20,6 +20,18 @@ type Core struct {
 	// PreemptCost is charged (on this core) at every preemption.
 	PreemptCost sim.Time
 
+	// Class is the core's hardware class (0 = general-purpose). Phased
+	// requests whose current phase is affine to this class run the
+	// accelerated PhaseAcc duration instead of the base PhaseSvc one.
+	Class uint8
+	// OnPhase, when set, is consulted at every non-final phase boundary
+	// of a phased request. Returning true means the scheduler took
+	// ownership of the request (e.g. forwarded the next phase to another
+	// group); returning false continues the next phase on this core
+	// back to back. Nil OnPhase always continues locally, so schedulers
+	// without a forwarding seam run phase chains run-to-completion.
+	OnPhase func(*rpcproto.Request) bool
+
 	eng      *sim.Engine
 	busy     bool
 	busyTime sim.Time // accumulated busy time, for utilisation reporting
@@ -72,10 +84,18 @@ func (c *Core) Start(r *rpcproto.Request, overhead sim.Time, done, preempted fun
 		panic("exec: Start on busy core")
 	}
 	if r.Remaining == 0 {
-		if r.OnExecute != nil {
-			r.OnExecute(r)
+		// OnExecute fires once per request, when phase 0 first starts —
+		// not at later phase boundaries.
+		if r.Phase == 0 {
+			if r.OnExecute != nil {
+				r.OnExecute(r)
+			}
 		}
-		r.Remaining = r.Service
+		if r.NumPhases > 1 {
+			r.Remaining = r.PhaseDur(c.Class)
+		} else {
+			r.Remaining = r.Service
+		}
 	}
 	c.busy = true
 	c.cur = r
@@ -118,7 +138,25 @@ func (c *Core) fire() {
 		return
 	}
 	r.Remaining = 0
-	r.Finish = c.eng.Now()
+	now := c.eng.Now()
+	if r.NumPhases > 1 && r.Phase+1 < r.NumPhases {
+		// Non-final phase boundary: stamp the phase, advance, and reset
+		// the migration latch — migrate-once becomes migrate-once-per-
+		// phase (policy.CanMigrate documents the contract). The scheduler
+		// may claim the request through OnPhase (forwarding it to a
+		// better-suited group); otherwise the next phase runs here,
+		// back to back, as its own completion event.
+		r.PhaseEnd[r.Phase] = now
+		r.Phase++
+		r.Migrated = false
+		if c.OnPhase != nil && c.OnPhase(r) {
+			return
+		}
+		c.Start(r, 0, done, preempted)
+		return
+	}
+	r.PhaseEnd[r.Phase] = now
+	r.Finish = now
 	done(r)
 }
 

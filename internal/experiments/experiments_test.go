@@ -13,7 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 	// registered experiment, plus the repository's extension studies.
 	want := []string{"fig01", "fig03", "fig07", "fig09", "fig10",
 		"fig11", "fig12a", "fig12b", "fig13a", "fig13b", "fig13c", "fig14",
-		"ablate", "bigtopo", "checks", "efficiency", "isolation", "rack", "stability", "validate"}
+		"ablate", "bigtopo", "checks", "efficiency", "isolation", "multiphase", "rack", "stability", "validate"}
 	ids := IDs()
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d: %v", len(ids), len(want), ids)

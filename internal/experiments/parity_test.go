@@ -36,7 +36,7 @@ func render(t *testing.T, id string, seed uint64) []byte {
 var parityDefault = map[string]bool{
 	"fig01": true, "fig03": true, "fig07": true, "fig09": true,
 	"fig10": true, "efficiency": true, "isolation": true, "validate": true,
-	"rack": true,
+	"rack": true, "multiphase": true,
 }
 
 // TestParallelSerialParity is the cross-run determinism gate for the

@@ -1,0 +1,75 @@
+package mica
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/rpcproto"
+	"repro/internal/sim"
+)
+
+// TestPhasesSumToTime locks the satellite contract: the 4-phase
+// breakdown re-partitions Time() exactly — for every op, payload size,
+// and migration state, including cost models with awkward (non-divisible)
+// bases.
+func TestPhasesSumToTime(t *testing.T) {
+	costs := []OpCost{
+		DefaultOpCost(fabric.Default()),
+		{
+			Cost:          fabric.Default(),
+			GetBase:       37*sim.Nanosecond + 13*sim.Picosecond, // indivisible by 4
+			SetBase:       29*sim.Nanosecond + 3*sim.Picosecond,
+			PerByte:       17 * sim.Picosecond,
+			ScanEntries:   999,
+			PerEntry:      23*sim.Nanosecond + 7*sim.Picosecond,
+			RemotePenalty: 11 * sim.Nanosecond,
+		},
+		{ScanEntries: 0, PerEntry: 25 * sim.Nanosecond}, // SCAN carve-out larger than total
+	}
+	ops := []rpcproto.Op{rpcproto.OpGet, rpcproto.OpSet, rpcproto.OpScan, rpcproto.Op(200)}
+	payloads := []int{0, 1, 64, 512, 4096, 1 << 20}
+	for ci, o := range costs {
+		for _, op := range ops {
+			for _, pl := range payloads {
+				for _, mig := range []bool{false, true} {
+					want := o.Time(op, pl, mig)
+					p := o.Phases(op, pl, mig)
+					if got := p.Total(); got != want {
+						t.Errorf("cost %d op=%v payload=%d migrated=%v: Phases total %v != Time %v (%+v)",
+							ci, op, pl, mig, got, want, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPhasesShape checks the intended placement: payload work in the
+// data phase, the remote penalty on the index probe, no negative parts.
+func TestPhasesShape(t *testing.T) {
+	o := DefaultOpCost(fabric.Default())
+
+	get := o.Phases(rpcproto.OpGet, 512, false)
+	if get.Data != 512*o.PerByte {
+		t.Errorf("GET data phase %v, want %v", get.Data, 512*o.PerByte)
+	}
+	if get.Parse <= 0 || get.Index <= 0 || get.Respond <= 0 {
+		t.Errorf("GET phases must all be positive: %+v", get)
+	}
+
+	plain := o.Phases(rpcproto.OpSet, 64, false)
+	mig := o.Phases(rpcproto.OpSet, 64, true)
+	if mig.Index-plain.Index != o.RemotePenalty {
+		t.Errorf("migration penalty on index: got %v, want %v", mig.Index-plain.Index, o.RemotePenalty)
+	}
+	if mig.Parse != plain.Parse || mig.Data != plain.Data || mig.Respond != plain.Respond {
+		t.Errorf("migration must only touch the index phase: %+v vs %+v", mig, plain)
+	}
+
+	scan := o.Phases(rpcproto.OpScan, 0, false)
+	for _, d := range []sim.Time{scan.Parse, scan.Index, scan.Data, scan.Respond} {
+		if d < 0 {
+			t.Errorf("negative SCAN phase: %+v", scan)
+		}
+	}
+}

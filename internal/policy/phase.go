@@ -1,0 +1,77 @@
+package policy
+
+// Phase-aware planning (DESIGN.md §15). With heterogeneous core groups
+// the Erlang-C threshold and the manager period stop being global: an
+// accelerator class with 2 groups and a 5x speedup wants a different
+// N* and a different tick cadence than the general-purpose pool. A
+// ClassPlan holds one ThresholdModel and period per core class;
+// internal/core consults it only when groups are heterogeneous, so
+// homogeneous configurations never touch this path (byte-identity).
+
+// ClassPlan is the per-class planning table: one threshold model and
+// manager period per core class. The zero class is the general-purpose
+// pool. Engine-free, like everything in this package.
+type ClassPlan struct {
+	models  []*ThresholdModel
+	periods []Duration
+}
+
+// NewClassPlan returns an empty plan for the given number of classes.
+// Classes without an explicit SetClass keep a nil model (threshold 0 —
+// always migrate-eligible) and a zero period (caller must fill it).
+func NewClassPlan(classes int) *ClassPlan {
+	if classes <= 0 {
+		panic("policy: ClassPlan needs at least one class")
+	}
+	return &ClassPlan{
+		models:  make([]*ThresholdModel, classes),
+		periods: make([]Duration, classes),
+	}
+}
+
+// Classes returns the number of classes the plan covers.
+func (p *ClassPlan) Classes() int { return len(p.models) }
+
+// SetClass installs the threshold model and manager period for class c.
+func (p *ClassPlan) SetClass(c int, m *ThresholdModel, period Duration) {
+	p.models[c] = m
+	p.periods[c] = period
+}
+
+// Threshold returns class c's migration threshold for the given
+// offered load per group of that class. A class without a model
+// returns 0 (every queued request counts as migratable).
+//
+//altolint:hotpath
+func (p *ClassPlan) Threshold(c int, offered float64) int {
+	m := p.models[c]
+	if m == nil {
+		return 0
+	}
+	return m.Threshold(offered)
+}
+
+// Period returns class c's configured manager period.
+func (p *ClassPlan) Period(c int) Duration { return p.periods[c] }
+
+// EffectivePeriod returns class c's period stretched by the measured
+// tick cost, exactly as the global EffectivePeriod does.
+//
+//altolint:hotpath
+func (p *ClassPlan) EffectivePeriod(c int, tickCost Duration) Duration {
+	return EffectivePeriod(p.periods[c], tickCost)
+}
+
+// CanMigrate answers "can this request migrate now?" under the
+// migrate-once-per-phase contract. ALTOCUMULUS restricts a request to
+// one migration (§VI) so queueing estimates stay honest; with phase
+// chains the restriction is scoped to the current phase — the executor
+// clears the Migrated latch at every phase boundary, so each phase may
+// migrate at most once, still guarded by the Algorithm 1 line 8 check.
+// allowRemigration lifts the restriction entirely (the existing
+// escape hatch, unchanged).
+//
+//altolint:hotpath
+func CanMigrate(migratedThisPhase, allowRemigration bool) bool {
+	return allowRemigration || !migratedThisPhase
+}

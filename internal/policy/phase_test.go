@@ -1,0 +1,53 @@
+package policy
+
+import "testing"
+
+func TestClassPlan(t *testing.T) {
+	p := NewClassPlan(2)
+	if p.Classes() != 2 {
+		t.Fatalf("Classes = %d, want 2", p.Classes())
+	}
+	// Class 0: a real model; class 1 left unset (nil model).
+	m := NewThresholdModel(15, 10)
+	p.SetClass(0, m, 200*Nanosecond)
+	p.SetClass(1, nil, 400*Nanosecond)
+
+	if got, want := p.Threshold(0, 8), m.Threshold(8); got != want {
+		t.Errorf("class 0 threshold %d, want model's %d", got, want)
+	}
+	if got := p.Threshold(1, 8); got != 0 {
+		t.Errorf("nil-model class threshold %d, want 0", got)
+	}
+	if p.Period(0) != 200*Nanosecond || p.Period(1) != 400*Nanosecond {
+		t.Errorf("periods %v/%v", p.Period(0), p.Period(1))
+	}
+	// Per-class EffectivePeriod matches the global helper.
+	if got, want := p.EffectivePeriod(1, 300*Nanosecond), EffectivePeriod(400*Nanosecond, 300*Nanosecond); got != want {
+		t.Errorf("EffectivePeriod %v, want %v", got, want)
+	}
+}
+
+func TestNewClassPlanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for 0 classes")
+		}
+	}()
+	NewClassPlan(0)
+}
+
+func TestCanMigrate(t *testing.T) {
+	cases := []struct {
+		migrated, allow, want bool
+	}{
+		{false, false, true}, // fresh phase: one migration allowed
+		{true, false, false}, // already migrated this phase
+		{true, true, true},   // remigration ablation lifts the latch
+		{false, true, true},
+	}
+	for _, c := range cases {
+		if got := CanMigrate(c.migrated, c.allow); got != c.want {
+			t.Errorf("CanMigrate(%v, %v) = %v, want %v", c.migrated, c.allow, got, c.want)
+		}
+	}
+}

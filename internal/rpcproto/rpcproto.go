@@ -77,12 +77,76 @@ type Request struct {
 	// Zero for heap-allocated requests.
 	Pool uint64
 
+	// Multi-phase lifecycle state (DESIGN.md §15). A phased request runs
+	// as a chain of NumPhases phase-completion events instead of one
+	// opaque service time; Service stays the sum of the base phase
+	// durations so SLO and load accounting are phase-agnostic. The
+	// arrays are fixed-size so a phased request still lives entirely in
+	// its arena slot — no per-request allocation. NumPhases <= 1 is the
+	// degenerate single-shot chain: every pre-phase code path is taken
+	// unchanged (byte-identical traces).
+	Phase     uint8 // current phase index (advances at each boundary)
+	NumPhases uint8 // 0 or 1 = single-shot; 2..MaxPhases = phased
+
+	PhaseSvc     [MaxPhases]sim.Time // base duration per phase (drawn at prepare)
+	PhaseAcc     [MaxPhases]sim.Time // duration on the phase's affine class (== PhaseSvc when neutral)
+	PhaseEnd     [MaxPhases]sim.Time // completion timestamp per phase; 0 until the phase finishes
+	PhaseOffload [MaxPhases]sim.Time // transfer cost charged when the phase is forwarded to another group
+	PhaseClass   [MaxPhases]uint8    // core-class affinity per phase (0 = general)
+
 	// OnExecute, when non-nil, runs once when a core first begins this
 	// request (before the execution duration is read). Applications use
 	// it to perform their real work and finalise Service — e.g. MICA
 	// executes the GET/SET here and adds the EREW remote-access penalty
 	// if the request was migrated.
 	OnExecute func(r *Request)
+}
+
+// MaxPhases bounds the phase chain of one request. Eight covers the
+// 4-phase MICA profile (parse → index probe → log read → respond) with
+// headroom for crypto/compression stages, while keeping the per-request
+// footprint fixed (phase state is inline arrays, not slices).
+const MaxPhases = 8
+
+// Phased reports whether this request runs as a multi-phase chain.
+// Single-shot requests (NumPhases <= 1) take every pre-phase code path
+// unchanged.
+//
+//altolint:hotpath
+func (r *Request) Phased() bool { return r.NumPhases > 1 }
+
+// PhaseDur returns the effective duration of the current phase on a
+// core of the given class: the affine-class duration when the classes
+// match, the base duration elsewhere. Neutral phases carry
+// PhaseAcc == PhaseSvc, so the distinction vanishes.
+//
+//altolint:hotpath
+func (r *Request) PhaseDur(class uint8) sim.Time {
+	if r.PhaseClass[r.Phase] == class {
+		return r.PhaseAcc[r.Phase]
+	}
+	return r.PhaseSvc[r.Phase]
+}
+
+// MinService returns the smallest on-CPU time the request can complete
+// in: Service for single-shot requests, and the per-phase minimum of
+// base and affine durations for phased ones (a phase never runs faster
+// than its accelerated duration). The invariant checker's conservation
+// bound uses this instead of Service, which an accelerated chain may
+// legitimately undercut.
+func (r *Request) MinService() sim.Time {
+	if !r.Phased() {
+		return r.Service
+	}
+	var total sim.Time
+	for i := 0; i < int(r.NumPhases); i++ {
+		d := r.PhaseSvc[i]
+		if r.PhaseAcc[i] < d {
+			d = r.PhaseAcc[i]
+		}
+		total += d
+	}
+	return total
 }
 
 // Latency returns the server-side latency (NIC arrival to completion).

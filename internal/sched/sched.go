@@ -72,6 +72,10 @@ const (
 	// RequeueNack: a NACKed (or aborted) MIGRATE returned its requests
 	// to the source NetRX.
 	RequeueNack
+	// RequeueForward: a finished phase of a multi-phase request was
+	// enqueued onto the NetRX of the group serving its next phase's
+	// core class (DESIGN.md §15).
+	RequeueForward
 )
 
 func (c RequeueCause) String() string {
@@ -82,6 +86,8 @@ func (c RequeueCause) String() string {
 		return "migrate"
 	case RequeueNack:
 		return "nack"
+	case RequeueForward:
+		return "forward"
 	default:
 		return "transfer"
 	}
@@ -139,6 +145,26 @@ type Probe interface {
 // probe is one nil check.
 func ProbeOf(o Observer) Probe {
 	if p, ok := o.(Probe); ok {
+		return p
+	}
+	return nil
+}
+
+// PhaseProbe extends Probe with phase-lifecycle events for schedulers
+// that run multi-phase requests (internal/core with heterogeneous
+// groups). Separate from Probe so existing probes keep compiling.
+type PhaseProbe interface {
+	Probe
+	// OnPhaseDone fires when core finishes a non-final phase of r and
+	// the scheduler takes the request off the core to forward it (the
+	// back-to-back local continuation emits no event). r.Phase has
+	// already advanced to the next phase.
+	OnPhaseDone(r *rpcproto.Request, core int)
+}
+
+// PhaseProbeOf returns o as a PhaseProbe, or nil.
+func PhaseProbeOf(o Observer) PhaseProbe {
+	if p, ok := o.(PhaseProbe); ok {
 		return p
 	}
 	return nil

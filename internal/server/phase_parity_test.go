@@ -1,0 +1,68 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/trace"
+)
+
+// onePhaseWorkload is goldenWorkload with the service distribution
+// wrapped in a degenerate one-phase neutral profile. By the byte-identity
+// contract this must be indistinguishable from the bare distribution:
+// same RNG draws, same event order, same trace bytes.
+func onePhaseWorkload() Workload {
+	wl := goldenWorkload()
+	wl.Profile = dist.NewPhaseProfile("", dist.PhaseSpec{Dist: wl.Service})
+	wl.Service = nil
+	return wl
+}
+
+// TestGoldenTracesOnePhase proves the degenerate one-phase profile is
+// byte-identical to the pre-refactor single-service-time path for all
+// nine schedulers, against the same checked-in goldens.
+func TestGoldenTracesOnePhase(t *testing.T) {
+	for _, kind := range goldenKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			res, err := Run(goldenConfig(kind), onePhaseWorkload())
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareGolden(t, kind, res)
+		})
+	}
+}
+
+// TestOnePhaseParityAcrossSeeds widens the net beyond the golden seed:
+// for every scheduler and several seeds, a bare-distribution run and
+// its one-phase-profile twin must produce identical trace bytes.
+func TestOnePhaseParityAcrossSeeds(t *testing.T) {
+	for _, kind := range goldenKinds() {
+		for _, seed := range []uint64{1, 13, 9001} {
+			cfg := goldenConfig(kind)
+			cfg.Seed = seed
+
+			bare, err := Run(cfg, goldenWorkload())
+			if err != nil {
+				t.Fatalf("%s seed %d bare: %v", kind, seed, err)
+			}
+			phased, err := Run(cfg, onePhaseWorkload())
+			if err != nil {
+				t.Fatalf("%s seed %d phased: %v", kind, seed, err)
+			}
+
+			var a, b bytes.Buffer
+			if err := trace.WriteCSV(&a, bare.Requests); err != nil {
+				t.Fatal(err)
+			}
+			if err := trace.WriteCSV(&b, phased.Requests); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Errorf("%s seed %d: one-phase profile trace deviates from bare distribution (%d vs %d bytes)",
+					kind, seed, b.Len(), a.Len())
+			}
+		}
+	}
+}

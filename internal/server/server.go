@@ -167,11 +167,16 @@ type App interface {
 // Workload is the offered load.
 type Workload struct {
 	Arrivals dist.ArrivalProcess
-	Service  dist.ServiceDist // ignored when App != nil
+	Service  dist.ServiceDist // ignored when App or Profile != nil
 	App      App
-	N        int // total requests
-	Warmup   int // initial completions excluded from the latency sample
-	Conns    int // distinct connections (flows); default 1024
+	// Profile draws each request as a multi-phase chain (DESIGN.md §15)
+	// instead of one Service sample. Precedence: App > Profile >
+	// Service. A 1-phase neutral profile consumes the identical RNG
+	// stream as its bare distribution, so runs are byte-identical.
+	Profile *dist.PhaseProfile
+	N       int // total requests
+	Warmup  int // initial completions excluded from the latency sample
+	Conns   int // distinct connections (flows); default 1024
 }
 
 // Result is one run's measurements.
@@ -250,12 +255,21 @@ func (g *gen) schedule(i int, at sim.Time) {
 	r.Size = 300
 	if g.wl.App != nil {
 		g.wl.App.Prepare(r, g.svcRNG)
+	} else if g.wl.Profile != nil {
+		g.wl.Profile.Apply(r, g.svcRNG)
 	} else {
 		r.Service = g.wl.Service.Sample(g.svcRNG)
 	}
 	g.meanSvcSum += r.Service.Seconds()
-	// Software stacks charge per-request processing on the core.
-	r.Service += g.rx.CoreStackCost(r.Size)
+	// Software stacks charge per-request processing on the core. For a
+	// phased request the stack cost lands on the first phase so the
+	// per-phase durations keep summing to Service.
+	stackCost := g.rx.CoreStackCost(r.Size)
+	r.Service += stackCost
+	if r.NumPhases > 0 && stackCost > 0 {
+		r.PhaseSvc[0] += stackCost
+		r.PhaseAcc[0] += stackCost
+	}
 	gap := g.wl.Arrivals.NextGap(g.arrRNG)
 	g.eng.AtArg(at, g.arriveFn, r, int64(gap))
 }
@@ -536,6 +550,12 @@ func build(cfg Config, eng *sim.Engine, steerRNG, schedRNG *sim.RNG, done sched.
 			1500*sim.Picosecond, 5*sim.Microsecond, 200*sim.Nanosecond, done)
 		return s, integ, nil
 	case SchedAltocumulus:
+		// The phase-forward pow-k sampler gets its own stream, derived
+		// from the run seed unless the caller pinned one. cfg is a copy,
+		// so the caller's Params are untouched.
+		if cfg.AC.ForwardSeed == 0 {
+			cfg.AC.ForwardSeed = cfg.Seed
+		}
 		st := nic.NewSteerer(cfg.Steer, cfg.AC.Groups, steerRNG)
 		s, err := core.New(eng, cfg.AC, cost, st, done)
 		if err != nil {

@@ -69,3 +69,68 @@ func FuzzTraceRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzPhaseRoundTrip checks that the phase sidecar codec
+// (PhaseRecordsOf -> CSV/JSONL -> PhaseRecord) is lossless for any
+// multi-phase chain. Per-phase durations derive deterministically from
+// the fuzzed bases via index mixing so each row is distinct; the same
+// 2^50 ps clamp as FuzzTraceRoundTrip keeps the fixed three-decimal
+// format exact.
+func FuzzPhaseRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint8(1), uint8(0), uint64(1), uint64(1), uint64(0), uint64(1))
+	f.Add(uint64(7), uint8(4), uint8(1), uint64(38000), uint64(9500), uint64(120), uint64(999999))
+	f.Add(uint64(1<<40), uint8(8), uint8(3), uint64(1)<<49, uint64(1)<<48, uint64(1)<<32, uint64(1)<<49)
+	f.Add(uint64(12345), uint8(2), uint8(255), uint64(777777), uint64(0), uint64(31415), uint64(271828))
+
+	f.Fuzz(func(t *testing.T, id uint64, nphases, class uint8, svc, acc, off, end uint64) {
+		const maxPS = uint64(1) << 50
+		n := int(nphases)%rpcproto.MaxPhases + 1
+		r := &rpcproto.Request{ID: id, NumPhases: uint8(n), Phase: uint8(n - 1)}
+		for i := 0; i < n; i++ {
+			mix := uint64(i)*0x9E3779B9 + 1
+			r.PhaseSvc[i] = sim.Time((svc * mix) % maxPS)
+			r.PhaseAcc[i] = sim.Time((acc * mix) % maxPS)
+			r.PhaseOffload[i] = sim.Time((off * mix) % maxPS)
+			r.PhaseEnd[i] = sim.Time((end * mix) % maxPS)
+			r.PhaseClass[i] = class + uint8(i)
+			r.Service += r.PhaseSvc[i]
+		}
+		r.Finish = r.PhaseEnd[n-1] + 1 // WritePhaseCSV skips unfinished requests
+		want := PhaseRecordsOf(nil, r)
+		if len(want) != n {
+			t.Fatalf("PhaseRecordsOf returned %d records, want %d", len(want), n)
+		}
+
+		var csvBuf bytes.Buffer
+		if err := WritePhaseCSV(&csvBuf, []*rpcproto.Request{r}); err != nil {
+			t.Fatalf("WritePhaseCSV: %v", err)
+		}
+		recs, err := ReadPhaseCSV(bytes.NewReader(csvBuf.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadPhaseCSV: %v\ncsv:\n%s", err, csvBuf.String())
+		}
+		if len(recs) != len(want) {
+			t.Fatalf("CSV round trip returned %d records, want %d", len(recs), len(want))
+		}
+		for i := range want {
+			if recs[i] != want[i] {
+				t.Fatalf("CSV row %d:\n got %+v\nwant %+v\ncsv:\n%s", i, recs[i], want[i], csvBuf.String())
+			}
+		}
+
+		var jsonBuf bytes.Buffer
+		if err := WritePhaseJSONL(&jsonBuf, []*rpcproto.Request{r}); err != nil {
+			t.Fatalf("WritePhaseJSONL: %v", err)
+		}
+		dec := json.NewDecoder(bytes.NewReader(jsonBuf.Bytes()))
+		for i := range want {
+			var got PhaseRecord
+			if err := dec.Decode(&got); err != nil {
+				t.Fatalf("JSONL line %d: %v", i, err)
+			}
+			if got != want[i] {
+				t.Fatalf("JSONL line %d:\n got %+v\nwant %+v", i, got, want[i])
+			}
+		}
+	})
+}

@@ -35,6 +35,10 @@
 #                     dispatch policy (rr, jsq, pow-k, affinity);
 #                     allocs/op must be 0 (TestRackDispatchZeroAlloc is
 #                     the hard gate)
+#   PhaseForward      one 3-phase chain with an accelerator round trip
+#                     on the hetero AC machine (two phase-boundary
+#                     forwards through NetRX per chain); allocs/op must
+#                     be 0 (TestPhaseForwardZeroAlloc is the hard gate)
 #   LiveLoopback      the real goroutine runtime end to end over TCP
 #                     loopback: 20k RPCs per iteration on a persistent
 #                     warmed session. rpc/s is the headline number
@@ -56,7 +60,7 @@ raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' \
-    -bench 'BenchmarkEngineEvents$|BenchmarkEngineEventsDeep|BenchmarkBigTopoTick|BenchmarkBigTopoQuick$|BenchmarkRequestLifecycle$|BenchmarkQueueLens|BenchmarkFig10Serial$|BenchmarkFig10Par4$|BenchmarkPolicyTick$|BenchmarkRackDispatch|BenchmarkLiveLoopback$' \
+    -bench 'BenchmarkEngineEvents$|BenchmarkEngineEventsDeep|BenchmarkBigTopoTick|BenchmarkBigTopoQuick$|BenchmarkRequestLifecycle$|BenchmarkQueueLens|BenchmarkFig10Serial$|BenchmarkFig10Par4$|BenchmarkPolicyTick$|BenchmarkRackDispatch|BenchmarkPhaseForward$|BenchmarkLiveLoopback$' \
     -benchmem -benchtime "${BENCHTIME:-1s}" . | tee "$raw"
 
 go run ./cmd/benchjson <"$raw" >BENCH_sim.json

@@ -20,9 +20,10 @@
 #                      internal/sched, internal/check) must stay above
 #                      their recorded coverage floors
 #   7. fuzz smoke      30s total of FuzzEngineHeap (event heap vs
-#                      container/heap oracle) and FuzzTraceRoundTrip
-#                      (CSV/JSONL codec round trip) over the committed
-#                      corpora plus fresh mutations
+#                      container/heap oracle), FuzzTraceRoundTrip
+#                      (CSV/JSONL codec round trip), and
+#                      FuzzPhaseRoundTrip (phase-boundary sidecar codec)
+#                      over the committed corpora plus fresh mutations
 #   8. bigtopo smoke   the 1024-core big-topology grids at quick scale
 #                      with the checker on, timed so the wall cost of
 #                      the timer-wheel engine at scale stays visible
@@ -123,8 +124,9 @@ check_cover ./internal/sched 82
 check_cover ./internal/check 86
 
 echo "== fuzz smoke (30s)"
-go test ./internal/sim -run '^$' -fuzz '^FuzzEngineHeap$' -fuzztime 15s >/dev/null
-go test ./internal/trace -run '^$' -fuzz '^FuzzTraceRoundTrip$' -fuzztime 15s >/dev/null
+go test ./internal/sim -run '^$' -fuzz '^FuzzEngineHeap$' -fuzztime 10s >/dev/null
+go test ./internal/trace -run '^$' -fuzz '^FuzzTraceRoundTrip$' -fuzztime 10s >/dev/null
+go test ./internal/trace -run '^$' -fuzz '^FuzzPhaseRoundTrip$' -fuzztime 10s >/dev/null
 
 echo "== big-topology smoke (1024-core grids, quick scale, invariant checker on)"
 # The bigtopo experiment is the heaviest registered run (9 grid points,
@@ -134,6 +136,11 @@ echo "== big-topology smoke (1024-core grids, quick scale, invariant checker on)
 bigtopo_start=$SECONDS
 go run ./cmd/altobench -exp bigtopo -scale quick -check >/dev/null
 echo "   bigtopo quick: $((SECONDS - bigtopo_start))s wall"
+
+echo "== multi-phase smoke (hetero groups + phase forwarding, quick scale, invariant checker on)"
+# Phase-order, per-phase conservation, and migrate-once-per-phase
+# invariants run live inside this; any violation fails the run.
+go run ./cmd/altobench -exp multiphase -scale quick -check >/dev/null
 
 echo "== altobench smoke (all experiments, quick scale, invariant checker on)"
 go run ./cmd/altobench -exp all -scale quick -check >/dev/null
@@ -145,7 +152,7 @@ echo "== zero-alloc regression guard (non-gating)"
 # TestLiveLoopbackZeroAlloc in the race run above).
 if [[ -f BENCH_sim.json ]]; then
     allocraw=$(mktemp)
-    go test -run '^$' -bench 'BenchmarkEngineEvents$|BenchmarkEngineEventsDeep|BenchmarkBigTopoTick|BenchmarkQueueLens|BenchmarkPolicyTick$|BenchmarkRackDispatch' \
+    go test -run '^$' -bench 'BenchmarkEngineEvents$|BenchmarkEngineEventsDeep|BenchmarkBigTopoTick|BenchmarkQueueLens|BenchmarkPolicyTick$|BenchmarkRackDispatch|BenchmarkPhaseForward$' \
         -benchmem -benchtime 10000x . >"$allocraw" 2>&1 || true
     go test -run '^$' -bench 'BenchmarkLiveLoopback$' \
         -benchmem -benchtime 3x . >>"$allocraw" 2>&1 || true
